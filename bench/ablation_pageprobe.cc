@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Ablation B (paper §5.3) — page-probe pre-faulting.
+ *
+ * "If the OMS probes each page ... while executing in the serial region
+ * of code that precedes parallel execution, the number of proxy
+ * execution events for page faults can be significantly reduced."
+ *
+ * WorkloadParams::prefault makes main touch one byte per data page
+ * before creating shreds (real guest loads through the prefault stub),
+ * converting AMS proxy faults into cheap serial-region OMS faults.
+ */
+
+#include "bench_common.hh"
+
+using namespace misp;
+using namespace misp::bench;
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    bool quick = quickMode(argc, argv);
+
+    printHeader("Ablation B: §5.3 page-probe pre-faulting "
+                "(prefault off -> on)");
+    std::printf("%-18s %10s %10s %10s %10s %10s\n", "application",
+                "amsPF-off", "amsPF-on", "omsPF-on", "T-off(M)",
+                "T-on(M)");
+
+    std::vector<std::string> apps =
+        quick ? std::vector<std::string>{"dense_mvm"}
+              : std::vector<std::string>{"dense_mvm", "sparse_mvm",
+                                         "swim"};
+    for (const std::string &name : apps) {
+        const wl::WorkloadInfo *info = wl::findWorkload(name);
+        wl::WorkloadParams off = defaultParams(quick);
+        off.prefault = false;
+        wl::WorkloadParams on = defaultParams(quick);
+        on.prefault = true;
+
+        RunResult roff = runWorkload(mispUni(7), rt::Backend::Shred,
+                                     *info, off);
+        RunResult ron = runWorkload(mispUni(7), rt::Backend::Shred,
+                                    *info, on);
+        std::printf("%-18s %10llu %10llu %10llu %10.1f %10.1f\n",
+                    name.c_str(),
+                    (unsigned long long)roff.amsPageFaults,
+                    (unsigned long long)ron.amsPageFaults,
+                    (unsigned long long)ron.omsPageFaults,
+                    roff.ticks / 1e6, ron.ticks / 1e6);
+    }
+
+    std::printf("\nReading: probing moves compulsory faults from the "
+                "parallel region (each one a\n3-signal proxy + full "
+                "serialization) to the serial region, shrinking AMS "
+                "proxy\ncounts to ~0 — the optimization the paper "
+                "suggests for future runtimes/compilers.\n");
+    return 0;
+}

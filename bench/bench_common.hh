@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Shared experiment plumbing for the paper-reproduction benches.
+ *
+ * Each bench binary regenerates one table or figure from the paper's
+ * evaluation (Section 5); see DESIGN.md's per-experiment index. Passing
+ * `--quick` (or setting MISP_BENCH_QUICK=1) runs smaller inputs for CI
+ * smoke purposes.
+ */
+
+#ifndef MISP_BENCH_BENCH_COMMON_HH
+#define MISP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+namespace misp::bench {
+
+/** Outcome of one measured run. */
+struct RunResult {
+    Tick ticks = 0;
+    bool valid = false;
+    /** Table-1 event counts of processor 0. */
+    std::uint64_t omsSyscalls = 0;
+    std::uint64_t omsPageFaults = 0;
+    std::uint64_t timer = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t amsSyscalls = 0;
+    std::uint64_t amsPageFaults = 0;
+    std::uint64_t serializations = 0;
+    double serializeCycles = 0;
+    double privCycles = 0;
+    double proxySignalCycles = 0;
+    std::uint64_t proxyRequests = 0;
+};
+
+inline bool
+quickMode(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            return true;
+    }
+    const char *env = std::getenv("MISP_BENCH_QUICK");
+    return env && env[0] == '1';
+}
+
+/** The paper's default machine: 8 sequencers at 3.0 GHz. */
+inline arch::SystemConfig
+mispUni(unsigned numAms = 7)
+{
+    return arch::SystemConfig::uniprocessor(numAms);
+}
+
+inline arch::SystemConfig
+smp8()
+{
+    return arch::SystemConfig::mp({0, 0, 0, 0, 0, 0, 0, 0});
+}
+
+inline arch::SystemConfig
+smp1()
+{
+    return arch::SystemConfig::mp({0});
+}
+
+/** Build + load + run one workload to completion; harvest stats. */
+inline RunResult
+runWorkload(const arch::SystemConfig &sys, rt::Backend backend,
+            const wl::WorkloadInfo &info, const wl::WorkloadParams &params)
+{
+    wl::Workload w = info.build(params);
+    harness::Experiment exp(sys, backend);
+    harness::LoadedProcess proc = exp.load(w.app);
+    RunResult out;
+    out.ticks = exp.run(proc.process);
+    out.valid = !w.validate || w.validate(proc.process->addressSpace());
+
+    arch::MispProcessor &mp = exp.system().processor(0);
+    using arch::Ring0Cause;
+    out.omsSyscalls = mp.eventCount(Ring0Cause::OmsSyscall);
+    out.omsPageFaults = mp.eventCount(Ring0Cause::OmsPageFault);
+    out.timer = mp.eventCount(Ring0Cause::Timer);
+    out.interrupts = mp.eventCount(Ring0Cause::OtherInterrupt);
+    out.amsSyscalls = mp.eventCount(Ring0Cause::ProxySyscall);
+    out.amsPageFaults = mp.eventCount(Ring0Cause::ProxyPageFault);
+    out.serializations = mp.serializations();
+    out.serializeCycles = mp.statGroup().lookupValue("serializeCycles");
+    out.privCycles = mp.statGroup().lookupValue("privCycles");
+    out.proxySignalCycles =
+        mp.statGroup().lookupValue("proxySignalCycles");
+    out.proxyRequests = static_cast<std::uint64_t>(
+        mp.statGroup().lookupValue("proxyRequests"));
+    return out;
+}
+
+/** Default parameters matching the paper's 1 OMS + 7 AMS setup. */
+inline wl::WorkloadParams
+defaultParams(bool quick)
+{
+    wl::WorkloadParams p;
+    p.workers = 7;
+    p.scale = 1;
+    (void)quick; // problem sizes are already scaled; quick trims suites
+    return p;
+}
+
+/** Workload subset: all in full mode, a spread in quick mode. */
+inline std::vector<const wl::WorkloadInfo *>
+benchSuite(bool quick)
+{
+    std::vector<const wl::WorkloadInfo *> out;
+    for (const wl::WorkloadInfo &info : wl::allWorkloads()) {
+        if (quick && info.name != "dense_mvm" && info.name != "gauss" &&
+            info.name != "Raytracer" && info.name != "swim") {
+            continue;
+        }
+        out.push_back(&info);
+    }
+    return out;
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n==================================================="
+                "=====================\n");
+    std::printf("%s\n", title);
+    std::printf("====================================================="
+                "===================\n");
+}
+
+} // namespace misp::bench
+
+#endif // MISP_BENCH_BENCH_COMMON_HH

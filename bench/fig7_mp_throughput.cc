@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Figure 6 + Figure 7 — MISP multiprocessor configurations and
+ * throughput under multiprogramming.
+ *
+ * Figure 6 defines the 8-sequencer MP configurations (4x2, 2x4, 1x8,
+ * 1x4+4, ...). Figure 7 runs RayTracer (multi-shredded) while adding
+ * 0..4 competing single-threaded processes and plots RayTracer's
+ * speedup relative to its unloaded run on the same configuration.
+ *
+ * Paper result: on 1x8, performance decreases nearly linearly with
+ * load (the single OMS is shared, so the AMSs sit idle ~50% of the
+ * time with one competitor); configurations with more OMSs degrade
+ * more slowly; the "ideal" placement puts non-shredded work on
+ * AMS-less processors.
+ */
+
+#include "bench_common.hh"
+
+using namespace misp;
+using namespace misp::bench;
+
+namespace {
+
+struct MpConfig {
+    const char *name;
+    std::vector<unsigned> ams;
+    /** Pin the shredded app to processors with this many AMSs. */
+    unsigned shredProcAms;
+    bool idealPlacement; ///< pin spinners away from the shredded CPU
+};
+
+Tick
+runRaytracerUnder(const MpConfig &cfg, unsigned competitors,
+                  const wl::WorkloadParams &params)
+{
+    wl::Workload w = wl::buildRaytracer(params);
+    harness::Experiment exp(arch::SystemConfig::mp(cfg.ams),
+                            rt::Backend::Shred);
+
+    // Pin the shredded thread to a processor with enough AMSs (§5.4:
+    // "a thread should not migrate to a MISP processor that does not
+    // have the proper number of AMSs").
+    std::vector<int> shredAffinity;
+    std::vector<int> otherCpus;
+    for (unsigned i = 0; i < exp.system().numProcessors(); ++i) {
+        int cpu = exp.system().processor(i).cpuId();
+        if (exp.system().processor(i).numAms() >= cfg.shredProcAms)
+            shredAffinity.push_back(cpu);
+        else
+            otherCpus.push_back(cpu);
+    }
+    auto rtProc = exp.load(w.app, shredAffinity);
+
+    wl::WorkloadParams spinParams;
+    for (unsigned c = 0; c < competitors; ++c) {
+        std::vector<int> affinity;
+        if (cfg.idealPlacement && !otherCpus.empty())
+            affinity = otherCpus; // keep competitors off the shredded CPU
+        exp.load(wl::buildSpinner(spinParams).app, affinity);
+    }
+
+    return exp.run(rtProc.process, 2'000'000'000'000ull);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    bool quick = quickMode(argc, argv);
+    wl::WorkloadParams params = defaultParams(quick);
+    params.workers = 7;
+
+    printHeader("Figure 6: MISP MP configurations (8 sequencers total)");
+    const std::vector<MpConfig> configs = {
+        {"4x2", {1, 1, 1, 1}, 1, false},
+        {"2x4", {3, 3}, 3, false},
+        {"1x8", {7}, 7, false},
+        {"1x4+4", {3, 0, 0, 0, 0}, 3, false},
+        {"ideal", {3, 0, 0, 0, 0}, 3, true},
+        {"smp", {0, 0, 0, 0, 0, 0, 0, 0}, 0, false},
+    };
+    for (const MpConfig &cfg : configs) {
+        std::printf("  %-8s processors:", cfg.name);
+        for (unsigned a : cfg.ams)
+            std::printf(" [1 OMS + %u AMS]", a);
+        std::printf("\n");
+    }
+
+    unsigned maxLoad = quick ? 2 : 4;
+
+    printHeader("Figure 7: RayTracer speedup vs unloaded, adding "
+                "competing processes");
+    std::printf("%-8s", "config");
+    for (unsigned load = 0; load <= maxLoad; ++load)
+        std::printf(" %8s%u", "+", load);
+    std::printf("\n");
+
+    for (const MpConfig &cfg : configs) {
+        std::printf("%-8s", cfg.name);
+        Tick unloaded = 0;
+        for (unsigned load = 0; load <= maxLoad; ++load) {
+            if (cfg.name == std::string("smp") && cfg.shredProcAms == 0) {
+                // SMP baseline: RayTracer uses OS threads.
+                wl::Workload w = wl::buildRaytracer(params);
+                harness::Experiment exp(arch::SystemConfig::mp(cfg.ams),
+                                        rt::Backend::OsThread);
+                auto rtProc = exp.load(w.app);
+                wl::WorkloadParams spinParams;
+                for (unsigned c = 0; c < load; ++c)
+                    exp.load(wl::buildSpinner(spinParams).app);
+                Tick t = exp.run(rtProc.process, 2'000'000'000'000ull);
+                if (load == 0)
+                    unloaded = t;
+                std::printf(" %8.3f",
+                            t ? double(unloaded) / double(t) : 0.0);
+                std::fflush(stdout);
+                continue;
+            }
+            Tick t = runRaytracerUnder(cfg, load, params);
+            if (load == 0)
+                unloaded = t;
+            std::printf(" %8.3f", t ? double(unloaded) / double(t) : 0.0);
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\nClaim checks (paper Section 5.4):\n");
+    std::printf(" - 1x8 degrades nearly linearly (competitors share the "
+                "single OMS; AMSs idle);\n");
+    std::printf(" - more OMSs (2x4, 4x2) degrade more slowly;\n");
+    std::printf(" - ideal placement (competitors on AMS-less CPUs) "
+                "preserves throughput.\n");
+    return 0;
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the simulator's primitives and
+ * the architectural operations the paper's cost model is built on:
+ * event-queue throughput, interpreter speed, SIGNAL round-trip latency
+ * (in simulated cycles), shred create/dispatch, and uncontended
+ * synchronization. These quantify both *simulator* performance (host
+ * time) and *modeled* latencies (reported as counters).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+using namespace misp;
+
+// ---------------------------------------------------------------------
+// Simulator primitives (host performance)
+// ---------------------------------------------------------------------
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleLambda(i, "e", [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_AssembleSmallProgram(benchmark::State &state)
+{
+    const std::string src = R"(
+        main:
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            cmpi r1, 100
+            jcc.lt loop
+            halt
+    )";
+    for (auto _ : state) {
+        isa::Program prog = isa::assemble(src, 0x40'0000);
+        benchmark::DoNotOptimize(prog.insts.data());
+    }
+}
+BENCHMARK(BM_AssembleSmallProgram);
+
+namespace {
+
+/** Run a bare guest program on one sequencer, returning insts/host-s. */
+struct BareMachine {
+    EventQueue eq;
+    mem::PhysicalMemory pmem{1 << 14};
+    stats::StatGroup root{""};
+    mem::AddressSpace as{"p", pmem};
+    cpu::Sequencer seq{"s", 0, true, eq, pmem, &root};
+
+    struct NullEnv : cpu::SequencerEnv {
+        mem::AddressSpace &as;
+        explicit NullEnv(mem::AddressSpace &a) : as(a) {}
+        cpu::FaultAction
+        handleFault(cpu::Sequencer &, const mem::Fault &f,
+                    Cycles *c) override
+        {
+            *c = 0;
+            if (f.kind == mem::FaultKind::PageFault &&
+                as.handleFault(f.addr, f.write) ==
+                    mem::FaultOutcome::Paged)
+                return cpu::FaultAction::Retry;
+            return cpu::FaultAction::Kill;
+        }
+        Cycles handleRtCall(cpu::Sequencer &, Word) override { return 0; }
+        void signalInstruction(cpu::Sequencer &, SequencerId,
+                               const cpu::SignalPayload &) override
+        {}
+        void sequencerHalted(cpu::Sequencer &) override {}
+        unsigned numSequencers() const override { return 1; }
+    } env{as};
+
+    explicit BareMachine(const std::string &src)
+    {
+        seq.setEnv(&env);
+        seq.mmu().setAddressSpace(&as);
+        isa::Program prog = isa::assemble(src, 0x40'0000);
+        as.defineRegion(prog.base, prog.byteSize() + 64, false, "code",
+                        prog.bytes());
+        as.defineRegion(0x10'0000, 8 * mem::kPageSize, true, "stack");
+        seq.startAt(prog.symbol("main"), 0x10'0000 + 8 * mem::kPageSize - 64);
+    }
+};
+
+} // namespace
+
+static void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    const std::string src = R"(
+        main:
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            muli r2, r1, 3
+            xori r3, r2, 0x55
+            cmpi r1, 100000
+            jcc.lt loop
+            halt
+    )";
+    std::uint64_t insts = 0;
+    for (auto _ : state) {
+        BareMachine m(src);
+        m.eq.run();
+        insts += m.seq.instsRetired();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+// ---------------------------------------------------------------------
+// Modeled architectural latencies (simulated cycles, via counters)
+// ---------------------------------------------------------------------
+
+static void
+BM_SignalRoundTripSimCycles(benchmark::State &state)
+{
+    // Measure the modeled SIGNAL->start latency on an idle AMS by
+    // running a ping-pong between the OMS and one AMS.
+    const std::string src = R"(
+        main:
+            rdtick r6
+            movi r1, 1
+            movi r2, pong
+            movi r3, 0
+            signal r1, r2, r3
+        wait:
+            movi r4, 0x8000000
+            ld8 r5, [r4]
+            cmpi r5, 1
+            jcc.ne wait
+            rdtick r7
+            sub r0, r7, r6
+            movi r4, 0x8000008
+            st8 [r4], r0
+            movi r0, 0
+            syscall 2
+        pong:
+            movi r4, 0x8000000
+            movi r5, 1
+            st8 [r4], r5
+            halt
+    )";
+    Tick simCycles = 0;
+    for (auto _ : state) {
+        harness::GuestApp app;
+        app.name = "pingpong";
+        app.program = isa::assemble(src, mem::kCodeBase);
+        harness::DataRegion region;
+        region.addr = 0x0800'0000;
+        region.size = mem::kPageSize;
+        app.data.push_back(region);
+
+        arch::SystemConfig cfg = arch::SystemConfig::uniprocessor(1);
+        cfg.kernel.deviceIrqMeanPeriod = 0;
+        harness::Experiment exp(cfg, rt::Backend::Shred);
+        auto proc = exp.load(app);
+        exp.run(proc.process, 1'000'000'000);
+        simCycles +=
+            proc.process->addressSpace().peekWord(0x0800'0008, 8);
+    }
+    state.counters["sim_cycles_roundtrip"] = benchmark::Counter(
+        double(simCycles) / double(state.iterations()));
+}
+BENCHMARK(BM_SignalRoundTripSimCycles);
+
+static void
+BM_ShredCreateJoinSimCycles(benchmark::State &state)
+{
+    // Modeled cost of creating + joining N trivial shreds.
+    const unsigned n = static_cast<unsigned>(state.range(0));
+    Tick total = 0;
+    for (auto _ : state) {
+        wl::WorkloadParams params;
+        params.workers = n;
+        // A tiny raytracer run dominated by create/dispatch/join.
+        wl::Workload w = wl::buildRaytracer(params);
+        harness::Experiment exp(arch::SystemConfig::uniprocessor(7),
+                                rt::Backend::Shred);
+        auto proc = exp.load(w.app);
+        total += exp.run(proc.process);
+    }
+    state.counters["sim_cycles"] =
+        benchmark::Counter(double(total) / double(state.iterations()));
+}
+BENCHMARK(BM_ShredCreateJoinSimCycles)->Arg(1)->Arg(7)->Unit(
+    benchmark::kMillisecond);
+
+static void
+BM_WorkloadBuild(benchmark::State &state)
+{
+    // Host-side cost of generating a workload image (input synthesis,
+    // code emission, reference computation).
+    wl::WorkloadParams params;
+    params.workers = 7;
+    for (auto _ : state) {
+        wl::Workload w = wl::buildDenseMvm(params);
+        benchmark::DoNotOptimize(w.app.program.insts.data());
+    }
+}
+BENCHMARK(BM_WorkloadBuild)->Unit(benchmark::kMillisecond);
+
+static void
+BM_FullMispRunDenseMvm(benchmark::State &state)
+{
+    // End-to-end simulator performance for one Figure-4 cell.
+    setQuietLogging(true);
+    wl::WorkloadParams params;
+    params.workers = 7;
+    for (auto _ : state) {
+        wl::Workload w = wl::buildDenseMvm(params);
+        harness::Experiment exp(arch::SystemConfig::uniprocessor(7),
+                                rt::Backend::Shred);
+        auto proc = exp.load(w.app);
+        Tick t = exp.run(proc.process);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_FullMispRunDenseMvm)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

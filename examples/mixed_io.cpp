@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The Open Dynamics Engine port story (§5.5, Table 2).
+ *
+ * "Simply converting all threads to shreds resulted in an inefficient
+ * use of the AMSs, as the main program thread sleeps inside of the OS
+ * while waiting on the user to provide input. By using a native OS
+ * thread to handle user I/O and a separate native OS thread consisting
+ * of multiple shreds to perform the compute-intensive parallelized
+ * computation, the AMSs were more efficiently utilized."
+ *
+ * This example reproduces both structures on one MISP processor:
+ *   (a) naive port: main does blocking sleeps between compute phases
+ *       on the shredded thread itself — while it sleeps in the kernel,
+ *       its shreds are suspended with it;
+ *   (b) restructured: a separate OS thread does the blocking I/O while
+ *       the shredded thread computes without interruption.
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "shredlib/stub_library.hh"
+
+using namespace misp;
+
+namespace {
+
+/** Compute phases: create 3 shreds, each burning compute, then join. */
+const char *kComputeAsm = R"(
+        docompute:
+            movi r4, 0
+        mkshreds:
+            movi r0, crunch
+            mov r1, r4
+            call 0x600200       ; shred_create
+            addi r4, r4, 1
+            cmpi r4, 3
+            jcc.lt mkshreds
+            call 0x600280       ; join_all
+            ret
+        crunch:
+            movi r5, 0
+        crunchloop:
+            compute 1900
+            addi r5, r5, 1
+            cmpi r5, 6000
+            jcc.lt crunchloop
+            ret
+)";
+
+Tick
+runNaive()
+{
+    // Main thread: rt_init; loop { sleep (blocking I/O wait); compute }.
+    std::string src = std::string(R"(
+        main:
+            call 0x600000       ; rt_init
+            movi r8, 0
+        phases:
+            movi r0, 2000000    ; "wait for user input": 2M-cycle sleep
+            syscall 5           ;   -> the whole OS thread blocks
+            call docompute
+            addi r8, r8, 1
+            cmpi r8, 4
+            jcc.lt phases
+            movi r0, 0
+            call 0x600A00       ; exit_process
+    )") + kComputeAsm;
+
+    harness::GuestApp app;
+    app.name = "ode_naive";
+    app.program = isa::assemble(src, mem::kCodeBase);
+    harness::Experiment exp(arch::SystemConfig::uniprocessor(3),
+                            rt::Backend::Shred);
+    auto proc = exp.load(app);
+    return exp.run(proc.process);
+}
+
+Tick
+runRestructured()
+{
+    // I/O on its own OS thread (sleep loop); compute thread is shredded
+    // and never blocks in the kernel. The compute thread signals
+    // completion through shared memory; the I/O thread exits the
+    // process when it sees the flag.
+    std::string src = std::string(R"(
+        main:
+            ; spawn the compute OS thread, then become the I/O thread
+            movi r0, compute_thread
+            movi r1, 0x8000FF8     ; its stack (one page is plenty: the
+            movi r2, 0             ; runtime gives shreds real stacks)
+            syscall 6              ; SYS_ThreadCreate
+        ioloop:
+            movi r0, 2000000
+            syscall 5              ; blocking wait on "input"
+            movi r4, 0x8000000
+            ld8 r5, [r4]
+            cmpi r5, 1
+            jcc.ne ioloop
+            movi r0, 0
+            call 0x600A00          ; exit_process
+
+        compute_thread:
+            call 0x600000          ; rt_init (this thread owns the gang)
+            movi r8, 0
+        phases:
+            call docompute
+            addi r8, r8, 1
+            cmpi r8, 4
+            jcc.lt phases
+            movi r4, 0x8000000
+            movi r5, 1
+            st8 [r4], r5           ; tell the I/O thread we are done
+        idle:
+            compute 1000
+            jmp idle               ; wait to be reaped by exit_process
+    )") + kComputeAsm;
+
+    harness::GuestApp app;
+    app.name = "ode_restructured";
+    app.program = isa::assemble(src, mem::kCodeBase);
+    harness::DataRegion flag;
+    flag.addr = 0x0800'0000;
+    flag.size = mem::kPageSize;
+    app.data.push_back(flag);
+
+    harness::Experiment exp(arch::SystemConfig::uniprocessor(3),
+                            rt::Backend::Shred);
+    auto proc = exp.load(app);
+    return exp.run(proc.process);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuietLogging(true);
+    std::printf("ODE-style port (Table 2): blocking I/O vs shredded "
+                "compute on MISP 1x4\n\n");
+    Tick naive = runNaive();
+    std::printf("naive port    (I/O sleeps on the shredded thread): "
+                "%10.1fM cycles\n",
+                naive / 1e6);
+    Tick good = runRestructured();
+    std::printf("restructured  (I/O on its own OS thread):          "
+                "%10.1fM cycles\n",
+                good / 1e6);
+    std::printf("\nspeedup from the paper's one structural change: "
+                "%.2fx\n",
+                double(naive) / double(good));
+    std::printf("(the naive port serializes compute behind every "
+                "blocking wait; the\nrestructured version overlaps I/O "
+                "waiting with shredded computation)\n");
+    return good < naive ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * RayTracer scenario: the paper's flagship scalable workload (§5.2),
+ * run on configurable machines through the public workload API.
+ *
+ *   $ ./build/examples/raytrace_scene [workers]
+ *
+ * Renders the scene on a MISP uniprocessor with 1..7 AMSs plus the SMP
+ * baseline and prints the scaling curve — a miniature Figure 4 for one
+ * application, demonstrating dynamic (work-queue) shred scheduling.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace misp;
+
+namespace {
+
+Tick
+render(const arch::SystemConfig &cfg, rt::Backend backend,
+       unsigned workers)
+{
+    wl::WorkloadParams params;
+    params.workers = workers;
+    wl::Workload w = wl::buildRaytracer(params);
+    harness::Experiment exp(cfg, backend);
+    harness::LoadedProcess proc = exp.load(w.app);
+    Tick t = exp.run(proc.process);
+    if (!w.validate(proc.process->addressSpace())) {
+        std::fprintf(stderr, "raytrace_scene: image mismatch!\n");
+        std::exit(1);
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    unsigned workers = argc > 1 ? std::atoi(argv[1]) : 7;
+
+    std::printf("RayTracer, %u shreds, dynamic row scheduling via atomic "
+                "FETCHADD work claiming\n\n",
+                workers);
+
+    Tick serial = render(arch::SystemConfig::mp({0}),
+                         rt::Backend::OsThread, workers);
+    std::printf("%-24s %12.1fM cycles  (baseline)\n", "1 core, OS threads",
+                serial / 1e6);
+
+    for (unsigned ams : {1u, 3u, 7u}) {
+        unsigned use = std::min(workers, ams + 1);
+        (void)use;
+        Tick t = render(arch::SystemConfig::uniprocessor(ams),
+                        rt::Backend::Shred, workers);
+        std::printf("MISP 1 OMS + %u AMS %6s %12.1fM cycles  "
+                    "(speedup %.2fx)\n",
+                    ams, "", t / 1e6, double(serial) / double(t));
+    }
+
+    Tick smp = render(arch::SystemConfig::mp({0, 0, 0, 0, 0, 0, 0, 0}),
+                      rt::Backend::OsThread, workers);
+    std::printf("%-24s %12.1fM cycles  (speedup %.2fx)\n",
+                "8-core SMP, OS threads", smp / 1e6,
+                double(serial) / double(smp));
+    std::printf("\nThe same application image ran on every machine; only "
+                "the runtime changed.\n");
+    return 0;
+}

@@ -1,0 +1,809 @@
+#include "sequencer.hh"
+
+#include <algorithm>
+
+namespace misp::cpu {
+
+using isa::Opcode;
+using isa::Scenario;
+
+const char *
+seqStateName(SeqState s)
+{
+    switch (s) {
+      case SeqState::Idle: return "idle";
+      case SeqState::Running: return "running";
+      case SeqState::InKernel: return "in-kernel";
+      case SeqState::Suspended: return "suspended";
+      case SeqState::WaitingProxy: return "waiting-proxy";
+      case SeqState::Halted: return "halted";
+    }
+    return "?";
+}
+
+Sequencer::Sequencer(std::string name, SequencerId sid, bool ring0Capable,
+                     EventQueue &eq, mem::PhysicalMemory &pmem,
+                     stats::StatGroup *parent)
+    : name_(std::move(name)),
+      sid_(sid),
+      ring0Capable_(ring0Capable),
+      eq_(eq),
+      runEvent_(*this),
+      statGroup_(name_, parent),
+      instsRetired_(&statGroup_, "instsRetired", "instructions retired"),
+      busyCycles_(&statGroup_, "busyCycles", "cycles executing user code"),
+      kernelCycles_(&statGroup_, "kernelCycles",
+                    "cycles in modeled Ring-0 episodes"),
+      suspendedCycles_(&statGroup_, "suspendedCycles",
+                       "cycles suspended by MISP serialization"),
+      proxyWaitCycles_(&statGroup_, "proxyWaitCycles",
+                       "cycles waiting for proxy execution"),
+      signalsReceived_(&statGroup_, "signalsReceived",
+                       "ingress inter-sequencer signals"),
+      signalsSent_(&statGroup_, "signalsSent",
+                   "egress SIGNAL instructions executed"),
+      asyncTransfers_(&statGroup_, "asyncTransfers",
+                      "YIELD-CONDITIONAL asynchronous control transfers"),
+      faultsRaised_(&statGroup_, "faultsRaised", "architectural faults"),
+      mmu_("mmu", pmem, &statGroup_)
+{}
+
+Sequencer::~Sequencer()
+{
+    if (runEvent_.scheduled())
+        eq_.deschedule(&runEvent_);
+}
+
+void
+Sequencer::setSliceLimit(unsigned insts)
+{
+    MISP_ASSERT(insts > 0);
+    sliceLimit_ = insts;
+}
+
+void
+Sequencer::scheduleRun(Tick when)
+{
+    if (!runEvent_.scheduled())
+        eq_.schedule(&runEvent_, when);
+}
+
+void
+Sequencer::stopRunEvent()
+{
+    if (runEvent_.scheduled())
+        eq_.deschedule(&runEvent_);
+}
+
+void
+Sequencer::startAt(VAddr eip, VAddr esp, Word arg)
+{
+    MISP_ASSERT(state_ == SeqState::Idle || state_ == SeqState::Halted);
+    ctx_.eip = eip;
+    ctx_.sp() = esp;
+    ctx_.regs[2] = arg;
+    ctx_.inHandler = false;
+    ctx_.savedEip = 0;
+    state_ = SeqState::Running;
+    scheduleRun(eq_.curTick());
+}
+
+void
+Sequencer::suspend()
+{
+    switch (state_) {
+      case SeqState::Running:
+        // Applied at the next slice boundary.
+        suspendRequested_ = true;
+        break;
+      case SeqState::Idle:
+        preSuspendState_ = SeqState::Idle;
+        state_ = SeqState::Suspended;
+        waitSince_ = eq_.curTick();
+        break;
+      case SeqState::Suspended:
+      case SeqState::WaitingProxy:
+      case SeqState::Halted:
+      case SeqState::InKernel:
+        // Already stopped (or OMS-only state): nothing to do. A
+        // proxy-waiting AMS stays in the proxy protocol.
+        break;
+    }
+}
+
+void
+Sequencer::resume(bool retryFault)
+{
+    Tick now = eq_.curTick();
+    switch (state_) {
+      case SeqState::Running:
+        // Suspension was requested but never took effect before the
+        // resume arrived; just cancel the request.
+        suspendRequested_ = false;
+        break;
+      case SeqState::Suspended:
+        suspendedCycles_ += now - waitSince_;
+        suspendRequested_ = false;
+        if (preSuspendState_ == SeqState::Idle) {
+            state_ = SeqState::Idle;
+            dispatchPendingAsync();
+        } else {
+            state_ = SeqState::Running;
+            scheduleRun(now);
+        }
+        break;
+      case SeqState::WaitingProxy:
+        MISP_ASSERT(retryFault);
+        proxyWaitCycles_ += now - waitSince_;
+        state_ = SeqState::Running;
+        scheduleRun(now);
+        break;
+      case SeqState::InKernel:
+        state_ = SeqState::Running;
+        scheduleRun(std::max(kernelResumeFloor_, now));
+        break;
+      case SeqState::Idle:
+      case SeqState::Halted:
+        panic("%s: resume from state %s", name_.c_str(),
+              seqStateName(state_));
+    }
+}
+
+void
+Sequencer::resumeFromSerialization()
+{
+    if (state_ == SeqState::Suspended) {
+        resume();
+    } else if (state_ == SeqState::Running && suspendRequested_) {
+        suspendRequested_ = false;
+    }
+}
+
+void
+Sequencer::park()
+{
+    MISP_ASSERT(state_ == SeqState::Running);
+    state_ = SeqState::Idle;
+    // Queued work may immediately restart the sequencer.
+    dispatchPendingAsync();
+}
+
+void
+Sequencer::halt()
+{
+    stopRunEvent();
+    state_ = SeqState::Halted;
+}
+
+void
+Sequencer::beginProxyWait()
+{
+    MISP_ASSERT(!ring0Capable_); // only AMSs proxy
+    MISP_ASSERT(state_ == SeqState::Running);
+    state_ = SeqState::WaitingProxy;
+    waitSince_ = eq_.curTick();
+}
+
+void
+Sequencer::enterKernelEpisode()
+{
+    MISP_ASSERT(ring0Capable_);
+    MISP_ASSERT(state_ == SeqState::Running);
+    state_ = SeqState::InKernel;
+    kernelResumeFloor_ = eq_.curTick();
+}
+
+bool
+Sequencer::pauseForKernel()
+{
+    MISP_ASSERT(ring0Capable_);
+    if (state_ != SeqState::Running)
+        return false;
+    // The displaced slice already committed work up to its scheduled
+    // re-run tick; remember it so resume() does not double-book time.
+    kernelResumeFloor_ =
+        runEvent_.scheduled() ? runEvent_.when() : eq_.curTick();
+    stopRunEvent();
+    state_ = SeqState::InKernel;
+    return true;
+}
+
+void
+Sequencer::restartFromContext(const SequencerContext &ctx)
+{
+    MISP_ASSERT(state_ == SeqState::Idle);
+    ctx_ = ctx;
+    state_ = SeqState::Running;
+    scheduleRun(eq_.curTick());
+}
+
+void
+Sequencer::unloadForSwitch()
+{
+    if (state_ == SeqState::Halted)
+        return;
+    Tick now = eq_.curTick();
+    switch (state_) {
+      case SeqState::Suspended:
+        suspendedCycles_ += now - waitSince_;
+        break;
+      case SeqState::WaitingProxy:
+        proxyWaitCycles_ += now - waitSince_;
+        break;
+      default:
+        break;
+    }
+    stopRunEvent();
+    suspendRequested_ = false;
+    pendingSignals_.clear();
+    state_ = SeqState::Idle;
+}
+
+void
+Sequencer::deliverSignal(const SignalPayload &payload)
+{
+    if (state_ == SeqState::Halted) {
+        warn("%s: dropping signal to halted sequencer", name_.c_str());
+        return;
+    }
+    ++signalsReceived_;
+    pendingSignals_.push_back(payload);
+    if (state_ == SeqState::Idle)
+        dispatchPendingAsync();
+    // Running sequencers pick it up at the next instruction boundary;
+    // suspended ones when resumed.
+}
+
+void
+Sequencer::deliverProxyRequest(const SignalPayload &payload)
+{
+    MISP_ASSERT(ring0Capable_);
+    if (state_ == SeqState::Halted) {
+        warn("%s: dropping proxy request to halted sequencer",
+             name_.c_str());
+        return;
+    }
+    ++signalsReceived_;
+    pendingProxy_.push_back(payload);
+    if (state_ == SeqState::Idle)
+        dispatchPendingAsync();
+}
+
+Cycles
+Sequencer::dispatchPendingAsync()
+{
+    if (ctx_.inHandler)
+        return 0;
+
+    if (state_ == SeqState::Idle) {
+        if (!pendingProxy_.empty() &&
+            ctx_.trigger(Scenario::ProxyRequest) != 0) {
+            SignalPayload p = pendingProxy_.front();
+            pendingProxy_.pop_front();
+            // Transfer out of the idle loop: YRET will re-park.
+            ctx_.eip = 0;
+            state_ = SeqState::Running;
+            asyncTransfer(Scenario::ProxyRequest,
+                          ctx_.trigger(Scenario::ProxyRequest), p);
+            scheduleRun(eq_.curTick());
+            return kAsyncXferCycles;
+        }
+        if (!pendingSignals_.empty()) {
+            SignalPayload p = pendingSignals_.front();
+            pendingSignals_.pop_front();
+            startAt(p.eip, p.esp, p.arg);
+            return 0;
+        }
+        return 0;
+    }
+
+    if (state_ != SeqState::Running)
+        return 0;
+
+    if (!pendingProxy_.empty() &&
+        ctx_.trigger(Scenario::ProxyRequest) != 0) {
+        SignalPayload p = pendingProxy_.front();
+        pendingProxy_.pop_front();
+        asyncTransfer(Scenario::ProxyRequest,
+                      ctx_.trigger(Scenario::ProxyRequest), p);
+        return kAsyncXferCycles;
+    }
+    if (!pendingSignals_.empty() &&
+        ctx_.trigger(Scenario::IngressSignal) != 0) {
+        SignalPayload p = pendingSignals_.front();
+        pendingSignals_.pop_front();
+        asyncTransfer(Scenario::IngressSignal,
+                      ctx_.trigger(Scenario::IngressSignal), p);
+        return kAsyncXferCycles;
+    }
+    return 0;
+}
+
+void
+Sequencer::asyncTransfer(Scenario scenario, VAddr handler,
+                         const SignalPayload &payload)
+{
+    MISP_ASSERT(!ctx_.inHandler);
+    ++asyncTransfers_;
+    ctx_.savedEip = ctx_.eip;
+    ctx_.inHandler = true;
+    for (unsigned i = 0; i < 4; ++i)
+        ctx_.bankedRegs[i] = ctx_.regs[kRegScenario + i];
+    ctx_.regs[kRegScenario] = static_cast<Word>(scenario);
+    ctx_.regs[kRegPayloadArg] = payload.arg;
+    ctx_.regs[kRegPayloadEip] = payload.eip;
+    ctx_.regs[kRegPayloadEsp] = payload.esp;
+    ctx_.eip = handler;
+}
+
+void
+Sequencer::runSlice()
+{
+    if (state_ != SeqState::Running)
+        return; // stale event
+
+    Tick start = eq_.curTick();
+    Cycles consumed = 0;
+    unsigned executed = 0;
+    bool stop = false;
+
+    if (suspendRequested_) {
+        suspendRequested_ = false;
+        preSuspendState_ = SeqState::Running;
+        state_ = SeqState::Suspended;
+        waitSince_ = start;
+        return;
+    }
+
+    inSlice_ = true;
+    while (executed < sliceLimit_ && consumed < sliceCycleBudget_ &&
+           !stop) {
+        consumed += dispatchPendingAsync();
+        consumed += executeOne(&stop);
+        ++executed;
+        if (suspendRequested_)
+            break;
+    }
+    inSlice_ = false;
+
+    if (consumed == 0)
+        consumed = 1;
+    busyCycles_ += consumed;
+
+    if (state_ == SeqState::Running) {
+        if (suspendRequested_) {
+            suspendRequested_ = false;
+            preSuspendState_ = SeqState::Running;
+            state_ = SeqState::Suspended;
+            waitSince_ = start + consumed;
+        } else {
+            scheduleRun(start + consumed);
+        }
+    }
+}
+
+Cycles
+Sequencer::handleFaultFromExec(const mem::Fault &fault, bool *stop,
+                               bool *advance)
+{
+    ++faultsRaised_;
+    MISP_ASSERT(env_ != nullptr);
+    Cycles extra = 0;
+    FaultAction action = env_->handleFault(*this, fault, &extra);
+    switch (action) {
+      case FaultAction::Retry:
+        *advance = false;
+        *stop = true; // re-sync at a clean slice boundary
+        break;
+      case FaultAction::Continue:
+        *advance = true;
+        break;
+      case FaultAction::Deferred:
+        *advance = false;
+        *stop = true;
+        MISP_ASSERT(state_ != SeqState::Running);
+        break;
+      case FaultAction::Kill:
+        *advance = false;
+        *stop = true;
+        halt();
+        break;
+    }
+    return extra;
+}
+
+void
+Sequencer::setFlagsFromCompare(SWord a, SWord b)
+{
+    SWord diff;
+    bool of = __builtin_sub_overflow(a, b, &diff);
+    ctx_.flags.zf = a == b;
+    ctx_.flags.sf = diff < 0;
+    ctx_.flags.cf =
+        static_cast<std::uint64_t>(a) < static_cast<std::uint64_t>(b);
+    ctx_.flags.of = of;
+}
+
+bool
+Sequencer::condHolds(isa::Cond cond) const
+{
+    const isa::Flags &f = ctx_.flags;
+    switch (cond) {
+      case isa::Cond::Eq: return f.zf;
+      case isa::Cond::Ne: return !f.zf;
+      case isa::Cond::Lt: return f.sf != f.of;
+      case isa::Cond::Le: return f.zf || (f.sf != f.of);
+      case isa::Cond::Gt: return !f.zf && (f.sf == f.of);
+      case isa::Cond::Ge: return f.sf == f.of;
+      case isa::Cond::Ult: return f.cf;
+      case isa::Cond::Uge: return !f.cf;
+    }
+    return false;
+}
+
+Cycles
+Sequencer::executeOne(bool *stop)
+{
+    std::uint8_t buf[isa::kInstBytes];
+    mem::AccessResult fr = mmu_.fetchInst(ctx_.eip, buf, ring_);
+    Cycles cycles = fr.cycles;
+    if (fr.fault) {
+        bool advance = false;
+        cycles += handleFaultFromExec(fr.fault, stop, &advance);
+        return cycles;
+    }
+
+    isa::Instruction inst;
+    if (!isa::decode(buf, &inst)) {
+        bool advance = false;
+        cycles += handleFaultFromExec(
+            mem::Fault::of(mem::FaultKind::InvalidOpcode, ctx_.eip), stop,
+            &advance);
+        if (advance)
+            ctx_.eip += isa::kInstBytes;
+        return cycles;
+    }
+
+    cycles += isa::baseLatency(inst.op);
+    auto &regs = ctx_.regs;
+    bool advance = true;
+
+    // Memory access helpers that route faults through the environment.
+    bool faulted = false;
+    auto memRead = [&](VAddr va, unsigned size, Word *out) {
+        mem::AccessResult r = mmu_.read(va, size, ring_);
+        cycles += r.cycles;
+        if (r.fault) {
+            cycles += handleFaultFromExec(r.fault, stop, &advance);
+            faulted = true;
+            return false;
+        }
+        *out = r.value;
+        return true;
+    };
+    auto memWrite = [&](VAddr va, Word value, unsigned size) {
+        mem::AccessResult r = mmu_.write(va, value, size, ring_);
+        cycles += r.cycles;
+        if (r.fault) {
+            cycles += handleFaultFromExec(r.fault, stop, &advance);
+            faulted = true;
+            return false;
+        }
+        return true;
+    };
+    // Atomic read-modify-write: one translation with write intent.
+    auto memRmw = [&](VAddr va, Word *oldOut,
+                      auto &&newValue) { // newValue(Word old) -> Word
+        PAddr pa = 0;
+        mem::AccessResult r =
+            mmu_.translate(va, 8, mem::Access::Write, ring_, &pa);
+        cycles += r.cycles;
+        if (r.fault) {
+            cycles += handleFaultFromExec(r.fault, stop, &advance);
+            faulted = true;
+            return false;
+        }
+        Word old = mmu_.read(va, 8, ring_).value;
+        *oldOut = old;
+        mmu_.write(va, newValue(old), 8, ring_);
+        return true;
+    };
+
+    switch (inst.op) {
+      case Opcode::Nop:
+        break;
+      case Opcode::Halt:
+        advance = false;
+        *stop = true;
+        halt();
+        if (env_)
+            env_->sequencerHalted(*this);
+        break;
+      case Opcode::MovI:
+        regs[inst.rd] = inst.imm;
+        break;
+      case Opcode::Mov:
+        regs[inst.rd] = regs[inst.rs1];
+        break;
+      case Opcode::Add:
+        regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2];
+        break;
+      case Opcode::Sub:
+        regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2];
+        break;
+      case Opcode::Mul:
+        regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2];
+        break;
+      case Opcode::Div:
+      case Opcode::Rem: {
+        if (regs[inst.rs2] == 0) {
+            cycles += handleFaultFromExec(
+                mem::Fault::of(mem::FaultKind::DivideError, ctx_.eip),
+                stop, &advance);
+            break;
+        }
+        SWord a = static_cast<SWord>(regs[inst.rs1]);
+        SWord b = static_cast<SWord>(regs[inst.rs2]);
+        regs[inst.rd] = static_cast<Word>(
+            inst.op == Opcode::Div ? a / b : a % b);
+        break;
+      }
+      case Opcode::And:
+        regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2];
+        break;
+      case Opcode::Or:
+        regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2];
+        break;
+      case Opcode::Xor:
+        regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2];
+        break;
+      case Opcode::Shl:
+        regs[inst.rd] = regs[inst.rs1] << (regs[inst.rs2] & 63);
+        break;
+      case Opcode::Shr:
+        regs[inst.rd] = regs[inst.rs1] >> (regs[inst.rs2] & 63);
+        break;
+      case Opcode::Sar:
+        regs[inst.rd] = static_cast<Word>(
+            static_cast<SWord>(regs[inst.rs1]) >> (regs[inst.rs2] & 63));
+        break;
+      case Opcode::AddI:
+        regs[inst.rd] = regs[inst.rs1] + inst.imm;
+        break;
+      case Opcode::SubI:
+        regs[inst.rd] = regs[inst.rs1] - inst.imm;
+        break;
+      case Opcode::MulI:
+        regs[inst.rd] = regs[inst.rs1] * inst.imm;
+        break;
+      case Opcode::DivI: {
+        if (inst.imm == 0) {
+            cycles += handleFaultFromExec(
+                mem::Fault::of(mem::FaultKind::DivideError, ctx_.eip),
+                stop, &advance);
+            break;
+        }
+        regs[inst.rd] = static_cast<Word>(
+            static_cast<SWord>(regs[inst.rs1]) /
+            static_cast<SWord>(inst.imm));
+        break;
+      }
+      case Opcode::AndI:
+        regs[inst.rd] = regs[inst.rs1] & inst.imm;
+        break;
+      case Opcode::OrI:
+        regs[inst.rd] = regs[inst.rs1] | inst.imm;
+        break;
+      case Opcode::XorI:
+        regs[inst.rd] = regs[inst.rs1] ^ inst.imm;
+        break;
+      case Opcode::ShlI:
+        regs[inst.rd] = regs[inst.rs1] << (inst.imm & 63);
+        break;
+      case Opcode::ShrI:
+        regs[inst.rd] = regs[inst.rs1] >> (inst.imm & 63);
+        break;
+      case Opcode::Cmp:
+        setFlagsFromCompare(static_cast<SWord>(regs[inst.rs1]),
+                            static_cast<SWord>(regs[inst.rs2]));
+        break;
+      case Opcode::CmpI:
+        setFlagsFromCompare(static_cast<SWord>(regs[inst.rs1]),
+                            static_cast<SWord>(inst.imm));
+        break;
+      case Opcode::Ld: {
+        Word v = 0;
+        if (memRead(regs[inst.rs1] + inst.imm, inst.sub, &v))
+            regs[inst.rd] = v;
+        break;
+      }
+      case Opcode::St:
+        memWrite(regs[inst.rs1] + inst.imm, regs[inst.rs2], inst.sub);
+        break;
+      case Opcode::Push: {
+        Word newSp = ctx_.sp() - 8;
+        if (memWrite(newSp, regs[inst.rs1], 8))
+            ctx_.sp() = newSp;
+        break;
+      }
+      case Opcode::Pop: {
+        Word v = 0;
+        if (memRead(ctx_.sp(), 8, &v)) {
+            regs[inst.rd] = v;
+            ctx_.sp() += 8;
+        }
+        break;
+      }
+      case Opcode::Lea:
+        regs[inst.rd] = regs[inst.rs1] + inst.imm;
+        break;
+      case Opcode::Jmp:
+        ctx_.eip = inst.imm;
+        advance = false;
+        break;
+      case Opcode::JmpR:
+        ctx_.eip = regs[inst.rs1];
+        advance = false;
+        break;
+      case Opcode::Jcc:
+        if (condHolds(static_cast<isa::Cond>(inst.sub))) {
+            ctx_.eip = inst.imm;
+            advance = false;
+        }
+        break;
+      case Opcode::Call: {
+        Word newSp = ctx_.sp() - 8;
+        if (memWrite(newSp, ctx_.eip + isa::kInstBytes, 8)) {
+            ctx_.sp() = newSp;
+            ctx_.eip = inst.imm;
+            advance = false;
+        }
+        break;
+      }
+      case Opcode::CallR: {
+        VAddr target = regs[inst.rs1];
+        Word newSp = ctx_.sp() - 8;
+        if (memWrite(newSp, ctx_.eip + isa::kInstBytes, 8)) {
+            ctx_.sp() = newSp;
+            ctx_.eip = target;
+            advance = false;
+        }
+        break;
+      }
+      case Opcode::Ret: {
+        Word v = 0;
+        if (memRead(ctx_.sp(), 8, &v)) {
+            ctx_.sp() += 8;
+            ctx_.eip = v;
+            advance = false;
+        }
+        break;
+      }
+      case Opcode::Xchg: {
+        Word old = 0;
+        Word mine = regs[inst.rd];
+        if (memRmw(regs[inst.rs1], &old, [&](Word) { return mine; }))
+            regs[inst.rd] = old;
+        break;
+      }
+      case Opcode::CmpXchg: {
+        Word old = 0;
+        Word expected = regs[inst.rd];
+        Word desired = regs[inst.rs2];
+        bool swapped = false;
+        if (memRmw(regs[inst.rs1], &old, [&](Word cur) {
+                if (cur == expected) {
+                    swapped = true;
+                    return desired;
+                }
+                return cur;
+            })) {
+            ctx_.flags.zf = swapped;
+            if (!swapped)
+                regs[inst.rd] = old;
+        }
+        break;
+      }
+      case Opcode::FetchAdd: {
+        Word old = 0;
+        Word addend = regs[inst.rs2];
+        if (memRmw(regs[inst.rs1], &old,
+                   [&](Word cur) { return cur + addend; }))
+            regs[inst.rd] = old;
+        break;
+      }
+      case Opcode::Pause:
+        break;
+      case Opcode::Compute: {
+        Cycles burn = inst.imm;
+        if (inst.rs1 != 0)
+            burn += regs[inst.rs1];
+        cycles += burn;
+        break;
+      }
+      case Opcode::Syscall: {
+        cycles += handleFaultFromExec(mem::Fault::syscall(inst.imm), stop,
+                                      &advance);
+        break;
+      }
+      case Opcode::RtCall: {
+        MISP_ASSERT(env_ != nullptr);
+        // Advance first so services that redirect EIP (shred switches)
+        // see the post-call continuation.
+        ctx_.eip += isa::kInstBytes;
+        advance = false;
+        cycles += env_->handleRtCall(*this, inst.imm);
+        if (state_ != SeqState::Running)
+            *stop = true;
+        break;
+      }
+      case Opcode::SeqId:
+        regs[inst.rd] = sid_;
+        break;
+      case Opcode::NumSeq:
+        regs[inst.rd] = env_ ? env_->numSequencers() : 1;
+        break;
+      case Opcode::RdTick:
+        regs[inst.rd] = eq_.curTick();
+        break;
+      case Opcode::Signal: {
+        MISP_ASSERT(env_ != nullptr);
+        ++signalsSent_;
+        SignalPayload payload;
+        payload.eip = regs[inst.rs2];
+        payload.esp = regs[inst.rd];
+        payload.arg = regs[2];
+        env_->signalInstruction(
+            *this, static_cast<SequencerId>(regs[inst.rs1]), payload);
+        break;
+      }
+      case Opcode::Semonitor:
+        ctx_.setTrigger(static_cast<Scenario>(inst.sub), inst.imm);
+        break;
+      case Opcode::Yret: {
+        if (!ctx_.inHandler) {
+            cycles += handleFaultFromExec(
+                mem::Fault::of(mem::FaultKind::GeneralProtection,
+                               ctx_.eip),
+                stop, &advance);
+            break;
+        }
+        ctx_.inHandler = false;
+        advance = false;
+        for (unsigned i = 0; i < 4; ++i)
+            ctx_.regs[kRegScenario + i] = ctx_.bankedRegs[i];
+        if (ctx_.savedEip == 0) {
+            // The transfer interrupted an idle sequencer: go back to
+            // idle (a queued payload may immediately restart us).
+            *stop = true;
+            park();
+        } else {
+            ctx_.eip = ctx_.savedEip;
+            ctx_.savedEip = 0;
+        }
+        break;
+      }
+      case Opcode::NumOpcodes:
+        panic("decoded NumOpcodes");
+    }
+
+    if (!faulted || advance) {
+        // Retired (faulting instructions that will retry don't count).
+        if (!faulted)
+            ++instsRetired_;
+    }
+    if (advance)
+        ctx_.eip += isa::kInstBytes;
+    return cycles;
+}
+
+double
+Sequencer::utilization(Tick elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return (busyCycles_.value() + kernelCycles_.value()) /
+           static_cast<double>(elapsed);
+}
+
+} // namespace misp::cpu

@@ -1,0 +1,61 @@
+#include "experiment.hh"
+
+namespace misp::harness {
+
+Experiment::Experiment(const arch::SystemConfig &config,
+                       rt::Backend backend)
+    : backend_(backend)
+{
+    system_ = std::make_unique<arch::MispSystem>(config);
+    if (backend == rt::Backend::Shred) {
+        shredRt_ = std::make_unique<rt::ShredRuntime>(
+            &system_->rootStats());
+        system_->attachRuntime(shredRt_.get());
+    } else {
+        osRt_ = std::make_unique<rt::OsApiRuntime>(&system_->rootStats());
+        system_->attachRuntime(osRt_.get());
+    }
+}
+
+Experiment::~Experiment() = default;
+
+LoadedProcess
+Experiment::load(const GuestApp &app, const std::vector<int> &affinity)
+{
+    return loadApp(*system_, app, backend_, affinity);
+}
+
+Tick
+Experiment::run(os::Process *target, Tick maxTicks)
+{
+    Tick finished = 0;
+    arch::MispSystem *sys = system_.get();
+    system_->kernel().setProcessExitHook(
+        [&finished, sys, target](os::Process *proc) {
+            if (proc != target)
+                return;
+            finished = sys->eventQueue().curTick();
+            sys->quiesce();
+            // Let in-flight Ring-0 episodes and signal deliveries drain
+            // (their accounting completes at episode end) before
+            // stopping; background processes keep the queue non-empty.
+            sys->eventQueue().scheduleLambda(
+                sys->eventQueue().curTick() + 500'000, "experiment.stop",
+                [sys] { sys->eventQueue().requestStop(); });
+        });
+    system_->start();
+    system_->run(maxTicks);
+    if (finished == 0)
+        warn("experiment: target process '%s' did not finish within "
+             "%llu ticks",
+             target->name().c_str(), (unsigned long long)maxTicks);
+    return finished;
+}
+
+std::uint64_t
+Experiment::events(unsigned proc, arch::Ring0Cause cause)
+{
+    return system_->processor(proc).eventCount(cause);
+}
+
+} // namespace misp::harness

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Experiment driver: builds a simulated machine with the right runtime
+ * backend, loads guest applications, runs to completion of a measured
+ * target process, and harvests statistics.
+ */
+
+#ifndef MISP_HARNESS_EXPERIMENT_HH
+#define MISP_HARNESS_EXPERIMENT_HH
+
+#include <functional>
+#include <memory>
+
+#include "harness/loader.hh"
+#include "misp/misp_system.hh"
+#include "shredlib/os_runtime.hh"
+#include "shredlib/shred_runtime.hh"
+
+namespace misp::harness {
+
+/** One machine + runtime instantiation. */
+class Experiment
+{
+  public:
+    Experiment(const arch::SystemConfig &config, rt::Backend backend);
+    ~Experiment();
+
+    arch::MispSystem &system() { return *system_; }
+    rt::Backend backend() const { return backend_; }
+
+    /** Load an application (see loadApp). */
+    LoadedProcess load(const GuestApp &app,
+                       const std::vector<int> &affinity = {});
+
+    /**
+     * Start the machine and run until @p target exits (or @p maxTicks).
+     * Background processes (e.g. Figure 7's competing load) may still be
+     * running when this returns.
+     * @return completion tick of the target, or 0 if it never finished.
+     */
+    Tick run(os::Process *target, Tick maxTicks = 2'000'000'000'000ull);
+
+    /** Shortcut: Table-1 event count on processor @p proc. */
+    std::uint64_t events(unsigned proc, arch::Ring0Cause cause);
+
+  private:
+    rt::Backend backend_;
+    std::unique_ptr<arch::MispSystem> system_;
+    std::unique_ptr<rt::ShredRuntime> shredRt_;
+    std::unique_ptr<rt::OsApiRuntime> osRt_;
+};
+
+} // namespace misp::harness
+
+#endif // MISP_HARNESS_EXPERIMENT_HH

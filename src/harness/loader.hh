@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Guest process loader: places a workload image, the backend's stub
+ * library, and a main stack into a fresh address space, and creates the
+ * initial OS thread.
+ */
+
+#ifndef MISP_HARNESS_LOADER_HH
+#define MISP_HARNESS_LOADER_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+#include "misp/misp_system.hh"
+#include "shredlib/stub_library.hh"
+
+namespace misp::harness {
+
+/** A statically-placed, optionally image-backed guest data region. */
+struct DataRegion {
+    VAddr addr = 0;
+    std::uint64_t size = 0;
+    bool writable = true;
+    std::string label = "data";
+    std::vector<std::uint8_t> image; ///< may be shorter than size
+};
+
+/** A complete guest application, ready to load. */
+struct GuestApp {
+    std::string name;
+    isa::Program program; ///< entry = symbol "main"
+    std::vector<DataRegion> data;
+};
+
+/** A loaded process plus its initial thread. */
+struct LoadedProcess {
+    os::Process *process = nullptr;
+    os::OsThread *mainThread = nullptr;
+};
+
+/** Load @p app into a new process on @p system with @p backend stubs.
+ *  @p affinity optionally pins the main thread. */
+LoadedProcess loadApp(arch::MispSystem &system, const GuestApp &app,
+                      rt::Backend backend,
+                      const std::vector<int> &affinity = {});
+
+} // namespace misp::harness
+
+#endif // MISP_HARNESS_LOADER_HH

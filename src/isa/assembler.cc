@@ -1,0 +1,403 @@
+#include "assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace misp::isa {
+
+namespace {
+
+/** Tokenized operand: register, immediate, memory ref, or label name. */
+struct Operand {
+    enum class Kind { Reg, Imm, Mem, Name } kind;
+    unsigned reg = 0;       // Reg / Mem base
+    std::int64_t imm = 0;   // Imm / Mem displacement
+    std::string name;       // Name
+};
+
+struct Line {
+    unsigned number;
+    std::string mnemonic; // lowercase, includes suffixes like "ld8"
+    std::vector<Operand> operands;
+};
+
+bool
+parseReg(const std::string &tok, unsigned *out)
+{
+    if (tok == "sp") {
+        *out = kRegSp;
+        return true;
+    }
+    if (tok.size() < 2 || tok[0] != 'r')
+        return false;
+    for (std::size_t i = 1; i < tok.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    }
+    unsigned r = std::stoul(tok.substr(1));
+    if (r >= kNumRegs)
+        return false;
+    *out = r;
+    return true;
+}
+
+bool
+parseImm(const std::string &tok, std::int64_t *out)
+{
+    if (tok.empty())
+        return false;
+    std::size_t pos = 0;
+    try {
+        *out = std::stoll(tok, &pos, 0);
+    } catch (...) {
+        return false;
+    }
+    return pos == tok.size();
+}
+
+Operand
+parseOperand(unsigned lineNo, std::string tok)
+{
+    // Trim.
+    while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.front())))
+        tok.erase(tok.begin());
+    while (!tok.empty() && std::isspace(static_cast<unsigned char>(tok.back())))
+        tok.pop_back();
+    if (tok.empty())
+        throw AsmError(lineNo, "empty operand");
+
+    Operand op;
+    if (tok.front() == '[') {
+        if (tok.back() != ']')
+            throw AsmError(lineNo, "unterminated memory operand: " + tok);
+        std::string inner = tok.substr(1, tok.size() - 2);
+        // forms: [rN], [rN+disp], [rN-disp]
+        std::size_t sep = inner.find_first_of("+-");
+        std::string regTok = sep == std::string::npos
+                                 ? inner
+                                 : inner.substr(0, sep);
+        op.kind = Operand::Kind::Mem;
+        if (!parseReg(regTok, &op.reg))
+            throw AsmError(lineNo, "bad base register: " + regTok);
+        if (sep != std::string::npos) {
+            std::string dispTok = inner.substr(sep); // keeps the sign
+            if (!parseImm(dispTok, &op.imm))
+                throw AsmError(lineNo, "bad displacement: " + dispTok);
+        }
+        return op;
+    }
+    if (parseReg(tok, &op.reg)) {
+        op.kind = Operand::Kind::Reg;
+        return op;
+    }
+    if (parseImm(tok, &op.imm)) {
+        op.kind = Operand::Kind::Imm;
+        return op;
+    }
+    op.kind = Operand::Kind::Name;
+    op.name = tok;
+    return op;
+}
+
+std::optional<Cond>
+condFromName(const std::string &name)
+{
+    static const std::map<std::string, Cond> kMap = {
+        {"eq", Cond::Eq}, {"ne", Cond::Ne}, {"lt", Cond::Lt},
+        {"le", Cond::Le}, {"gt", Cond::Gt}, {"ge", Cond::Ge},
+        {"ult", Cond::Ult}, {"uge", Cond::Uge},
+    };
+    auto it = kMap.find(name);
+    if (it == kMap.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::optional<Scenario>
+scenarioFromName(const std::string &name)
+{
+    if (name == "ingress" || name == "ingress_signal")
+        return Scenario::IngressSignal;
+    if (name == "proxy" || name == "proxy_request")
+        return Scenario::ProxyRequest;
+    return std::nullopt;
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source, VAddr base)
+{
+    ProgramBuilder builder;
+    std::map<std::string, ProgramBuilder::Label> labels;
+
+    auto labelFor = [&](const std::string &name) {
+        auto it = labels.find(name);
+        if (it != labels.end())
+            return it->second;
+        ProgramBuilder::Label l = builder.newLabel();
+        labels.emplace(name, l);
+        return l;
+    };
+
+    // Single streaming pass: ProgramBuilder's fixup machinery provides the
+    // second "pass" by patching forward references at finish().
+    std::istringstream in(source);
+    std::string rawLine;
+    unsigned lineNo = 0;
+    std::vector<std::string> exportedNames;
+
+    while (std::getline(in, rawLine)) {
+        ++lineNo;
+        // Strip comments.
+        auto cut = rawLine.find(';');
+        if (cut != std::string::npos)
+            rawLine.resize(cut);
+        cut = rawLine.find('#');
+        if (cut != std::string::npos)
+            rawLine.resize(cut);
+
+        // Handle leading labels (possibly several per line).
+        std::string text = rawLine;
+        for (;;) {
+            std::size_t firstNs = text.find_first_not_of(" \t");
+            if (firstNs == std::string::npos) {
+                text.clear();
+                break;
+            }
+            std::size_t colon = text.find(':');
+            std::size_t firstSpace = text.find_first_of(" \t", firstNs);
+            if (colon != std::string::npos &&
+                (firstSpace == std::string::npos || colon < firstSpace)) {
+                std::string name = text.substr(firstNs, colon - firstNs);
+                if (name.empty())
+                    throw AsmError(lineNo, "empty label");
+                ProgramBuilder::Label l = labelFor(name);
+                builder.bind(l);
+                builder.exportLabel(name, l);
+                exportedNames.push_back(name);
+                text = text.substr(colon + 1);
+                continue;
+            }
+            break;
+        }
+
+        // Tokenize mnemonic + comma-separated operands.
+        std::istringstream ls(text);
+        std::string mnemonic;
+        if (!(ls >> mnemonic))
+            continue;
+        for (auto &c : mnemonic)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+
+        std::string rest;
+        std::getline(ls, rest);
+        std::vector<Operand> ops;
+        if (rest.find_first_not_of(" \t") != std::string::npos) {
+            std::size_t start = 0;
+            int depth = 0;
+            for (std::size_t i = 0; i <= rest.size(); ++i) {
+                if (i < rest.size() && rest[i] == '[')
+                    ++depth;
+                if (i < rest.size() && rest[i] == ']')
+                    --depth;
+                if (i == rest.size() || (rest[i] == ',' && depth == 0)) {
+                    ops.push_back(
+                        parseOperand(lineNo, rest.substr(start, i - start)));
+                    start = i + 1;
+                }
+            }
+        }
+
+        auto expect = [&](std::size_t n) {
+            if (ops.size() != n)
+                throw AsmError(lineNo, mnemonic + ": expected " +
+                                           std::to_string(n) + " operands, got " +
+                                           std::to_string(ops.size()));
+        };
+        auto reg = [&](std::size_t i) {
+            if (ops[i].kind != Operand::Kind::Reg)
+                throw AsmError(lineNo, mnemonic + ": operand " +
+                                           std::to_string(i + 1) +
+                                           " must be a register");
+            return ops[i].reg;
+        };
+        auto imm = [&](std::size_t i) {
+            if (ops[i].kind != Operand::Kind::Imm)
+                throw AsmError(lineNo, mnemonic + ": operand " +
+                                           std::to_string(i + 1) +
+                                           " must be an immediate");
+            return ops[i].imm;
+        };
+        auto mem = [&](std::size_t i) -> const Operand & {
+            if (ops[i].kind != Operand::Kind::Mem)
+                throw AsmError(lineNo, mnemonic + ": operand " +
+                                           std::to_string(i + 1) +
+                                           " must be a memory reference");
+            return ops[i];
+        };
+        auto target = [&](std::size_t i) {
+            if (ops[i].kind != Operand::Kind::Name)
+                throw AsmError(lineNo, mnemonic + ": operand " +
+                                           std::to_string(i + 1) +
+                                           " must be a label");
+            return labelFor(ops[i].name);
+        };
+
+        // Memory ops with size suffix.
+        if (mnemonic.size() == 3 &&
+            (mnemonic.compare(0, 2, "ld") == 0 ||
+             mnemonic.compare(0, 2, "st") == 0)) {
+            unsigned size = mnemonic[2] - '0';
+            if (size != 1 && size != 2 && size != 4 && size != 8)
+                throw AsmError(lineNo, "bad memory size: " + mnemonic);
+            if (mnemonic[0] == 'l') {
+                expect(2);
+                const Operand &m = mem(1);
+                builder.ld(reg(0), m.reg, m.imm, size);
+            } else {
+                expect(2);
+                const Operand &m = mem(0);
+                builder.st(m.reg, m.imm, reg(1), size);
+            }
+            continue;
+        }
+
+        // jcc.<cond>
+        if (mnemonic.compare(0, 4, "jcc.") == 0 ||
+            mnemonic.compare(0, 2, "j.") == 0) {
+            std::string condName = mnemonic.substr(mnemonic.find('.') + 1);
+            auto cond = condFromName(condName);
+            if (!cond)
+                throw AsmError(lineNo, "bad condition: " + condName);
+            expect(1);
+            builder.jcc(*cond, target(0));
+            continue;
+        }
+
+        if (mnemonic == "nop") { expect(0); builder.nop(); }
+        else if (mnemonic == "halt") { expect(0); builder.halt(); }
+        else if (mnemonic == "movi") {
+            expect(2);
+            if (ops[1].kind == Operand::Kind::Name)
+                builder.leaLabel(reg(0), target(1));
+            else
+                builder.movi(reg(0), static_cast<std::uint64_t>(imm(1)));
+        }
+        else if (mnemonic == "mov") { expect(2); builder.mov(reg(0), reg(1)); }
+        else if (mnemonic == "add") { expect(3); builder.add(reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "sub") { expect(3); builder.sub(reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "mul") { expect(3); builder.mul(reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "div") { expect(3); builder.div(reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "rem") { expect(3); builder.alu(Opcode::Rem, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "and") { expect(3); builder.alu(Opcode::And, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "or")  { expect(3); builder.alu(Opcode::Or, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "xor") { expect(3); builder.alu(Opcode::Xor, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "shl") { expect(3); builder.alu(Opcode::Shl, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "shr") { expect(3); builder.alu(Opcode::Shr, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "sar") { expect(3); builder.alu(Opcode::Sar, reg(0), reg(1), reg(2)); }
+        else if (mnemonic == "addi") { expect(3); builder.addi(reg(0), reg(1), imm(2)); }
+        else if (mnemonic == "subi") { expect(3); builder.subi(reg(0), reg(1), imm(2)); }
+        else if (mnemonic == "muli") { expect(3); builder.muli(reg(0), reg(1), imm(2)); }
+        else if (mnemonic == "divi") { expect(3); builder.aluImm(Opcode::DivI, reg(0), reg(1), static_cast<std::uint64_t>(imm(2))); }
+        else if (mnemonic == "andi") { expect(3); builder.andi(reg(0), reg(1), static_cast<std::uint64_t>(imm(2))); }
+        else if (mnemonic == "ori")  { expect(3); builder.aluImm(Opcode::OrI, reg(0), reg(1), static_cast<std::uint64_t>(imm(2))); }
+        else if (mnemonic == "xori") { expect(3); builder.aluImm(Opcode::XorI, reg(0), reg(1), static_cast<std::uint64_t>(imm(2))); }
+        else if (mnemonic == "shli") { expect(3); builder.shli(reg(0), reg(1), static_cast<unsigned>(imm(2))); }
+        else if (mnemonic == "shri") { expect(3); builder.shri(reg(0), reg(1), static_cast<unsigned>(imm(2))); }
+        else if (mnemonic == "cmp") { expect(2); builder.cmp(reg(0), reg(1)); }
+        else if (mnemonic == "cmpi") { expect(2); builder.cmpi(reg(0), imm(1)); }
+        else if (mnemonic == "push") { expect(1); builder.push(reg(0)); }
+        else if (mnemonic == "pop") { expect(1); builder.pop(reg(0)); }
+        else if (mnemonic == "lea") {
+            expect(2);
+            const Operand &m = mem(1);
+            builder.lea(reg(0), m.reg, m.imm);
+        }
+        else if (mnemonic == "jmp") {
+            expect(1);
+            if (ops[0].kind == Operand::Kind::Name)
+                builder.jmp(target(0));
+            else if (ops[0].kind == Operand::Kind::Reg)
+                builder.jmpr(reg(0));
+            else
+                builder.jmpAbs(static_cast<VAddr>(imm(0)));
+        }
+        else if (mnemonic == "call") {
+            expect(1);
+            if (ops[0].kind == Operand::Kind::Name)
+                builder.call(target(0));
+            else if (ops[0].kind == Operand::Kind::Reg)
+                builder.callr(reg(0));
+            else
+                builder.callAbs(static_cast<VAddr>(imm(0)));
+        }
+        else if (mnemonic == "ret") { expect(0); builder.ret(); }
+        else if (mnemonic == "xchg") {
+            expect(2);
+            const Operand &m = mem(1);
+            if (m.imm != 0)
+                throw AsmError(lineNo, "xchg does not take a displacement");
+            builder.xchg(reg(0), m.reg);
+        }
+        else if (mnemonic == "cmpxchg") {
+            expect(3);
+            const Operand &m = mem(1);
+            if (m.imm != 0)
+                throw AsmError(lineNo, "cmpxchg does not take a displacement");
+            builder.cmpxchg(reg(0), m.reg, reg(2));
+        }
+        else if (mnemonic == "fetchadd") {
+            expect(3);
+            const Operand &m = mem(1);
+            if (m.imm != 0)
+                throw AsmError(lineNo, "fetchadd does not take a displacement");
+            builder.fetchadd(reg(0), m.reg, reg(2));
+        }
+        else if (mnemonic == "pause") { expect(0); builder.pause(); }
+        else if (mnemonic == "compute") {
+            if (ops.size() == 1)
+                builder.compute(static_cast<std::uint64_t>(imm(0)));
+            else if (ops.size() == 2)
+                builder.compute(static_cast<std::uint64_t>(imm(0)), reg(1));
+            else
+                throw AsmError(lineNo, "compute: 1 or 2 operands");
+        }
+        else if (mnemonic == "syscall") { expect(1); builder.syscall(static_cast<std::uint64_t>(imm(0))); }
+        else if (mnemonic == "rtcall") { expect(1); builder.rtcall(static_cast<std::uint64_t>(imm(0))); }
+        else if (mnemonic == "seqid") { expect(1); builder.seqid(reg(0)); }
+        else if (mnemonic == "numseq") { expect(1); builder.numseq(reg(0)); }
+        else if (mnemonic == "rdtick") { expect(1); builder.rdtick(reg(0)); }
+        else if (mnemonic == "signal") {
+            expect(3);
+            builder.signal(reg(0), reg(1), reg(2));
+        }
+        else if (mnemonic == "semonitor") {
+            expect(2);
+            if (ops[0].kind != Operand::Kind::Name)
+                throw AsmError(lineNo, "semonitor: first operand is a scenario name");
+            auto sc = scenarioFromName(ops[0].name);
+            if (!sc)
+                throw AsmError(lineNo, "bad scenario: " + ops[0].name);
+            builder.semonitor(*sc, target(1));
+        }
+        else if (mnemonic == "yret") { expect(0); builder.yret(); }
+        else {
+            throw AsmError(lineNo, "unknown mnemonic: " + mnemonic);
+        }
+    }
+
+    // finish() resolves fixups; an unbound label means a typo in the
+    // source, so convert the panic into an AsmError for usability.
+    try {
+        Program prog = builder.finish(base);
+        return prog;
+    } catch (const SimError &e) {
+        throw AsmError(0, e.what());
+    }
+}
+
+} // namespace misp::isa

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * MISA: the micro instruction set architecture of the simulated machine.
+ *
+ * MISA is a compact 64-bit-register, 32-bit-address load/store ISA that
+ * retains the IA-32 *system* semantics the MISP paper depends on (rings,
+ * CR3 paging, faults) and adds the paper's MIMD extension:
+ *
+ *  - SIGNAL sid, eip, esp  — user-level inter-sequencer signal carrying a
+ *    shred continuation <EIP, ESP> to the sequencer named by SID (§2.4).
+ *  - SEMONITOR scenario, handler — YIELD-CONDITIONAL registration: map an
+ *    ingress asynchronous scenario to a fly-weight handler (§2.4).
+ *  - YRET — return from an asynchronous handler, resuming the interrupted
+ *    shred at its saved EIP.
+ *
+ * Instructions are a fixed 16 bytes in guest memory: opcode, three
+ * register fields, a condition/size subfield, and a 64-bit immediate.
+ */
+
+#ifndef MISP_ISA_ISA_HH
+#define MISP_ISA_ISA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace misp::isa {
+
+/** Number of general-purpose registers. r15 doubles as the stack
+ *  pointer (the paper's ESP). */
+constexpr unsigned kNumRegs = 16;
+constexpr unsigned kRegSp = 15;
+/** Conventional argument/return registers of the MISA ABI. */
+constexpr unsigned kRegRet = 0;
+constexpr unsigned kRegArg0 = 0;
+constexpr unsigned kRegArg1 = 1;
+constexpr unsigned kRegArg2 = 2;
+constexpr unsigned kRegArg3 = 3;
+
+/** Fixed instruction width in guest memory. */
+constexpr unsigned kInstBytes = 16;
+
+/** Opcode space. Keep stable: encoded byte values follow enum order. */
+enum class Opcode : std::uint8_t {
+    Nop = 0,
+    Halt,      ///< OMS: stop the thread; AMS: sequencer goes idle
+    // Data movement
+    MovI,      ///< rd = imm
+    Mov,       ///< rd = rs1
+    // ALU, register forms
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor, Shl, Shr, Sar,
+    // ALU, immediate forms
+    AddI, SubI, MulI, DivI,
+    AndI, OrI, XorI, ShlI, ShrI,
+    // Flags
+    Cmp,       ///< flags = compare(rs1, rs2) signed
+    CmpI,      ///< flags = compare(rs1, imm)
+    // Memory: size encoded in the `sub` field (1,2,4,8)
+    Ld,        ///< rd = mem[rs1 + imm]
+    St,        ///< mem[rs1 + imm] = rs2
+    Push,      ///< sp -= 8; mem[sp] = rs1
+    Pop,       ///< rd = mem[sp]; sp += 8
+    Lea,       ///< rd = rs1 + imm
+    // Control: targets are absolute guest addresses in imm (or rs1)
+    Jmp, JmpR,
+    Jcc,       ///< conditional branch; condition in `sub`
+    Call, CallR,
+    Ret,
+    // Atomic read-modify-write (LOCK semantics)
+    Xchg,      ///< rd <-> mem[rs1]
+    CmpXchg,   ///< if mem[rs1]==rd: mem[rs1]=rs2, ZF=1; else rd=mem[rs1]
+    FetchAdd,  ///< rd = mem[rs1]; mem[rs1] += rs2
+    Pause,     ///< spin-loop hint
+    // Behavioural macro-op: models a block of FP/compute work
+    Compute,   ///< retire after (imm + rs1_value_if_rs1!=0) cycles
+    // Traps
+    Syscall,   ///< OS service request, number = imm (Ring-0 trap)
+    RtCall,    ///< user-level runtime (ShredLib) service, number = imm
+    // Introspection
+    SeqId,     ///< rd = own sequencer id (SID)
+    NumSeq,    ///< rd = number of sequencers in this MISP processor
+    RdTick,    ///< rd = current cycle count (TSC analog)
+    // ---- MISP MIMD extension (§2.4) ----
+    Signal,    ///< SIGNAL(sid=rs1, eip=rs2, esp=rd-as-source)
+    Semonitor, ///< register trigger-response: scenario=sub, handler=imm
+    Yret,      ///< return from asynchronous handler
+    NumOpcodes
+};
+
+/** Branch conditions for Jcc, encoded in the `sub` field. */
+enum class Cond : std::uint8_t {
+    Eq = 0, Ne, Lt, Le, Gt, Ge, ///< signed, from FLAGS
+    Ult, Uge,                   ///< unsigned
+};
+
+/** YIELD-CONDITIONAL scenario identifiers for SEMONITOR (§2.4, §2.5). */
+enum class Scenario : std::uint8_t {
+    IngressSignal = 0, ///< a SIGNAL arrived while a shred is running
+    ProxyRequest = 1,  ///< (OMS only) an AMS raised a proxy-execution fault
+    NumScenarios
+};
+
+/** FLAGS register layout. */
+struct Flags {
+    bool zf = false; ///< zero
+    bool sf = false; ///< sign
+    bool cf = false; ///< carry (unsigned borrow on compare)
+    bool of = false; ///< overflow
+
+    bool operator==(const Flags &) const = default;
+};
+
+/** A decoded MISA instruction. */
+struct Instruction {
+    Opcode op = Opcode::Nop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint8_t sub = 0; ///< size for Ld/St, condition for Jcc, scenario
+    std::uint64_t imm = 0;
+
+    bool operator==(const Instruction &) const = default;
+};
+
+/** Encode @p inst into the 16-byte guest representation. */
+std::array<std::uint8_t, kInstBytes> encode(const Instruction &inst);
+
+/** Decode 16 bytes fetched from guest memory.
+ *  @return false if the opcode byte is out of range. */
+bool decode(const std::uint8_t bytes[kInstBytes], Instruction *out);
+
+/** Base execution latency of @p op in cycles (memory translation and
+ *  Compute bursts add more). Values model a simple in-order core with a
+ *  CPI near 1 for ALU work, matching the paper's "throughput is governed
+ *  by event counts, not core microarchitecture" analysis. */
+Cycles baseLatency(Opcode op);
+
+/** Human-readable mnemonic. */
+const char *opcodeName(Opcode op);
+const char *condName(Cond cond);
+
+/** One-line disassembly. */
+std::string disassemble(const Instruction &inst);
+
+/** True for opcodes that only the kernel may execute. MISA has none at
+ *  present (the kernel is host-modeled), but the hook keeps the privilege
+ *  check explicit in the sequencer. */
+bool privileged(Opcode op);
+
+} // namespace misp::isa
+
+#endif // MISP_ISA_ISA_HH

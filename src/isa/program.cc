@@ -1,0 +1,294 @@
+#include "program.hh"
+
+#include <cstring>
+
+namespace misp::isa {
+
+std::vector<std::uint8_t>
+Program::bytes() const
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(insts.size() * kInstBytes);
+    for (const Instruction &inst : insts) {
+        auto enc = encode(inst);
+        out.insert(out.end(), enc.begin(), enc.end());
+    }
+    return out;
+}
+
+VAddr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        fatal("program symbol '%s' not found", name.c_str());
+    return it->second;
+}
+
+ProgramBuilder::Label
+ProgramBuilder::newLabel()
+{
+    labelTargets_.push_back(-1);
+    return static_cast<Label>(labelTargets_.size() - 1);
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    MISP_ASSERT(label < labelTargets_.size());
+    if (labelTargets_[label] >= 0)
+        panic("label %u bound twice", label);
+    labelTargets_[label] = static_cast<std::int64_t>(insts_.size());
+}
+
+ProgramBuilder::Label
+ProgramBuilder::exportHere(const std::string &name)
+{
+    Label l = newLabel();
+    bind(l);
+    exportLabel(name, l);
+    return l;
+}
+
+void
+ProgramBuilder::exportLabel(const std::string &name, Label label)
+{
+    MISP_ASSERT(label < labelTargets_.size());
+    if (!exports_.emplace(name, label).second)
+        panic("symbol '%s' exported twice", name.c_str());
+}
+
+void
+ProgramBuilder::emitWithFixup(Instruction inst, Label label)
+{
+    MISP_ASSERT(label < labelTargets_.size());
+    fixups_.push_back(Fixup{insts_.size(), label});
+    emit(inst);
+}
+
+void
+ProgramBuilder::movi(unsigned rd, std::uint64_t imm)
+{
+    emit({Opcode::MovI, std::uint8_t(rd), 0, 0, 0, imm});
+}
+
+void
+ProgramBuilder::mov(unsigned rd, unsigned rs1)
+{
+    emit({Opcode::Mov, std::uint8_t(rd), std::uint8_t(rs1)});
+}
+
+void
+ProgramBuilder::alu(Opcode op, unsigned rd, unsigned rs1, unsigned rs2)
+{
+    emit({op, std::uint8_t(rd), std::uint8_t(rs1), std::uint8_t(rs2)});
+}
+
+void
+ProgramBuilder::aluImm(Opcode op, unsigned rd, unsigned rs1,
+                       std::uint64_t imm)
+{
+    emit({op, std::uint8_t(rd), std::uint8_t(rs1), 0, 0, imm});
+}
+
+void
+ProgramBuilder::cmp(unsigned a, unsigned b)
+{
+    emit({Opcode::Cmp, 0, std::uint8_t(a), std::uint8_t(b)});
+}
+
+void
+ProgramBuilder::cmpi(unsigned a, std::int64_t imm)
+{
+    emit({Opcode::CmpI, 0, std::uint8_t(a), 0, 0,
+          static_cast<std::uint64_t>(imm)});
+}
+
+void
+ProgramBuilder::ld(unsigned rd, unsigned base, std::int64_t off,
+                   unsigned size)
+{
+    emit({Opcode::Ld, std::uint8_t(rd), std::uint8_t(base), 0,
+          std::uint8_t(size), static_cast<std::uint64_t>(off)});
+}
+
+void
+ProgramBuilder::st(unsigned base, std::int64_t off, unsigned rs,
+                   unsigned size)
+{
+    emit({Opcode::St, 0, std::uint8_t(base), std::uint8_t(rs),
+          std::uint8_t(size), static_cast<std::uint64_t>(off)});
+}
+
+void
+ProgramBuilder::push(unsigned rs)
+{
+    emit({Opcode::Push, 0, std::uint8_t(rs)});
+}
+
+void
+ProgramBuilder::pop(unsigned rd)
+{
+    emit({Opcode::Pop, std::uint8_t(rd)});
+}
+
+void
+ProgramBuilder::lea(unsigned rd, unsigned base, std::int64_t off)
+{
+    emit({Opcode::Lea, std::uint8_t(rd), std::uint8_t(base), 0, 0,
+          static_cast<std::uint64_t>(off)});
+}
+
+void
+ProgramBuilder::jmp(Label target)
+{
+    emitWithFixup({Opcode::Jmp}, target);
+}
+
+void
+ProgramBuilder::jmpAbs(VAddr target)
+{
+    emit({Opcode::Jmp, 0, 0, 0, 0, target});
+}
+
+void
+ProgramBuilder::jmpr(unsigned rs)
+{
+    emit({Opcode::JmpR, 0, std::uint8_t(rs)});
+}
+
+void
+ProgramBuilder::jcc(Cond cond, Label target)
+{
+    emitWithFixup(
+        {Opcode::Jcc, 0, 0, 0, static_cast<std::uint8_t>(cond)}, target);
+}
+
+void
+ProgramBuilder::call(Label target)
+{
+    emitWithFixup({Opcode::Call}, target);
+}
+
+void
+ProgramBuilder::callAbs(VAddr target)
+{
+    emit({Opcode::Call, 0, 0, 0, 0, target});
+}
+
+void
+ProgramBuilder::callr(unsigned rs)
+{
+    emit({Opcode::CallR, 0, std::uint8_t(rs)});
+}
+
+void
+ProgramBuilder::xchg(unsigned rd, unsigned addrReg)
+{
+    emit({Opcode::Xchg, std::uint8_t(rd), std::uint8_t(addrReg)});
+}
+
+void
+ProgramBuilder::cmpxchg(unsigned expected, unsigned addrReg,
+                        unsigned desired)
+{
+    emit({Opcode::CmpXchg, std::uint8_t(expected), std::uint8_t(addrReg),
+          std::uint8_t(desired)});
+}
+
+void
+ProgramBuilder::fetchadd(unsigned rd, unsigned addrReg, unsigned addendReg)
+{
+    emit({Opcode::FetchAdd, std::uint8_t(rd), std::uint8_t(addrReg),
+          std::uint8_t(addendReg)});
+}
+
+void
+ProgramBuilder::compute(std::uint64_t cycles, unsigned plusReg)
+{
+    emit({Opcode::Compute, 0, std::uint8_t(plusReg), 0, 0, cycles});
+}
+
+void
+ProgramBuilder::syscall(std::uint64_t number)
+{
+    emit({Opcode::Syscall, 0, 0, 0, 0, number});
+}
+
+void
+ProgramBuilder::rtcall(std::uint64_t service)
+{
+    emit({Opcode::RtCall, 0, 0, 0, 0, service});
+}
+
+void
+ProgramBuilder::seqid(unsigned rd)
+{
+    emit({Opcode::SeqId, std::uint8_t(rd)});
+}
+
+void
+ProgramBuilder::numseq(unsigned rd)
+{
+    emit({Opcode::NumSeq, std::uint8_t(rd)});
+}
+
+void
+ProgramBuilder::rdtick(unsigned rd)
+{
+    emit({Opcode::RdTick, std::uint8_t(rd)});
+}
+
+void
+ProgramBuilder::signal(unsigned sidReg, unsigned eipReg, unsigned espReg)
+{
+    emit({Opcode::Signal, std::uint8_t(espReg), std::uint8_t(sidReg),
+          std::uint8_t(eipReg)});
+}
+
+void
+ProgramBuilder::semonitor(Scenario scenario, Label handler)
+{
+    emitWithFixup({Opcode::Semonitor, 0, 0, 0,
+                   static_cast<std::uint8_t>(scenario)},
+                  handler);
+}
+
+void
+ProgramBuilder::semonitorAbs(Scenario scenario, VAddr handler)
+{
+    emit({Opcode::Semonitor, 0, 0, 0, static_cast<std::uint8_t>(scenario),
+          handler});
+}
+
+void
+ProgramBuilder::leaLabel(unsigned rd, Label label)
+{
+    emitWithFixup({Opcode::MovI, std::uint8_t(rd)}, label);
+}
+
+Program
+ProgramBuilder::finish(VAddr base)
+{
+    MISP_ASSERT(base % kInstBytes == 0);
+    for (const Fixup &fix : fixups_) {
+        std::int64_t target = labelTargets_[fix.label];
+        if (target < 0)
+            panic("unbound label %u referenced by instruction %zu",
+                  fix.label, fix.instIndex);
+        insts_[fix.instIndex].imm =
+            base + static_cast<std::uint64_t>(target) * kInstBytes;
+    }
+    Program prog;
+    prog.base = base;
+    prog.insts = insts_;
+    for (const auto &[name, label] : exports_) {
+        std::int64_t target = labelTargets_[label];
+        MISP_ASSERT(target >= 0);
+        prog.symbols[name] =
+            base + static_cast<std::uint64_t>(target) * kInstBytes;
+    }
+    return prog;
+}
+
+} // namespace misp::isa

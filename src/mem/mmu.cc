@@ -1,0 +1,127 @@
+#include "mmu.hh"
+
+namespace misp::mem {
+
+Mmu::Mmu(std::string name, PhysicalMemory &pmem, stats::StatGroup *parent)
+    : pmem_(pmem),
+      statGroup_(std::move(name), parent),
+      tlb_("tlb", 64, &statGroup_),
+      walks_(&statGroup_, "pageWalks", "hardware page walks performed"),
+      pageFaults_(&statGroup_, "pageFaults", "translation page faults")
+{}
+
+void
+Mmu::setAddressSpace(AddressSpace *as, bool preserveTlb)
+{
+    bool sameRoot = as_ && as && as_->root() == as->root();
+    as_ = as;
+    // Architecturally a CR3 write always purges the TLB; preserveTlb
+    // models the synchronization fast-path where the root is verified
+    // unchanged, so no write is performed at all.
+    if (!(preserveTlb && sameRoot))
+        tlb_.flushAll();
+}
+
+AccessResult
+Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
+               PAddr *paOut)
+{
+    AccessResult res;
+    if (!as_) {
+        res.fault = Fault::pageFault(va, access == Access::Write);
+        return res;
+    }
+    // Natural alignment is an architectural requirement of MISA.
+    if (size > 1 && (va & (size - 1)) != 0) {
+        res.fault = Fault::of(FaultKind::GeneralProtection, va);
+        return res;
+    }
+
+    bool isWrite = access == Access::Write;
+    const Pte *pte = tlb_.lookup(va);
+    if (!pte) {
+        // Hardware page walk.
+        res.cycles += PageTable::kWalkCycles;
+        ++walks_;
+        Pte *walked = as_->pageTable().lookupMut(va);
+        if (!walked || !walked->present) {
+            ++pageFaults_;
+            res.fault = Fault::pageFault(va, isWrite);
+            return res;
+        }
+        walked->accessed = true;
+        if (isWrite)
+            walked->dirty = true;
+        tlb_.insert(va, *walked);
+        pte = tlb_.lookup(va);
+    }
+
+    // Permission checks: user bit for Ring 3, write bit for stores.
+    if (ring == Ring::User && !pte->user) {
+        ++pageFaults_;
+        res.fault = Fault::pageFault(va, isWrite);
+        return res;
+    }
+    if (isWrite && !pte->writable) {
+        ++pageFaults_;
+        res.fault = Fault::pageFault(va, isWrite);
+        return res;
+    }
+
+    if (paOut)
+        *paOut = pte->frameBase() + pageOffset(va);
+    res.cycles += kAccessCycles;
+    return res;
+}
+
+AccessResult
+Mmu::read(VAddr va, unsigned size, Ring ring)
+{
+    PAddr pa = 0;
+    AccessResult res = translate(va, size, Access::Read, ring, &pa);
+    if (res.fault)
+        return res;
+    res.value = pmem_.read(pa, size);
+    return res;
+}
+
+AccessResult
+Mmu::write(VAddr va, Word value, unsigned size, Ring ring)
+{
+    PAddr pa = 0;
+    AccessResult res = translate(va, size, Access::Write, ring, &pa);
+    if (res.fault)
+        return res;
+    pmem_.write(pa, value, size);
+    return res;
+}
+
+AccessResult
+Mmu::fetchInst(VAddr va, std::uint8_t buf[16], Ring ring)
+{
+    AccessResult res;
+    if ((va & 15) != 0) {
+        res.fault = Fault::of(FaultKind::GeneralProtection, va);
+        return res;
+    }
+    PAddr pa = 0;
+    // Alignment already guaranteed; translate with an 8-byte probe.
+    res = translate(va, 8, Access::Execute, ring, &pa);
+    if (res.fault)
+        return res;
+    pmem_.readBytes(pa, buf, 16);
+    return res;
+}
+
+AccessResult
+Mmu::fetch(VAddr va, unsigned size, Ring ring)
+{
+    PAddr pa = 0;
+    AccessResult res = translate(va, size, Access::Execute, ring, &pa);
+    if (res.fault)
+        return res;
+    res.value = pmem_.read(pa, size);
+    return res;
+}
+
+} // namespace misp::mem

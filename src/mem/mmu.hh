@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Per-sequencer memory management unit.
+ *
+ * Every sequencer owns one Mmu: a CR3-style root register, a private TLB,
+ * and a hardware page walker. Translation enforces the Ring-3 user bit —
+ * this is how an AMS (which only ever runs Ring 3) can never touch kernel
+ * mappings — and raises page faults that, on an AMS, become proxy
+ * execution triggers.
+ */
+
+#ifndef MISP_MEM_MMU_HH
+#define MISP_MEM_MMU_HH
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address_space.hh"
+#include "mem/page_table.hh"
+#include "mem/paging.hh"
+#include "mem/physical_memory.hh"
+#include "mem/tlb.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misp::mem {
+
+/** Execution privilege level (IA-32 ring). MISA models only the two the
+ *  paper uses: Ring 0 (kernel) and Ring 3 (user). */
+enum class Ring : std::uint8_t { Kernel = 0, User = 3 };
+
+/** Outcome of a translated, executed memory access. */
+struct AccessResult {
+    Fault fault = Fault::none();
+    Cycles cycles = 0; ///< extra cycles beyond the base op latency
+    Word value = 0;    ///< loaded value (reads)
+};
+
+/** Per-sequencer MMU. */
+class Mmu
+{
+  public:
+    Mmu(std::string name, PhysicalMemory &pmem, stats::StatGroup *parent);
+
+    /** Point at an address space; models a CR3 write, so the TLB purges
+     *  (unless @p preserveTlb, used when re-synchronizing to the *same*
+     *  root after an OMS Ring-0 episode that did not change CR3). */
+    void setAddressSpace(AddressSpace *as, bool preserveTlb = false);
+
+    AddressSpace *addressSpace() const { return as_; }
+    PageTableRoot root() const { return as_ ? as_->root() : kNullRoot; }
+
+    /** Translate-and-load. Alignment must be natural for @p size. */
+    AccessResult read(VAddr va, unsigned size, Ring ring);
+
+    /** Translate-and-store. */
+    AccessResult write(VAddr va, Word value, unsigned size, Ring ring);
+
+    /** Instruction fetch (execute access). */
+    AccessResult fetch(VAddr va, unsigned size, Ring ring);
+
+    /** Fetch one 16-byte instruction bundle into @p buf. Instructions
+     *  must be 16-byte aligned, so a bundle never crosses a page. */
+    AccessResult fetchInst(VAddr va, std::uint8_t buf[16], Ring ring);
+
+    /** Atomic read-modify-write support: translate once with write
+     *  intent, return the physical address for the caller to operate on.
+     */
+    AccessResult translate(VAddr va, unsigned size, Access access,
+                           Ring ring, PAddr *paOut);
+
+    Tlb &tlb() { return tlb_; }
+
+    /** Invalidate one page's TLB entry (shootdown). */
+    void invalidatePage(VAddr va) { tlb_.invalidatePage(va); }
+
+    std::uint64_t pageWalks() const
+    {
+        return static_cast<std::uint64_t>(walks_.value());
+    }
+
+  private:
+    AddressSpace *as_ = nullptr;
+    PhysicalMemory &pmem_;
+
+    stats::StatGroup statGroup_;
+    Tlb tlb_;
+    stats::Scalar walks_;
+    stats::Scalar pageFaults_;
+
+  public:
+    /** Modeled cache/DRAM latency for a user access that hits the
+     *  (unmodeled) cache hierarchy; folded into every access. */
+    static constexpr Cycles kAccessCycles = 2;
+};
+
+} // namespace misp::mem
+
+#endif // MISP_MEM_MMU_HH

@@ -1,0 +1,61 @@
+#include "page_table.hh"
+
+namespace misp::mem {
+
+std::uint64_t PageTable::nextRoot_ = 1;
+
+PageTable::PageTable() : root_(nextRoot_++) {}
+
+PageTable::~PageTable() = default;
+
+const Pte *
+PageTable::lookup(VAddr va) const
+{
+    const auto &leaf = dir_[dirIndex(va)];
+    if (!leaf)
+        return nullptr;
+    const Pte &pte = (*leaf)[tblIndex(va)];
+    return &pte;
+}
+
+Pte *
+PageTable::lookupMut(VAddr va)
+{
+    auto &leaf = dir_[dirIndex(va)];
+    if (!leaf)
+        return nullptr;
+    return &(*leaf)[tblIndex(va)];
+}
+
+void
+PageTable::map(VAddr va, std::uint64_t frame, bool writable, bool user)
+{
+    auto &leaf = dir_[dirIndex(va)];
+    if (!leaf)
+        leaf = std::make_unique<Leaf>();
+    Pte &pte = (*leaf)[tblIndex(va)];
+    if (!pte.present)
+        ++mapped_;
+    pte.present = true;
+    pte.writable = writable;
+    pte.user = user;
+    pte.accessed = false;
+    pte.dirty = false;
+    pte.frame = frame;
+}
+
+Pte
+PageTable::unmap(VAddr va)
+{
+    auto &leaf = dir_[dirIndex(va)];
+    if (!leaf)
+        return Pte{};
+    Pte &pte = (*leaf)[tblIndex(va)];
+    Pte old = pte;
+    if (pte.present)
+        --mapped_;
+    pte = Pte{};
+    return old;
+}
+
+} // namespace misp::mem

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Paging constants and page-table entry layout for the MISA architecture.
+ *
+ * MISA mirrors the IA-32 system-programming features MISP depends on:
+ * a 4 KiB page, a two-level page table rooted at a CR3-style control
+ * register, hardware page walkers per sequencer, and TLBs that are purged
+ * on any CR3 write (Section 2.3 of the paper).
+ */
+
+#ifndef MISP_MEM_PAGING_HH
+#define MISP_MEM_PAGING_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace misp::mem {
+
+constexpr unsigned kPageShift = 12;
+constexpr std::uint64_t kPageSize = 1ull << kPageShift;
+constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+/** Virtual page number of an address. */
+constexpr std::uint64_t
+pageNumber(VAddr va)
+{
+    return va >> kPageShift;
+}
+
+/** Base address of the page containing @p va. */
+constexpr VAddr
+pageBase(VAddr va)
+{
+    return va & ~kPageMask;
+}
+
+constexpr std::uint64_t
+pageOffset(VAddr va)
+{
+    return va & kPageMask;
+}
+
+/** Access intent, used for permission checks and dirty tracking. */
+enum class Access { Read, Write, Execute };
+
+/** Page-table entry: present/permission bits plus the physical frame. */
+struct Pte {
+    bool present = false;
+    bool writable = false;
+    bool user = false;      ///< accessible from Ring 3
+    bool accessed = false;
+    bool dirty = false;
+    std::uint64_t frame = 0; ///< physical frame number
+
+    PAddr
+    frameBase() const
+    {
+        return frame << kPageShift;
+    }
+};
+
+/** Architectural fault codes raised by instruction execution or
+ *  translation. On an AMS every one of these becomes a proxy-execution
+ *  trigger; on the OMS (or an SMP CPU) they vector into the kernel. */
+enum class FaultKind : std::uint8_t {
+    None = 0,
+    PageFault,          ///< miss or permission failure during translation
+    GeneralProtection,  ///< privilege violation (e.g. Ring-0 op in Ring 3)
+    InvalidOpcode,
+    DivideError,
+    Syscall,            ///< SYSCALL instruction (trap, not an error)
+    Breakpoint,
+};
+
+const char *faultKindName(FaultKind kind);
+
+/** Full description of a raised fault. */
+struct Fault {
+    FaultKind kind = FaultKind::None;
+    VAddr addr = 0;     ///< faulting address (page faults)
+    bool write = false; ///< access was a write (page faults)
+    Word code = 0;      ///< syscall number / subcode
+
+    explicit operator bool() const { return kind != FaultKind::None; }
+
+    static Fault none() { return Fault{}; }
+
+    static Fault
+    pageFault(VAddr addr, bool write)
+    {
+        return Fault{FaultKind::PageFault, addr, write, 0};
+    }
+
+    static Fault
+    syscall(Word number)
+    {
+        return Fault{FaultKind::Syscall, 0, false, number};
+    }
+
+    static Fault
+    of(FaultKind kind, Word code = 0)
+    {
+        return Fault{kind, 0, false, code};
+    }
+};
+
+} // namespace misp::mem
+
+#endif // MISP_MEM_PAGING_HH

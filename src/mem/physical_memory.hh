@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Sparse physical memory with a frame allocator.
+ *
+ * Frames are materialized lazily so a simulated machine can expose a large
+ * physical address space without committing host memory. The kernel model
+ * allocates frames on demand-paging faults; freeing returns frames to a
+ * free list so long multiprogramming runs do not leak.
+ */
+
+#ifndef MISP_MEM_PHYSICAL_MEMORY_HH
+#define MISP_MEM_PHYSICAL_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/paging.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misp::mem {
+
+/** Byte-addressable sparse physical memory. */
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param frames total number of physical frames (capacity).
+     */
+    explicit PhysicalMemory(std::uint64_t frames,
+                            stats::StatGroup *parent = nullptr);
+
+    /** Allocate a zeroed frame. @return frame number.
+     *  fatal()s when physical memory is exhausted. */
+    std::uint64_t allocFrame();
+
+    /** Return a frame to the allocator. */
+    void freeFrame(std::uint64_t frame);
+
+    std::uint64_t framesTotal() const { return frames_; }
+    std::uint64_t framesUsed() const { return used_; }
+    std::uint64_t framesFree() const { return frames_ - used_; }
+
+    /** Typed little-endian accessors. @p size in {1,2,4,8}.
+     *  Accesses must not cross a frame boundary (callers split at page
+     *  granularity, and guest accesses are size-aligned). */
+    Word read(PAddr addr, unsigned size) const;
+    void write(PAddr addr, Word value, unsigned size);
+
+    /** Bulk copy helpers for loaders and the proxy save/restore paths. */
+    void readBytes(PAddr addr, void *dst, std::uint64_t len) const;
+    void writeBytes(PAddr addr, const void *src, std::uint64_t len);
+
+  private:
+    const std::uint8_t *framePtr(std::uint64_t frame) const;
+    std::uint8_t *framePtrMut(std::uint64_t frame);
+
+    std::uint64_t frames_;
+    std::uint64_t used_ = 0;
+    std::uint64_t nextFresh_ = 0;
+    std::vector<std::uint64_t> freeList_;
+    mutable std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        store_;
+
+    stats::StatGroup statGroup_;
+    stats::Scalar framesAllocated_;
+    stats::Scalar framesFreed_;
+    stats::Scalar bytesRead_;
+    stats::Scalar bytesWritten_;
+};
+
+} // namespace misp::mem
+
+#endif // MISP_MEM_PHYSICAL_MEMORY_HH

@@ -1,0 +1,60 @@
+#include "tlb.hh"
+
+namespace misp::mem {
+
+Tlb::Tlb(std::string name, std::size_t entries, stats::StatGroup *parent)
+    : entries_(entries),
+      statGroup_(std::move(name), parent),
+      hits_(&statGroup_, "hits", "TLB hits"),
+      misses_(&statGroup_, "misses", "TLB misses"),
+      flushes_(&statGroup_, "flushes", "full TLB purges")
+{
+    MISP_ASSERT(entries_ > 0);
+}
+
+const Pte *
+Tlb::lookup(VAddr va)
+{
+    auto it = map_.find(pageNumber(va));
+    if (it == map_.end()) {
+        ++misses_;
+        return nullptr;
+    }
+    ++hits_;
+    it->second.lastUse = ++useClock_;
+    return &it->second.pte;
+}
+
+void
+Tlb::insert(VAddr va, const Pte &pte)
+{
+    if (map_.size() >= entries_ && !map_.count(pageNumber(va)))
+        evictLru();
+    map_[pageNumber(va)] = Slot{pte, ++useClock_};
+}
+
+void
+Tlb::invalidatePage(VAddr va)
+{
+    map_.erase(pageNumber(va));
+}
+
+void
+Tlb::flushAll()
+{
+    map_.clear();
+    ++flushes_;
+}
+
+void
+Tlb::evictLru()
+{
+    auto victim = map_.begin();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+        if (it->second.lastUse < victim->second.lastUse)
+            victim = it;
+    }
+    map_.erase(victim);
+}
+
+} // namespace misp::mem

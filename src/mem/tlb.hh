@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-sequencer translation lookaside buffer.
+ *
+ * Each sequencer — OMS or AMS — owns a private TLB with its own hardware
+ * page walker, exactly as the paper requires: "each sequencer can
+ * independently execute a shred in Ring 3 ... with any TLB miss handled
+ * independently by the sequencer's hardware TLB page walker" (§2.3).
+ * Any CR3 write purges the writing sequencer's TLB; the MISP
+ * serialization engine purges AMS TLBs when synchronizing privileged
+ * state after an OMS Ring-0 episode that changed the root.
+ */
+
+#ifndef MISP_MEM_TLB_HH
+#define MISP_MEM_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "mem/paging.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace misp::mem {
+
+/** Fully-associative TLB with true-LRU replacement. */
+class Tlb
+{
+  public:
+    /**
+     * @param entries capacity; 64 matches a Pentium-4-era DTLB.
+     */
+    Tlb(std::string name, std::size_t entries, stats::StatGroup *parent);
+
+    /** Look up a cached translation. @return nullptr on miss. */
+    const Pte *lookup(VAddr va);
+
+    /** Install a translation (after a successful page walk). */
+    void insert(VAddr va, const Pte &pte);
+
+    /** Remove one page's entry if cached (e.g. TLB shootdown). */
+    void invalidatePage(VAddr va);
+
+    /** Purge everything (CR3 write semantics). */
+    void flushAll();
+
+    std::size_t capacity() const { return entries_; }
+    std::size_t size() const { return map_.size(); }
+
+    std::uint64_t hits() const
+    {
+        return static_cast<std::uint64_t>(hits_.value());
+    }
+    std::uint64_t misses() const
+    {
+        return static_cast<std::uint64_t>(misses_.value());
+    }
+
+  private:
+    struct Slot {
+        Pte pte;
+        std::uint64_t lastUse;
+    };
+
+    void evictLru();
+
+    std::size_t entries_;
+    std::uint64_t useClock_ = 0;
+    std::unordered_map<std::uint64_t, Slot> map_; ///< keyed by VPN
+
+    stats::StatGroup statGroup_;
+    stats::Scalar hits_;
+    stats::Scalar misses_;
+    stats::Scalar flushes_;
+};
+
+} // namespace misp::mem
+
+#endif // MISP_MEM_TLB_HH

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The MISP processor: the paper's primary contribution (§2).
+ *
+ * One MispProcessor couples an OS-managed sequencer (OMS) with N
+ * application-managed sequencers (AMS) and implements the four
+ * architectural mechanisms the paper defines:
+ *
+ *  1. user-level inter-sequencer signaling (SIGNAL / YIELD-CONDITIONAL),
+ *  2. a shared virtual address space maintained by serializing AMSs
+ *     across OMS Ring-0 episodes (§2.3),
+ *  3. proxy execution, which relays AMS faults to the OMS so that OS
+ *     services happen on behalf of Ring-3-only sequencers (§2.5), and
+ *  4. the OS-visible single-logical-CPU illusion: the kernel schedules
+ *     ordinary OS threads onto the OMS, with the aggregate AMS state
+ *     saved and restored at thread switches (§2.2).
+ *
+ * It also implements the paper's firmware event log: every serializing
+ * event is classified exactly as in Table 1 (OMS SysCall / PF / Timer /
+ * Interrupt, AMS SysCall / PF), and the Eq.1–Eq.3 overhead components
+ * are accumulated for the model cross-check bench.
+ */
+
+#ifndef MISP_MISP_MISP_PROCESSOR_HH
+#define MISP_MISP_MISP_PROCESSOR_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/sequencer.hh"
+#include "misp/misp_config.hh"
+#include "misp/signal_fabric.hh"
+#include "os/kernel.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace misp::arch {
+
+class MispProcessor;
+
+/** Runtime hook: ShredLib (or another user-level runtime) implements
+ *  this to service RTCALL instructions and to track which gang of
+ *  shreds is bound to the processor's AMSs. */
+class RtHandler
+{
+  public:
+    virtual ~RtHandler() = default;
+
+    /** Service an RTCALL executed on @p seq. @return cycles charged. */
+    virtual Cycles rtcall(MispProcessor &proc, cpu::Sequencer &seq,
+                          Word service) = 0;
+
+    /** The kernel loaded @p thread onto this processor's OMS; the
+     *  thread's shreds may now use the AMSs. */
+    virtual void onThreadLoaded(MispProcessor &proc, os::OsThread &t) = 0;
+
+    /** The kernel is about to switch @p thread away. */
+    virtual void onThreadUnloading(MispProcessor &proc, os::OsThread &t) = 0;
+};
+
+/** Why a Ring-0 episode happened; the Table 1 classification. */
+enum class Ring0Cause : std::uint8_t {
+    OmsSyscall = 0,
+    OmsPageFault,
+    Timer,
+    OtherInterrupt,
+    ProxySyscall,   ///< AMS syscall serviced by proxy execution
+    ProxyPageFault, ///< AMS page fault serviced by proxy execution
+    NumCauses
+};
+
+const char *ring0CauseName(Ring0Cause cause);
+
+/** An in-flight proxy-execution request (§2.5). */
+struct ProxyRequest {
+    cpu::Sequencer *ams = nullptr;
+    mem::Fault fault;
+    cpu::SequencerContext savedCtx; ///< AMS state saved at fault time
+    Tick start = 0;
+};
+
+/**
+ * One MISP processor (1 OMS + N AMS), acting as the SequencerEnv for all
+ * of its sequencers and as the CPU driver for one kernel CPU slot.
+ */
+class MispProcessor : public cpu::SequencerEnv
+{
+  public:
+    MispProcessor(std::string name, const MispConfig &config,
+                  EventQueue &eq, mem::PhysicalMemory &pmem,
+                  os::Kernel &kernel, stats::StatGroup *parent);
+
+    ~MispProcessor() override;
+
+    const std::string &name() const { return name_; }
+    const MispConfig &config() const { return config_; }
+
+    /** Kernel CPU slot id of the OMS. */
+    int cpuId() const { return cpuId_; }
+
+    cpu::Sequencer &oms() { return *oms_; }
+    unsigned numAms() const { return static_cast<unsigned>(ams_.size()); }
+    cpu::Sequencer &amsAt(unsigned i) { return *ams_[i]; }
+
+    /** Sequencer by SID (0 = OMS, 1..N = AMS). */
+    cpu::Sequencer *sequencer(SequencerId sid);
+
+    SignalFabric &fabric() { return fabric_; }
+    os::Kernel &kernel() { return kernel_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    void attachRuntime(RtHandler *rt) { runtime_ = rt; }
+    RtHandler *runtime() const { return runtime_; }
+
+    // ---- kernel CPU driver --------------------------------------------
+    /** Load @p thread onto the OMS (restore context + AMS save area).
+     *  Called at startup and after context-switch decisions. */
+    void loadThread(os::OsThread *thread);
+
+    /** Thread currently loaded on the OMS (kernel's view). */
+    os::OsThread *currentThread() const;
+
+    /** Start periodic timer (and optional device) interrupts. */
+    void startInterrupts();
+
+    /** Stop delivering interrupts (end of experiment). */
+    void stopInterrupts();
+
+    /** True while a Ring-0 episode is in progress. */
+    bool inRing0() const { return inRing0_; }
+
+    // ---- SequencerEnv --------------------------------------------------
+    cpu::FaultAction handleFault(cpu::Sequencer &seq,
+                                 const mem::Fault &fault,
+                                 Cycles *extraCycles) override;
+    Cycles handleRtCall(cpu::Sequencer &seq, Word service) override;
+    void signalInstruction(cpu::Sequencer &seq, SequencerId sid,
+                           const cpu::SignalPayload &payload) override;
+    void sequencerHalted(cpu::Sequencer &seq) override;
+    unsigned numSequencers() const override
+    {
+        return 1 + static_cast<unsigned>(ams_.size());
+    }
+
+    // ---- proxy execution (called by the runtime's proxy handler) -------
+    /** True if a proxy request is queued or being serviced. */
+    bool proxyInFlight() const { return !proxyQueue_.empty(); }
+
+    /** Service the oldest pending proxy request on the OMS; invoked by
+     *  ShredLib's guest proxy-handler stub via RTCALL (§2.5, §4.2).
+     *  @return cycles charged to the OMS for the impersonation. */
+    Cycles serviceProxy(cpu::Sequencer &omsSeq);
+
+    /** Raise a syscall-class Ring-0 episode from runtime code running on
+     *  the OMS (used by runtime services that must enter the kernel,
+     *  e.g. the OS-thread backend's thread_create). Counts as an OMS
+     *  SysCall event; the caller must have placed the OMS InKernel via
+     *  enterKernelEpisode(). @p work runs after the suspension handshake
+     *  and typically wraps a Kernel entry point plus any context
+     *  patching. */
+    void raiseSyscallEpisode(std::function<os::KernelResult()> work);
+
+    // ---- table-1 statistics ---------------------------------------------
+    std::uint64_t eventCount(Ring0Cause cause) const;
+    std::uint64_t serializations() const
+    {
+        return static_cast<std::uint64_t>(serializations_.value());
+    }
+
+    stats::StatGroup &statGroup() { return statGroup_; }
+
+  private:
+    friend class MispSystemTestPeer;
+
+    /** Begin a Ring-0 episode on the OMS at the current tick:
+     *  suspend AMSs, run @p work after the suspension handshake, apply
+     *  the kernel decision, resume AMSs, and finally call @p done (may
+     *  be null). @p onBehalfOfProxy carries the AMS whose serviced
+     *  context must be restored at episode end. */
+    void ring0Episode(Ring0Cause cause,
+                      std::function<os::KernelResult()> work,
+                      std::function<void(const os::KernelResult &)> done,
+                      std::optional<ProxyRequest> proxy);
+
+    void beginSerialization();
+    void endSerialization(bool rootChanged);
+    /** Phase-1 half of a thread switch: snapshot the outgoing thread's
+     *  OMS context and AMS save area *in the same event as the kernel's
+     *  scheduling decision*, so a cross-CPU wake can never observe (and
+     *  re-dispatch) the thread with a stale context. */
+    void saveOutgoingThread(const os::KernelResult &res);
+    /** Phase-2 half: restore the incoming thread at Ring-0 exit. */
+    void loadIncomingThread(const os::KernelResult &res);
+    void completeProxy(ProxyRequest req, const os::KernelResult &res);
+    void onTimer();
+    void onDeviceIrq();
+    void scheduleNextDeviceIrq();
+
+    std::string name_;
+    MispConfig config_;
+    EventQueue &eq_;
+    mem::PhysicalMemory &pmem_;
+    os::Kernel &kernel_;
+    int cpuId_;
+
+    stats::StatGroup statGroup_;
+    SignalFabric fabric_;
+
+    std::unique_ptr<cpu::Sequencer> oms_;
+    std::vector<std::unique_ptr<cpu::Sequencer>> ams_;
+
+    RtHandler *runtime_ = nullptr;
+
+    bool inRing0_ = false;
+    bool interruptsOn_ = false;
+    std::deque<ProxyRequest> proxyQueue_;
+    std::unique_ptr<LambdaEvent> timerEvent_;
+    std::unique_ptr<LambdaEvent> deviceEvent_;
+
+    // Table 1 event log.
+    stats::Vector events_;
+    stats::Scalar serializations_;
+    stats::Scalar serializeCycles_; ///< sum of full 2*signal+priv windows
+    stats::Scalar privCycles_;      ///< priv portion only
+    stats::Scalar proxyRequests_;
+    stats::Scalar proxySignalCycles_; ///< Eq.2 egress overhead accumulator
+    stats::Scalar threadSwitches_;
+};
+
+} // namespace misp::arch
+
+#endif // MISP_MISP_MISP_PROCESSOR_HH

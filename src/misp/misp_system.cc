@@ -1,0 +1,105 @@
+#include "misp_system.hh"
+
+namespace misp::arch {
+
+SystemConfig
+SystemConfig::uniprocessor(unsigned numAms)
+{
+    SystemConfig cfg;
+    cfg.amsPerProcessor = {numAms};
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::mp(const std::vector<unsigned> &amsCounts)
+{
+    SystemConfig cfg;
+    cfg.amsPerProcessor = amsCounts;
+    return cfg;
+}
+
+MispSystem::MispSystem(const SystemConfig &config)
+    : config_(config), root_("")
+{
+    pmem_ = std::make_unique<mem::PhysicalMemory>(config_.physFrames,
+                                                  &root_);
+    kernel_ = std::make_unique<os::Kernel>(eq_, *pmem_, config_.kernel,
+                                           &root_);
+    kernel_->setClient(this);
+
+    for (std::size_t i = 0; i < config_.amsPerProcessor.size(); ++i) {
+        MispConfig mc = config_.misp;
+        mc.numAms = config_.amsPerProcessor[i];
+        procs_.push_back(std::make_unique<MispProcessor>(
+            "misp" + std::to_string(i), mc, eq_, *pmem_, *kernel_,
+            &root_));
+    }
+}
+
+MispSystem::~MispSystem() = default;
+
+MispProcessor *
+MispSystem::processorForCpu(int cpu)
+{
+    for (auto &p : procs_) {
+        if (p->cpuId() == cpu)
+            return p.get();
+    }
+    return nullptr;
+}
+
+void
+MispSystem::attachRuntime(RtHandler *rt)
+{
+    for (auto &p : procs_)
+        p->attachRuntime(rt);
+}
+
+void
+MispSystem::start()
+{
+    for (auto &p : procs_) {
+        // cpuWake() may already have dispatched a thread here when it
+        // was created; only pick for still-idle CPUs.
+        if (kernel_->current(p->cpuId()) == nullptr) {
+            os::OsThread *t = kernel_->pickNext(p->cpuId());
+            if (t)
+                p->loadThread(t);
+        }
+        p->startInterrupts();
+    }
+}
+
+Tick
+MispSystem::run(Tick maxTicks)
+{
+    return eq_.run(maxTicks);
+}
+
+void
+MispSystem::quiesce()
+{
+    for (auto &p : procs_)
+        p->stopInterrupts();
+}
+
+void
+MispSystem::cpuWake(int cpu)
+{
+    MispProcessor *proc = processorForCpu(cpu);
+    if (!proc)
+        return;
+    if (proc->inRing0() || proc->currentThread() != nullptr)
+        return;
+    if (!proc->oms().idle())
+        return;
+    os::OsThread *t = kernel_->pickNext(cpu);
+    if (!t)
+        return;
+    // Loading from idle is the tail of whichever kernel path readied the
+    // thread; charge the dispatch as kernel time on this OMS.
+    proc->oms().chargeKernelCycles(kernel_->config().ctxSwitch);
+    proc->loadThread(t);
+}
+
+} // namespace misp::arch

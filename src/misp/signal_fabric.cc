@@ -1,0 +1,45 @@
+#include "signal_fabric.hh"
+
+namespace misp::arch {
+
+SignalFabric::SignalFabric(EventQueue &eq, Cycles signalCycles,
+                           stats::StatGroup *parent)
+    : eq_(eq),
+      signalCycles_(signalCycles),
+      statGroup_("fabric", parent),
+      deliveries_(&statGroup_, "deliveries", "signals delivered")
+{}
+
+void
+SignalFabric::sendSignal(cpu::Sequencer &dst,
+                         const cpu::SignalPayload &payload)
+{
+    ++deliveries_;
+    cpu::Sequencer *target = &dst;
+    eq_.scheduleLambda(eq_.curTick() + signalCycles_, "fabric.signal",
+                       [target, payload] { target->deliverSignal(payload); },
+                       Event::kPrioInterrupt);
+}
+
+void
+SignalFabric::sendProxyRequest(cpu::Sequencer &oms,
+                               const cpu::SignalPayload &payload)
+{
+    ++deliveries_;
+    cpu::Sequencer *target = &oms;
+    eq_.scheduleLambda(
+        eq_.curTick() + signalCycles_, "fabric.proxyReq",
+        [target, payload] { target->deliverProxyRequest(payload); },
+        Event::kPrioInterrupt);
+}
+
+void
+SignalFabric::sendAction(const std::string &name,
+                         std::function<void()> action)
+{
+    ++deliveries_;
+    eq_.scheduleLambda(eq_.curTick() + signalCycles_, name,
+                       std::move(action), Event::kPrioInterrupt);
+}
+
+} // namespace misp::arch

@@ -1,0 +1,400 @@
+#include "kernel.hh"
+
+#include <cmath>
+
+namespace misp::os {
+
+const char *
+threadStateName(ThreadState s)
+{
+    switch (s) {
+      case ThreadState::Ready: return "ready";
+      case ThreadState::Running: return "running";
+      case ThreadState::Blocked: return "blocked";
+      case ThreadState::Done: return "done";
+    }
+    return "?";
+}
+
+Kernel::Kernel(EventQueue &eq, mem::PhysicalMemory &pmem,
+               const KernelConfig &config, stats::StatGroup *parent)
+    : eq_(eq),
+      pmem_(pmem),
+      config_(config),
+      rng_(config.seed),
+      statGroup_("kernel", parent),
+      syscalls_(&statGroup_, "syscalls", "system calls serviced"),
+      pageFaults_(&statGroup_, "pageFaults", "page faults serviced"),
+      timerIrqs_(&statGroup_, "timerIrqs", "timer interrupts serviced"),
+      deviceIrqs_(&statGroup_, "deviceIrqs", "device interrupts serviced"),
+      ctxSwitches_(&statGroup_, "ctxSwitches", "thread context switches"),
+      threadsCreated_(&statGroup_, "threadsCreated", "OS threads created"),
+      badFaults_(&statGroup_, "badFaults", "unservicable faults (bugs)")
+{}
+
+Kernel::~Kernel() = default;
+
+int
+Kernel::addCpu()
+{
+    current_.push_back(nullptr);
+    return static_cast<int>(current_.size()) - 1;
+}
+
+Process *
+Kernel::createProcess(const std::string &name)
+{
+    processes_.push_back(
+        std::make_unique<Process>(nextPid_++, name, pmem_));
+    return processes_.back().get();
+}
+
+OsThread *
+Kernel::createThread(Process *proc, VAddr eip, VAddr esp, Word arg)
+{
+    MISP_ASSERT(proc != nullptr);
+    threads_.push_back(
+        std::make_unique<OsThread>(nextTid_++, proc, eip, esp, arg));
+    OsThread *t = threads_.back().get();
+    proc->addThread(t);
+    ++threadsCreated_;
+    makeReady(t);
+    return t;
+}
+
+void
+Kernel::makeReady(OsThread *t)
+{
+    t->setState(ThreadState::Ready);
+    t->setCpu(-1);
+    ready_.push_back(t);
+    wakeIdleCpu();
+}
+
+void
+Kernel::wakeIdleCpu()
+{
+    if (!client_ || ready_.empty())
+        return;
+    for (int cpu = 0; cpu < static_cast<int>(current_.size()); ++cpu) {
+        if (current_[cpu] != nullptr)
+            continue;
+        bool eligible = false;
+        for (OsThread *t : ready_) {
+            if (t->allowedOn(cpu)) {
+                eligible = true;
+                break;
+            }
+        }
+        if (eligible) {
+            client_->cpuWake(cpu);
+            return;
+        }
+    }
+}
+
+OsThread *
+Kernel::pickNext(int cpu)
+{
+    MISP_ASSERT(cpu >= 0 && cpu < static_cast<int>(current_.size()));
+    MISP_ASSERT(current_[cpu] == nullptr);
+    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+        if (!(*it)->allowedOn(cpu))
+            continue;
+        OsThread *t = *it;
+        ready_.erase(it);
+        t->setState(ThreadState::Running);
+        t->setCpu(cpu);
+        t->quantumTicks = 0;
+        current_[cpu] = t;
+        return t;
+    }
+    return nullptr;
+}
+
+bool
+Kernel::processAlive(const Process *proc) const
+{
+    return proc && !proc->allThreadsDone();
+}
+
+void
+Kernel::finishThread(OsThread &t)
+{
+    t.setState(ThreadState::Done);
+    if (t.cpu() >= 0) {
+        current_[t.cpu()] = nullptr;
+        t.setCpu(-1);
+    }
+    // Wake joiners.
+    auto it = joiners_.find(t.tid());
+    if (it != joiners_.end()) {
+        for (OsThread *j : it->second)
+            makeReady(j);
+        joiners_.erase(it);
+    }
+}
+
+KernelResult
+Kernel::scheduleDecision(int cpu, bool force)
+{
+    KernelResult res;
+    OsThread *cur = current_[cpu];
+    if (!force && cur && cur->quantumTicks < config_.quantumTicks)
+        return res;
+    bool haveEligible = false;
+    for (OsThread *t : ready_) {
+        if (t->allowedOn(cpu)) {
+            haveEligible = true;
+            break;
+        }
+    }
+    if (!haveEligible && cur)
+        return res; // nothing better to run
+
+    res.reschedule = true;
+    res.prev = cur;
+    if (cur) {
+        // Preempted: back of the queue.
+        cur->setState(ThreadState::Ready);
+        cur->setCpu(-1);
+        current_[cpu] = nullptr;
+        ready_.push_back(cur);
+    }
+    res.next = pickNext(cpu);
+    if (res.prev != res.next && (res.prev || res.next)) {
+        ++ctxSwitches_;
+        res.priv += config_.ctxSwitch;
+    }
+    return res;
+}
+
+KernelResult
+Kernel::syscall(int cpu, OsThread &t, Word number,
+                const std::array<Word, 4> &args)
+{
+    ++syscalls_;
+    KernelResult res;
+    res.priv = config_.syscallBase;
+
+    switch (static_cast<Sys>(number)) {
+      case Sys::ExitThread: {
+        finishThread(t);
+        res.reschedule = true;
+        res.prev = nullptr; // no context worth saving
+        res.next = pickNext(cpu);
+        res.priv += config_.ctxSwitch;
+        ++ctxSwitches_;
+        break;
+      }
+      case Sys::ExitProcess: {
+        Process *proc = t.process();
+        proc->exited = true;
+        proc->exitCode = args[0];
+        // Reap every thread of the process.
+        for (OsThread *pt : proc->threads()) {
+            if (pt->state() == ThreadState::Done)
+                continue;
+            if (pt == &t || pt->cpu() < 0) {
+                // Remove queued/blocked threads outright.
+                if (pt->state() == ThreadState::Ready) {
+                    for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+                        if (*it == pt) {
+                            ready_.erase(it);
+                            break;
+                        }
+                    }
+                }
+                finishThread(*pt);
+            }
+            // Threads running on *other* CPUs finish when they next trap;
+            // the driver checks processAlive().
+        }
+        res.reschedule = true;
+        res.prev = nullptr;
+        res.next = pickNext(cpu);
+        res.priv += config_.ctxSwitch;
+        ++ctxSwitches_;
+        if (processExitHook_)
+            processExitHook_(proc);
+        break;
+      }
+      case Sys::Write: {
+        Word len = args[2];
+        res.priv += config_.writePerByte * len;
+        res.retval = len;
+        break;
+      }
+      case Sys::Yield: {
+        KernelResult sched = scheduleDecision(cpu, /*force=*/true);
+        res.priv += sched.priv;
+        res.reschedule = sched.reschedule;
+        res.prev = sched.prev;
+        res.next = sched.next;
+        break;
+      }
+      case Sys::Sleep: {
+        Tick wake = eq_.curTick() + args[0];
+        t.setState(ThreadState::Blocked);
+        current_[cpu] = nullptr;
+        t.setCpu(-1);
+        OsThread *tp = &t;
+        eq_.scheduleLambda(wake, "kernel.sleepWake", [this, tp] {
+            if (tp->state() == ThreadState::Blocked)
+                makeReady(tp);
+        });
+        res.reschedule = true;
+        res.prev = tp;
+        res.next = pickNext(cpu);
+        res.priv += config_.ctxSwitch;
+        ++ctxSwitches_;
+        break;
+      }
+      case Sys::ThreadCreate: {
+        OsThread *nt = createThread(t.process(), args[0], args[1], args[2]);
+        res.retval = nt->tid();
+        break;
+      }
+      case Sys::ThreadJoin: {
+        Tid target = static_cast<Tid>(args[0]);
+        OsThread *targetThread = nullptr;
+        for (OsThread *pt : t.process()->threads()) {
+            if (pt->tid() == target) {
+                targetThread = pt;
+                break;
+            }
+        }
+        if (!targetThread || targetThread->state() == ThreadState::Done) {
+            res.retval = 0; // already done (or never existed)
+            break;
+        }
+        joiners_[target].push_back(&t);
+        t.setState(ThreadState::Blocked);
+        current_[cpu] = nullptr;
+        t.setCpu(-1);
+        res.reschedule = true;
+        res.prev = &t;
+        res.next = pickNext(cpu);
+        res.priv += config_.ctxSwitch;
+        ++ctxSwitches_;
+        break;
+      }
+      case Sys::FutexWait: {
+        VAddr addr = args[0];
+        Word expected = args[1];
+        Word cur = t.process()->addressSpace().peekWord(addr, 8);
+        if (getenv("MISP_FUTEX_DEBUG"))
+            fprintf(stderr, "[%llu] tid=%u WAIT addr=%llx exp=%llu cur=%llu\n",
+                (unsigned long long)eq_.curTick(), t.tid(),
+                (unsigned long long)addr, (unsigned long long)expected,
+                (unsigned long long)cur);
+        if (cur != expected) {
+            res.retval = 1; // value changed; no wait
+            break;
+        }
+        futexQueues_[FutexKey{t.process()->pid(), addr}].push_back(&t);
+        t.setState(ThreadState::Blocked);
+        current_[cpu] = nullptr;
+        t.setCpu(-1);
+        res.reschedule = true;
+        res.prev = &t;
+        res.next = pickNext(cpu);
+        res.priv += config_.ctxSwitch;
+        ++ctxSwitches_;
+        break;
+      }
+      case Sys::FutexWake: {
+        VAddr addr = args[0];
+        Word count = args[1];
+        if (getenv("MISP_FUTEX_DEBUG"))
+            fprintf(stderr, "[%llu] tid=%u WAKE addr=%llx n=%llu\n",
+                (unsigned long long)eq_.curTick(), t.tid(),
+                (unsigned long long)addr, (unsigned long long)count);
+        auto it = futexQueues_.find(FutexKey{t.process()->pid(), addr});
+        Word woken = 0;
+        if (it != futexQueues_.end()) {
+            while (woken < count && !it->second.empty()) {
+                OsThread *w = it->second.front();
+                it->second.pop_front();
+                makeReady(w);
+                ++woken;
+            }
+            if (it->second.empty())
+                futexQueues_.erase(it);
+        }
+        res.retval = woken;
+        break;
+      }
+      case Sys::GetTid:
+        res.retval = t.tid();
+        break;
+      case Sys::Noop:
+        break;
+      default:
+        warn("unknown syscall %llu from tid %u",
+             (unsigned long long)number, t.tid());
+        res.retval = static_cast<Word>(-1);
+        break;
+    }
+    return res;
+}
+
+KernelResult
+Kernel::pageFault(int cpu, OsThread &t, VAddr va, bool write)
+{
+    (void)cpu;
+    ++pageFaults_;
+    KernelResult res;
+    res.priv = config_.pageFaultService;
+    mem::FaultOutcome out = t.process()->addressSpace().handleFault(va, write);
+    if (out == mem::FaultOutcome::BadAccess) {
+        ++badFaults_;
+        res.fatalFault = true;
+    }
+    return res;
+}
+
+KernelResult
+Kernel::timerTick(int cpu)
+{
+    ++timerIrqs_;
+    KernelResult res;
+    res.priv = config_.timerService;
+    OsThread *cur = current_[cpu];
+    if (cur)
+        ++cur->quantumTicks;
+    KernelResult sched = scheduleDecision(cpu, /*force=*/false);
+    res.priv += sched.priv;
+    res.reschedule = sched.reschedule;
+    res.prev = sched.prev;
+    res.next = sched.next;
+    return res;
+}
+
+KernelResult
+Kernel::deviceIrq(int cpu)
+{
+    (void)cpu;
+    ++deviceIrqs_;
+    KernelResult res;
+    res.priv = config_.deviceIrqService;
+    return res;
+}
+
+Tick
+Kernel::nextDeviceIrqGap()
+{
+    if (config_.deviceIrqMeanPeriod == 0)
+        return 0;
+    // Exponential inter-arrival from the deterministic RNG.
+    double u = rng_.real();
+    if (u < 1e-12)
+        u = 1e-12;
+    double gap = -std::log(u) * static_cast<double>(
+        config_.deviceIrqMeanPeriod);
+    if (gap < 1.0)
+        gap = 1.0;
+    return static_cast<Tick>(gap);
+}
+
+} // namespace misp::os

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The runtime-call ABI shared by every threading backend.
+ *
+ * Workloads are compiled once against a stub library (stub_library.hh)
+ * that exports a fixed symbol set — shred_create, join_all, mutex_lock,
+ * ... — at a fixed base address. Two interchangeable stub/runtime pairs
+ * implement those symbols:
+ *
+ *  - the ShredLib backend (shred_runtime.hh): user-level shreds on MISP
+ *    sequencers, gang-scheduled from a work queue (§3, §4.2), and
+ *  - the OS-thread backend (os_runtime.hh): classic kernel threads and
+ *    futex-based blocking, used by the SMP baseline.
+ *
+ * Because the workload body is identical under both backends, "porting"
+ * an application between SMP and MISP is exactly the include-one-header
+ * translation the paper reports in Table 2.
+ */
+
+#ifndef MISP_SHREDLIB_RT_ABI_HH
+#define MISP_SHREDLIB_RT_ABI_HH
+
+#include "sim/types.hh"
+
+namespace misp::rt {
+
+/** RTCALL service numbers. */
+enum class Rt : Word {
+    Init = 1,
+    ShredCreate = 2,  ///< r0=fn, r1=arg -> r0=id
+    JoinAll = 3,
+    ShredExit = 4,
+    ShredYield = 5,
+    ShredSelf = 6,    ///< -> r0 = id (0 = main)
+    MutexLock = 7,    ///< r0 = guest mutex word
+    MutexUnlock = 8,
+    BarrierWait = 9,  ///< r0 = guest barrier word, r1 = participants
+    SemWait = 10,     ///< r0 = guest sem word
+    SemPost = 11,
+    CondWait = 12,    ///< r0 = cond word, r1 = mutex word
+    CondSignal = 13,
+    CondBroadcast = 14,
+    EventWait = 15,   ///< r0 = event word
+    EventSet = 16,
+    Malloc = 17,      ///< r0 = bytes -> r0 = addr
+    Prefault = 18,    ///< r0 = addr, r1 = len (unused: stub loops inline)
+    ExitProcess = 19, ///< r0 = code
+    Proxy = 20,       ///< internal: OMS proxy-handler body
+    SchedNext = 21,   ///< internal: gang-scheduler pull
+};
+
+/** Guest-visible base address of the stub library ("shredlib.dll"). */
+constexpr VAddr kStubBase = 0x0060'0000;
+
+/** Default shred/thread stack size. */
+constexpr std::uint64_t kStackBytes = 64 * 1024;
+
+/** User-level runtime cycle costs (host-modeled services). */
+struct RtCosts {
+    Cycles fastSync = 45;      ///< uncontended lock/unlock/sem op
+    Cycles blockSwitch = 150;  ///< save shred ctx + dispatch next
+    Cycles queueOp = 40;       ///< work-queue push/pop
+    Cycles shredCreate = 90;   ///< descriptor + stack carve + enqueue
+    Cycles malloc = 220;
+    Cycles spinTry = 60;       ///< one spin iteration (OS backend)
+    unsigned spinTries = 3;    ///< spins before blocking (OS backend)
+};
+
+} // namespace misp::rt
+
+#endif // MISP_SHREDLIB_RT_ABI_HH

@@ -1,0 +1,134 @@
+#include "event_queue.hh"
+
+#include <algorithm>
+
+namespace misp {
+
+Event::~Event()
+{
+    // Destroying a still-scheduled event is a simulator bug: the queue
+    // would be left holding a dangling pointer. We cannot throw from a
+    // destructor, so print and abort via terminate semantics instead.
+    if (scheduled_ && !squashed_) {
+        std::fprintf(stderr,
+                     "panic: event '%s' destroyed while scheduled\n",
+                     name_.c_str());
+        std::abort();
+    }
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    MISP_ASSERT(ev != nullptr);
+    if (ev->scheduled_)
+        panic("event '%s' already scheduled", ev->name().c_str());
+    if (when < curTick_)
+        panic("event '%s' scheduled in the past (%llu < %llu)",
+              ev->name().c_str(), (unsigned long long)when,
+              (unsigned long long)curTick_);
+
+    ev->when_ = when;
+    ev->seq_ = nextSeq_++;
+    ev->scheduled_ = true;
+    ev->squashed_ = false;
+    heap_.push(Entry{when, ev->priority(), ev->seq_, ev});
+    ++live_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    MISP_ASSERT(ev != nullptr);
+    if (!ev->scheduled_)
+        panic("deschedule of unscheduled event '%s'", ev->name().c_str());
+    // Lazy deletion: mark squashed; the heap entry is discarded when it
+    // reaches the top.
+    ev->squashed_ = true;
+    ev->scheduled_ = false;
+    --live_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    if (ev->scheduled_)
+        deschedule(ev);
+    schedule(ev, when);
+}
+
+Event *
+EventQueue::popReady()
+{
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        heap_.pop();
+        // A squashed event, or one that was descheduled and rescheduled
+        // (stale seq), is skipped.
+        if (top.ev->squashed_ || !top.ev->scheduled_ ||
+            top.ev->seq_ != top.seq) {
+            continue;
+        }
+        top.ev->scheduled_ = false;
+        --live_;
+        curTick_ = top.when;
+        return top.ev;
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::step()
+{
+    Event *ev = popReady();
+    if (!ev)
+        return false;
+    ++numProcessed_;
+    ev->process();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick maxTick, std::uint64_t maxEvents)
+{
+    std::uint64_t processed = 0;
+    stopRequested_ = false;
+    while (!heap_.empty() && !stopRequested_) {
+        // Peek: stop before processing events beyond the horizon.
+        Entry top = heap_.top();
+        if (top.ev->squashed_ || !top.ev->scheduled_ ||
+            top.ev->seq_ != top.seq) {
+            heap_.pop();
+            continue;
+        }
+        if (top.when > maxTick)
+            break;
+        if (processed >= maxEvents) {
+            warn("event budget exhausted at tick %llu",
+                 (unsigned long long)curTick_);
+            break;
+        }
+        step();
+        ++processed;
+    }
+    return curTick_;
+}
+
+EventQueue::~EventQueue()
+{
+    // Drain the heap so owned lambda events are not double-visited, then
+    // free everything we own. Non-owned events must have been descheduled
+    // by their owners (Event dtor enforces this), so squash the remains.
+    while (!heap_.empty()) {
+        Entry top = heap_.top();
+        heap_.pop();
+        if (top.ev->scheduled_ && top.ev->seq_ == top.seq) {
+            top.ev->squashed_ = true;
+            top.ev->scheduled_ = false;
+        }
+    }
+    for (LambdaEvent *ev : owned_)
+        delete ev;
+}
+
+} // namespace misp

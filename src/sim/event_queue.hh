@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * All simulated activity — sequencer execution slices, signal deliveries,
+ * timer interrupts, OS bookkeeping — is expressed as events on a single
+ * global-order EventQueue. Events scheduled for the same tick are executed
+ * in (priority, insertion-order) order, which keeps simulations fully
+ * deterministic for a given configuration.
+ */
+
+#ifndef MISP_SIM_EVENT_QUEUE_HH
+#define MISP_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace misp {
+
+class EventQueue;
+
+/**
+ * An occurrence scheduled at a future tick.
+ *
+ * Events are intrusive: objects that want callbacks either derive from
+ * Event and override process(), or use LambdaEvent. An Event may be
+ * scheduled on at most one queue position at a time; rescheduling requires
+ * deschedule() first (or use squash()).
+ */
+class Event
+{
+  public:
+    /** Lower value runs earlier among events at the same tick. */
+    enum Priority : int {
+        kPrioInterrupt = 0,   ///< interrupt / signal delivery
+        kPrioDefault = 50,    ///< normal device/CPU activity
+        kPrioCpu = 60,        ///< sequencer execution slices
+        kPrioStats = 90,      ///< end-of-quantum accounting
+    };
+
+    explicit Event(std::string name, int priority = kPrioDefault)
+        : name_(std::move(name)), priority_(priority)
+    {}
+
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Invoked when simulated time reaches the scheduled tick. */
+    virtual void process() = 0;
+
+    const std::string &name() const { return name_; }
+    int priority() const { return priority_; }
+
+    /** True if currently scheduled on a queue. */
+    bool scheduled() const { return scheduled_; }
+
+    /** Tick this event is scheduled for (valid only when scheduled()). */
+    Tick when() const { return when_; }
+
+    /** Cancel a pending occurrence without removing it from the queue
+     *  structure; the queue skips squashed events when they surface. */
+    void squash() { squashed_ = true; }
+
+  private:
+    friend class EventQueue;
+
+    std::string name_;
+    int priority_;
+    Tick when_ = 0;
+    std::uint64_t seq_ = 0; ///< insertion order tiebreaker
+    bool scheduled_ = false;
+    bool squashed_ = false;
+};
+
+/** Convenience event wrapping a callable. */
+class LambdaEvent : public Event
+{
+  public:
+    LambdaEvent(std::string name, std::function<void()> fn,
+                int priority = kPrioDefault)
+        : Event(std::move(name), priority), fn_(std::move(fn))
+    {}
+
+    void process() override { fn_(); }
+
+  private:
+    std::function<void()> fn_;
+};
+
+/**
+ * A deterministic priority queue of events ordered by
+ * (tick, priority, insertion order).
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p ev at absolute tick @p when (must be >= curTick()). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a scheduled event from the queue. */
+    void deschedule(Event *ev);
+
+    /** Reschedule to a new absolute tick (event may or may not be
+     *  currently scheduled). */
+    void reschedule(Event *ev, Tick when);
+
+    /** Schedule a one-shot heap-allocated callable; the queue owns and
+     *  frees it after it runs (or at shutdown). */
+    void
+    scheduleLambda(Tick when, std::string name, std::function<void()> fn,
+                   int priority = Event::kPrioDefault)
+    {
+        auto *ev = new LambdaEvent(std::move(name), std::move(fn), priority);
+        owned_.push_back(ev);
+        schedule(ev, when);
+    }
+
+    /** True when no runnable events remain. */
+    bool empty() const { return live_ != 0 ? false : true; }
+
+    /** Number of scheduled (non-squashed) events. */
+    std::size_t size() const { return live_; }
+
+    /**
+     * Run the simulation.
+     *
+     * @param maxTick stop (without processing) events beyond this tick.
+     * @param maxEvents safety valve against runaway simulations.
+     * @return the tick of the last processed event.
+     */
+    Tick run(Tick maxTick = kMaxTick,
+             std::uint64_t maxEvents = ~std::uint64_t{0});
+
+    /** Process exactly one event, if any. @return false if queue empty. */
+    bool step();
+
+    /** Ask run() to return after the current event (used by experiment
+     *  harnesses when the measured workload completes while background
+     *  processes would keep the queue busy forever). */
+    void requestStop() { stopRequested_ = true; }
+
+    /** Total events processed over the queue's lifetime. */
+    std::uint64_t numProcessed() const { return numProcessed_; }
+
+    ~EventQueue();
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        Event *ev;
+    };
+
+    struct EntryCompare {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    Event *popReady();
+
+    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    std::vector<LambdaEvent *> owned_;
+    Tick curTick_ = 0;
+    bool stopRequested_ = false;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numProcessed_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace misp
+
+#endif // MISP_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,38 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace misp {
+
+namespace {
+std::atomic<bool> gQuiet{false};
+} // namespace
+
+void
+setQuietLogging(bool quiet)
+{
+    gQuiet.store(quiet, std::memory_order_relaxed);
+}
+
+bool
+quietLogging()
+{
+    return gQuiet.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+logMessage(const char *level, const std::string &msg)
+{
+    // panic/fatal always print; warn/info respect the quiet flag.
+    bool important =
+        level[0] == 'p' || level[0] == 'f';
+    if (!important && quietLogging())
+        return;
+    std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+} // namespace detail
+} // namespace misp

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 fatal/panic convention.
+ *
+ *  - panic():  an internal simulator bug; should never happen regardless of
+ *              user input. Aborts.
+ *  - fatal():  the simulation cannot continue due to a user error (bad
+ *              configuration, invalid arguments). Exits with an error code.
+ *  - warn():   functionality may not be modeled exactly; execution continues.
+ *  - inform(): neutral status messages.
+ */
+
+#ifndef MISP_SIM_LOGGING_HH
+#define MISP_SIM_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace misp {
+
+/** Thrown by panic()/fatal() so that unit tests can observe failures
+ *  without terminating the test binary. */
+class SimError : public std::runtime_error
+{
+  public:
+    enum class Kind { Panic, Fatal };
+
+    SimError(Kind kind, std::string msg)
+        : std::runtime_error(std::move(msg)), kind_(kind)
+    {}
+
+    Kind kind() const { return kind_; }
+
+  private:
+    Kind kind_;
+};
+
+namespace detail {
+
+void logMessage(const char *level, const std::string &msg);
+
+template <typename... Args>
+std::string
+formatString(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        int len = std::snprintf(nullptr, 0, fmt, args...);
+        if (len < 0)
+            return std::string(fmt);
+        std::string out(static_cast<size_t>(len), '\0');
+        std::snprintf(out.data(), out.size() + 1, fmt, args...);
+        return out;
+    }
+}
+
+} // namespace detail
+
+/** Report an internal simulator bug and raise SimError(Panic). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args &&...args)
+{
+    std::string msg = detail::formatString(fmt, std::forward<Args>(args)...);
+    detail::logMessage("panic", msg);
+    throw SimError(SimError::Kind::Panic, msg);
+}
+
+/** Report an unrecoverable user/configuration error and raise
+ *  SimError(Fatal). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args &&...args)
+{
+    std::string msg = detail::formatString(fmt, std::forward<Args>(args)...);
+    detail::logMessage("fatal", msg);
+    throw SimError(SimError::Kind::Fatal, msg);
+}
+
+/** Warn about imprecise or suspicious behaviour; continues execution. */
+template <typename... Args>
+void
+warn(const char *fmt, Args &&...args)
+{
+    detail::logMessage(
+        "warn", detail::formatString(fmt, std::forward<Args>(args)...));
+}
+
+/** Neutral status message. */
+template <typename... Args>
+void
+inform(const char *fmt, Args &&...args)
+{
+    detail::logMessage(
+        "info", detail::formatString(fmt, std::forward<Args>(args)...));
+}
+
+/** panic() if @p cond does not hold. Used for simulator invariants that
+ *  must survive release builds. */
+#define MISP_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::misp::panic("assertion failed: %s (%s:%d)", #cond, __FILE__,   \
+                          __LINE__);                                         \
+        }                                                                    \
+    } while (0)
+
+/** Globally silence warn()/inform() output (benchmarks use this). */
+void setQuietLogging(bool quiet);
+bool quietLogging();
+
+} // namespace misp
+
+#endif // MISP_SIM_LOGGING_HH

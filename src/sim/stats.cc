@@ -1,0 +1,111 @@
+#include "stats.hh"
+
+#include <ostream>
+
+namespace misp::stats {
+
+StatBase::StatBase(StatGroup *parent, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    MISP_ASSERT(parent != nullptr);
+    parent->addStat(this);
+}
+
+StatGroup::StatGroup(std::string name, StatGroup *parent)
+    : name_(std::move(name)), parent_(parent)
+{
+    if (parent_)
+        parent_->children_.push_back(this);
+}
+
+StatGroup::~StatGroup()
+{
+    if (parent_) {
+        auto &sibs = parent_->children_;
+        sibs.erase(std::remove(sibs.begin(), sibs.end(), this), sibs.end());
+    }
+}
+
+std::string
+StatGroup::path() const
+{
+    if (!parent_)
+        return name_;
+    std::string p = parent_->path();
+    if (p.empty())
+        return name_;
+    return p + "." + name_;
+}
+
+const StatBase *
+StatGroup::find(const std::string &relPath) const
+{
+    auto dot = relPath.find('.');
+    if (dot == std::string::npos) {
+        for (const StatBase *s : stats_) {
+            if (s->name() == relPath)
+                return s;
+        }
+        return nullptr;
+    }
+    std::string head = relPath.substr(0, dot);
+    std::string tail = relPath.substr(dot + 1);
+    for (const StatGroup *g : children_) {
+        if (g->groupName() == head)
+            return g->find(tail);
+    }
+    return nullptr;
+}
+
+double
+StatGroup::lookupValue(const std::string &relPath) const
+{
+    const StatBase *s = find(relPath);
+    if (!s)
+        return 0.0;
+    auto rows = s->rows();
+    return rows.empty() ? 0.0 : rows.front().second;
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    std::string prefix = path();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const StatBase *s : stats_) {
+        for (const auto &[suffix, value] : s->rows()) {
+            os << prefix << s->name() << suffix << " " << value;
+            if (!s->desc().empty())
+                os << " # " << s->desc();
+            os << "\n";
+        }
+    }
+    for (const StatGroup *g : children_)
+        g->dump(os);
+}
+
+void
+StatGroup::dumpCsv(std::ostream &os) const
+{
+    std::string prefix = path();
+    if (!prefix.empty())
+        prefix += ".";
+    for (const StatBase *s : stats_) {
+        for (const auto &[suffix, value] : s->rows())
+            os << prefix << s->name() << suffix << "," << value << "\n";
+    }
+    for (const StatGroup *g : children_)
+        g->dumpCsv(os);
+}
+
+void
+StatGroup::resetAll()
+{
+    for (StatBase *s : stats_)
+        s->reset();
+    for (StatGroup *g : children_)
+        g->resetAll();
+}
+
+} // namespace misp::stats

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * A compact statistics package modeled on gem5's.
+ *
+ * The MISP paper's prototype firmware provided "coarse- and fine-grain
+ * event logging" (Section 4.1); in this reproduction those logs are
+ * expressed through this package. Stats self-register with a StatGroup,
+ * which can dump name/value tables as text or CSV. Table 1 and every
+ * figure harness read their inputs from these stats.
+ */
+
+#ifndef MISP_SIM_STATS_HH
+#define MISP_SIM_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace misp::stats {
+
+class StatGroup;
+
+/** Base for all statistics; handles registration and naming. */
+class StatBase
+{
+  public:
+    StatBase(StatGroup *parent, std::string name, std::string desc);
+    virtual ~StatBase() = default;
+
+    StatBase(const StatBase &) = delete;
+    StatBase &operator=(const StatBase &) = delete;
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Render the value rows for dumping: (suffix, value) pairs.
+     *  Scalar stats emit one row with an empty suffix. */
+    virtual std::vector<std::pair<std::string, double>> rows() const = 0;
+
+    /** Reset to the zero state. */
+    virtual void reset() = 0;
+
+  private:
+    std::string name_;
+    std::string desc_;
+};
+
+/** A single accumulating counter. */
+class Scalar : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    Scalar &operator++() { value_ += 1.0; return *this; }
+    Scalar &operator+=(double v) { value_ += v; return *this; }
+    Scalar &operator=(double v) { value_ = v; return *this; }
+
+    double value() const { return value_; }
+
+    std::vector<std::pair<std::string, double>>
+    rows() const override
+    {
+        return {{"", value_}};
+    }
+
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/** A fixed-size vector of counters, e.g. per-sequencer event counts. */
+class Vector : public StatBase
+{
+  public:
+    Vector(StatGroup *parent, std::string name, std::string desc,
+           std::size_t size)
+        : StatBase(parent, std::move(name), std::move(desc)), values_(size)
+    {}
+
+    double &operator[](std::size_t i)
+    {
+        MISP_ASSERT(i < values_.size());
+        return values_[i];
+    }
+
+    double
+    at(std::size_t i) const
+    {
+        MISP_ASSERT(i < values_.size());
+        return values_[i];
+    }
+
+    std::size_t size() const { return values_.size(); }
+
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (double v : values_)
+            sum += v;
+        return sum;
+    }
+
+    std::vector<std::pair<std::string, double>>
+    rows() const override
+    {
+        std::vector<std::pair<std::string, double>> out;
+        out.reserve(values_.size());
+        for (std::size_t i = 0; i < values_.size(); ++i)
+            out.emplace_back("[" + std::to_string(i) + "]", values_[i]);
+        return out;
+    }
+
+    void reset() override { std::fill(values_.begin(), values_.end(), 0.0); }
+
+  private:
+    std::vector<double> values_;
+};
+
+/** Running distribution: min/max/mean/stddev plus sample count. */
+class Distribution : public StatBase
+{
+  public:
+    using StatBase::StatBase;
+
+    void
+    sample(double v, std::uint64_t count = 1)
+    {
+        for (std::uint64_t i = 0; i < count; ++i) {
+            ++n_;
+            double delta = v - mean_;
+            mean_ += delta / static_cast<double>(n_);
+            m2_ += delta * (v - mean_);
+        }
+        min_ = n_ == count ? v : std::min(min_, v);
+        max_ = n_ == count ? v : std::max(max_, v);
+        sum_ += v * static_cast<double>(count);
+    }
+
+    std::uint64_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double sum() const { return sum_; }
+    double minValue() const { return n_ ? min_ : 0.0; }
+    double maxValue() const { return n_ ? max_ : 0.0; }
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    std::vector<std::pair<std::string, double>>
+    rows() const override
+    {
+        return {{".count", static_cast<double>(n_)},
+                {".mean", mean()},
+                {".min", minValue()},
+                {".max", maxValue()},
+                {".sum", sum_}};
+    }
+
+    void
+    reset() override
+    {
+        n_ = 0;
+        mean_ = m2_ = sum_ = 0.0;
+        min_ = max_ = 0.0;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** A derived value computed at dump time from other stats. */
+class Formula : public StatBase
+{
+  public:
+    Formula(StatGroup *parent, std::string name, std::string desc,
+            std::function<double()> fn)
+        : StatBase(parent, std::move(name), std::move(desc)),
+          fn_(std::move(fn))
+    {}
+
+    double value() const { return fn_ ? fn_() : 0.0; }
+
+    std::vector<std::pair<std::string, double>>
+    rows() const override
+    {
+        return {{"", value()}};
+    }
+
+    void reset() override {}
+
+  private:
+    std::function<double()> fn_;
+};
+
+/**
+ * A named collection of stats. Groups nest: a MispProcessor owns a group,
+ * each Sequencer owns a child group, etc. Full stat names are
+ * dot-joined paths ("misp0.ams1.pageFaults").
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name, StatGroup *parent = nullptr);
+    virtual ~StatGroup();
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    const std::string &groupName() const { return name_; }
+
+    /** Slash-free absolute path of this group. */
+    std::string path() const;
+
+    /** Find a stat by relative dotted path; nullptr if absent. */
+    const StatBase *find(const std::string &relPath) const;
+
+    /** Convenience: value of a Scalar/Formula stat by path (0 if absent). */
+    double lookupValue(const std::string &relPath) const;
+
+    /** Dump "path value # desc" lines, recursively. */
+    void dump(std::ostream &os) const;
+
+    /** Dump "path,value" CSV rows, recursively. */
+    void dumpCsv(std::ostream &os) const;
+
+    /** Reset all stats in this group and children. */
+    void resetAll();
+
+    const std::vector<StatBase *> &statsHere() const { return stats_; }
+    const std::vector<StatGroup *> &children() const { return children_; }
+
+  private:
+    friend class StatBase;
+
+    void addStat(StatBase *stat) { stats_.push_back(stat); }
+
+    std::string name_;
+    StatGroup *parent_;
+    std::vector<StatBase *> stats_;
+    std::vector<StatGroup *> children_;
+};
+
+} // namespace misp::stats
+
+#endif // MISP_SIM_STATS_HH

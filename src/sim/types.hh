@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fundamental simulator-wide type definitions.
+ *
+ * The MISP simulator is a tick-based discrete-event simulator in the style
+ * of gem5. One Tick corresponds to one processor clock cycle of the modeled
+ * machine (the paper's prototype ran at 3.0 GHz; absolute frequency is
+ * irrelevant to the reproduced results, which are all cycle-relative).
+ */
+
+#ifndef MISP_SIM_TYPES_HH
+#define MISP_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace misp {
+
+/** Simulated time, in cycles of the modeled machine. */
+using Tick = std::uint64_t;
+
+/** A duration expressed in cycles. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+
+/** Guest virtual and physical addresses (MISA is a 32-bit architecture,
+ *  but we keep 64-bit address types so hosts can model large spaces). */
+using VAddr = std::uint64_t;
+using PAddr = std::uint64_t;
+
+/** Guest machine word. MISA registers are 64-bit. */
+using Word = std::uint64_t;
+using SWord = std::int64_t;
+
+/** Logical sequencer identifier within a MISP processor (the SID operand
+ *  of the SIGNAL instruction). SID 0 is by convention the OMS. */
+using SequencerId = std::uint32_t;
+
+constexpr SequencerId kInvalidSeqId = ~SequencerId{0};
+
+/** OS-level identifiers. */
+using Pid = std::uint32_t;
+using Tid = std::uint32_t;
+
+/** Shred identifier, assigned by the ShredLib runtime. */
+using ShredId = std::uint32_t;
+
+constexpr ShredId kInvalidShredId = ~ShredId{0};
+
+} // namespace misp
+
+#endif // MISP_SIM_TYPES_HH

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * RMS iterative kernels: gauss (red-black Gauss–Seidel PDE solver) and
+ * kmeans (K-means clustering). Both initialize their working sets with
+ * serial guest stores in main — which is exactly why the paper's Table 1
+ * shows gauss/kmeans/svm_c with large *OMS* page-fault counts while the
+ * other RMS kernels fault mostly on AMSs.
+ */
+
+#include <limits>
+
+#include "workloads/builder_util.hh"
+#include "workloads/workload.hh"
+
+namespace misp::wl {
+
+using isa::Cond;
+using isa::ProgramBuilder;
+using namespace reg;
+
+// ---------------------------------------------------------------------
+// gauss: red-black Gauss–Seidel sweeps over a 2D grid; two barriers per
+// iteration separate the color phases.
+// ---------------------------------------------------------------------
+Workload
+buildGauss(const WorkloadParams &p)
+{
+    const std::uint64_t g = 96 * p.scale; // grid is g x g
+    const std::uint64_t iters = 6;
+    const std::uint64_t fillMult = 31, fillAdd = 7;
+    const std::uint64_t fillMask = 0xFFFF;
+    const unsigned totalParticipants = p.workers; // workers only
+
+    DataLayout layout;
+    VAddr grid = layout.reserve(g * g * 8, "grid");
+    VAddr barrier = layout.reserve(mem::kPageSize, "barrier");
+
+    ProgramBuilder b;
+    emitMainProlog(b);
+    // Serial init on the OMS: the whole grid.
+    emitSerialFill(b, grid, g * g, 8, fillMult, fillAdd, fillMask);
+    auto worker = b.newLabel();
+    emitCreateAndJoin(b, p.workers, worker);
+    emitMainEpilog(b);
+
+    // worker(idx): rows [lo,hi) within [1, g-1)
+    b.bind(worker);
+    // Interior rows: total = g - 2, shifted by 1.
+    emitChunkBounds(b, g - 2, p.workers, s0, s1);
+    b.addi(s0, s0, 1);
+    b.addi(s1, s1, 1);
+    b.movi(s2, 0); // iteration * 2 + color counter (0 .. 2*iters)
+    auto phaseLoop = b.newLabel(), doneAll = b.newLabel();
+    b.bind(phaseLoop);
+    b.cmpi(s2, static_cast<std::int64_t>(2 * iters));
+    b.jcc(Cond::Ge, doneAll);
+    // color = s2 & 1  -> s3
+    b.andi(s3, s2, 1);
+    // row loop: t0 = i
+    b.mov(t0, s0);
+    auto rowLoop = b.newLabel(), rowsDone = b.newLabel();
+    b.bind(rowLoop);
+    b.cmp(t0, s1);
+    b.jcc(Cond::Ge, rowsDone);
+    // first j with (i + j) % 2 == color: j = 1 + ((i + 1 + color) & 1)
+    b.add(t1, t0, s3);
+    b.addi(t1, t1, 1);
+    b.andi(t1, t1, 1);
+    b.addi(t1, t1, 1); // j
+    auto colLoop = b.newLabel(), colsDone = b.newLabel();
+    b.bind(colLoop);
+    b.cmpi(t1, static_cast<std::int64_t>(g - 1));
+    b.jcc(Cond::Ge, colsDone);
+    // t2 = &grid[i][j]
+    b.muli(t2, t0, static_cast<std::int64_t>(g));
+    b.add(t2, t2, t1);
+    b.shli(t2, t2, 3);
+    b.addi(t2, t2, static_cast<std::int64_t>(grid));
+    // t3 = up + down + left + right
+    b.ld(t3, t2, -static_cast<std::int64_t>(g * 8), 8);
+    b.ld(t4, t2, static_cast<std::int64_t>(g * 8), 8);
+    b.add(t3, t3, t4);
+    b.ld(t4, t2, -8, 8);
+    b.add(t3, t3, t4);
+    b.ld(t4, t2, 8, 8);
+    b.add(t3, t3, t4);
+    b.shri(t3, t3, 2); // / 4
+    b.st(t2, 0, t3, 8);
+    emitComputeBurst(b, 14400, t4);
+    b.addi(t1, t1, 2);
+    b.jmp(colLoop);
+    b.bind(colsDone);
+    b.addi(t0, t0, 1);
+    b.jmp(rowLoop);
+    b.bind(rowsDone);
+    // Barrier between phases.
+    b.movi(a0, barrier);
+    b.movi(a1, totalParticipants);
+    b.callAbs(StubCalls::get().barrierWait);
+    b.addi(s2, s2, 1);
+    b.jmp(phaseLoop);
+    b.bind(doneAll);
+    b.ret();
+
+    // Host reference: replicate exactly, including the chunked sweep
+    // order (within a color, updates do not interact across rows of the
+    // same color because neighbours are the other color).
+    auto grid0 = hostFill(g * g, fillMult, fillAdd, fillMask);
+    std::vector<std::int64_t> h = grid0;
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        for (unsigned color = 0; color < 2; ++color) {
+            for (std::uint64_t i = 1; i + 1 < g; ++i) {
+                for (std::uint64_t j = 1 + ((i + 1 + color) & 1);
+                     j + 1 < g; j += 2) {
+                    std::int64_t sum = h[(i - 1) * g + j] +
+                                       h[(i + 1) * g + j] +
+                                       h[i * g + j - 1] +
+                                       h[i * g + j + 1];
+                    h[i * g + j] = sum >> 2;
+                }
+            }
+        }
+    }
+
+    Workload w;
+    w.app.name = "gauss";
+    w.app.program = b.finish(mem::kCodeBase);
+    w.app.data = layout.take();
+    w.validate =
+        makeIntArrayValidator(grid, std::move(h), "gauss.grid");
+    w.workEstimate = iters * g * g * 20;
+    return w;
+}
+
+// ---------------------------------------------------------------------
+// kmeans: assignment + mutex-protected global accumulation + barriered
+// centroid recomputation, for a fixed number of iterations.
+// ---------------------------------------------------------------------
+Workload
+buildKmeans(const WorkloadParams &p)
+{
+    const std::uint64_t points = 2048 * p.scale;
+    const std::uint64_t dim = 4;
+    const std::uint64_t clusters = 8;
+    const std::uint64_t iters = 4;
+    const std::uint64_t fillMult = 40503, fillAdd = 3;
+    const std::uint64_t fillMask = 0xFFFF;
+    const std::uint64_t accWords = clusters * (dim + 1);
+
+    DataLayout layout;
+    VAddr pts = layout.reserve(points * dim * 8, "points");
+    VAddr centroids = layout.reserve(clusters * dim * 8, "centroids");
+    VAddr globalAcc = layout.reserve(accWords * 8, "globalAcc");
+    VAddr localAcc =
+        layout.reserve(p.workers * accWords * 8, "localAcc");
+    VAddr mutex = layout.reserve(mem::kPageSize, "mutex");
+    VAddr barrier = layout.reserve(mem::kPageSize, "barrier");
+
+    const unsigned participants = p.workers;
+    const StubCalls &stubs = StubCalls::get();
+
+    ProgramBuilder b;
+    emitMainProlog(b);
+    // Serial init on the OMS: points; centroids seeded with the same
+    // generator, so centroid k starts equal to point k.
+    emitSerialFill(b, pts, points * dim, 8, fillMult, fillAdd, fillMask);
+    emitSerialFill(b, centroids, clusters * dim, 8, fillMult, fillAdd,
+                   fillMask);
+    auto worker = b.newLabel();
+    emitCreateAndJoin(b, p.workers, worker);
+    emitMainEpilog(b);
+
+    auto emitBarrier = [&] {
+        b.movi(a0, barrier);
+        b.movi(a1, participants);
+        b.callAbs(stubs.barrierWait);
+    };
+
+    // worker(idx):
+    //   s4 = idx, s2 = iteration, s3 = &localAcc[idx], s0/s1 = pt chunk
+    b.bind(worker);
+    b.mov(s4, a0);
+    b.muli(s3, s4, static_cast<std::int64_t>(accWords * 8));
+    b.addi(s3, s3, static_cast<std::int64_t>(localAcc));
+    b.movi(s2, 0);
+    auto iterLoop = b.newLabel(), doneAll = b.newLabel();
+    b.bind(iterLoop);
+    b.cmpi(s2, static_cast<std::int64_t>(iters));
+    b.jcc(Cond::Ge, doneAll);
+
+    // --- phase A: worker 0 zeroes the global accumulators -------------
+    emitBarrier();
+    {
+        b.cmpi(s4, 0);
+        auto skipZero = b.newLabel();
+        b.jcc(Cond::Ne, skipZero);
+        b.movi(t0, 0);
+        auto zLoop = b.newLabel(), zDone = b.newLabel();
+        b.bind(zLoop);
+        b.cmpi(t0, static_cast<std::int64_t>(accWords));
+        b.jcc(Cond::Ge, zDone);
+        b.shli(t1, t0, 3);
+        b.addi(t1, t1, static_cast<std::int64_t>(globalAcc));
+        b.movi(t2, 0);
+        b.st(t1, 0, t2, 8);
+        b.addi(t0, t0, 1);
+        b.jmp(zLoop);
+        b.bind(zDone);
+        b.bind(skipZero);
+    }
+    emitBarrier();
+
+    // --- phase B: zero local acc, assign points, accumulate locally ---
+    {
+        b.movi(t0, 0);
+        auto zLoop = b.newLabel(), zDone = b.newLabel();
+        b.bind(zLoop);
+        b.cmpi(t0, static_cast<std::int64_t>(accWords));
+        b.jcc(Cond::Ge, zDone);
+        b.shli(t1, t0, 3);
+        b.add(t1, t1, s3);
+        b.movi(t2, 0);
+        b.st(t1, 0, t2, 8);
+        b.addi(t0, t0, 1);
+        b.jmp(zLoop);
+        b.bind(zDone);
+    }
+    // Recompute the point chunk (a0 was clobbered by stub calls).
+    b.mov(a0, s4);
+    emitChunkBounds(b, points, p.workers, s0, s1);
+    auto ptLoop = b.newLabel(), ptsDone = b.newLabel();
+    b.bind(ptLoop);
+    b.cmp(s0, s1);
+    b.jcc(Cond::Ge, ptsDone);
+    // a3 = &points[pt][0]
+    b.muli(a3, s0, static_cast<std::int64_t>(dim * 8));
+    b.addi(a3, a3, static_cast<std::int64_t>(pts));
+    b.movi(a1, 0);            // best cluster
+    b.movi(a2, ~0ull >> 1);   // best distance = INT64_MAX
+    b.movi(t0, 0);            // k
+    auto kLoop = b.newLabel(), kDone = b.newLabel();
+    b.bind(kLoop);
+    b.cmpi(t0, static_cast<std::int64_t>(clusters));
+    b.jcc(Cond::Ge, kDone);
+    b.movi(t1, 0); // d
+    b.movi(t2, 0); // dist
+    auto dLoop = b.newLabel(), dDone = b.newLabel();
+    b.bind(dLoop);
+    b.cmpi(t1, static_cast<std::int64_t>(dim));
+    b.jcc(Cond::Ge, dDone);
+    b.shli(t3, t1, 3);
+    b.add(t3, t3, a3);
+    b.ld(t3, t3, 0, 8); // p[d]
+    b.muli(t4, t0, static_cast<std::int64_t>(dim));
+    b.add(t4, t4, t1);
+    b.shli(t4, t4, 3);
+    b.addi(t4, t4, static_cast<std::int64_t>(centroids));
+    b.ld(t4, t4, 0, 8); // c[k][d]
+    b.sub(t3, t3, t4);
+    b.mul(t3, t3, t3);
+    b.add(t2, t2, t3);
+    b.addi(t1, t1, 1);
+    b.jmp(dLoop);
+    b.bind(dDone);
+    emitComputeBurst(b, 12000, t4);
+    b.cmp(t2, a2);
+    auto notBetter = b.newLabel();
+    b.jcc(Cond::Ge, notBetter);
+    b.mov(a2, t2);
+    b.mov(a1, t0);
+    b.bind(notBetter);
+    b.addi(t0, t0, 1);
+    b.jmp(kLoop);
+    b.bind(kDone);
+    // local[best*(dim+1) + d] += p[d]; local[best*(dim+1)+dim] += 1
+    b.muli(t0, a1, static_cast<std::int64_t>((dim + 1) * 8));
+    b.add(t0, t0, s3); // &local[best][0]
+    b.movi(t1, 0);
+    auto accLoop = b.newLabel(), accDone = b.newLabel();
+    b.bind(accLoop);
+    b.cmpi(t1, static_cast<std::int64_t>(dim));
+    b.jcc(Cond::Ge, accDone);
+    b.shli(t2, t1, 3);
+    b.add(t2, t2, a3);
+    b.ld(t3, t2, 0, 8); // p[d]
+    b.shli(t2, t1, 3);
+    b.add(t2, t2, t0);
+    b.ld(t4, t2, 0, 8);
+    b.add(t4, t4, t3);
+    b.st(t2, 0, t4, 8);
+    b.addi(t1, t1, 1);
+    b.jmp(accLoop);
+    b.bind(accDone);
+    b.ld(t4, t0, static_cast<std::int64_t>(dim * 8), 8);
+    b.addi(t4, t4, 1);
+    b.st(t0, static_cast<std::int64_t>(dim * 8), t4, 8);
+    b.addi(s0, s0, 1);
+    b.jmp(ptLoop);
+    b.bind(ptsDone);
+
+    // --- phase C: mutex-protected merge into the global accumulators --
+    b.movi(a0, mutex);
+    b.callAbs(stubs.mutexLock);
+    {
+        b.movi(t0, 0);
+        auto mLoop = b.newLabel(), mDone = b.newLabel();
+        b.bind(mLoop);
+        b.cmpi(t0, static_cast<std::int64_t>(accWords));
+        b.jcc(Cond::Ge, mDone);
+        b.shli(t1, t0, 3);
+        b.add(t2, t1, s3);
+        b.ld(t3, t2, 0, 8); // local value
+        b.addi(t2, t1, static_cast<std::int64_t>(globalAcc));
+        b.ld(t4, t2, 0, 8);
+        b.add(t4, t4, t3);
+        b.st(t2, 0, t4, 8);
+        b.addi(t0, t0, 1);
+        b.jmp(mLoop);
+        b.bind(mDone);
+    }
+    b.movi(a0, mutex);
+    b.callAbs(stubs.mutexUnlock);
+    emitBarrier();
+
+    // --- phase D: worker 0 recomputes centroids ------------------------
+    {
+        b.cmpi(s4, 0);
+        auto skip = b.newLabel();
+        b.jcc(Cond::Ne, skip);
+        b.movi(t0, 0); // k
+        auto cLoop = b.newLabel(), cDone = b.newLabel();
+        b.bind(cLoop);
+        b.cmpi(t0, static_cast<std::int64_t>(clusters));
+        b.jcc(Cond::Ge, cDone);
+        // t3 = count
+        b.muli(t1, t0, static_cast<std::int64_t>((dim + 1) * 8));
+        b.addi(t1, t1, static_cast<std::int64_t>(globalAcc));
+        b.ld(t3, t1, static_cast<std::int64_t>(dim * 8), 8);
+        b.cmpi(t3, 0);
+        auto skipK = b.newLabel();
+        b.jcc(Cond::Eq, skipK);
+        b.movi(t2, 0); // d
+        auto dLoop2 = b.newLabel(), dDone2 = b.newLabel();
+        b.bind(dLoop2);
+        b.cmpi(t2, static_cast<std::int64_t>(dim));
+        b.jcc(Cond::Ge, dDone2);
+        b.shli(t4, t2, 3);
+        b.add(t4, t4, t1);
+        b.ld(t4, t4, 0, 8); // sum
+        b.div(t4, t4, t3);  // / count
+        // store into centroids[k][d]
+        b.muli(a3, t0, static_cast<std::int64_t>(dim));
+        b.add(a3, a3, t2);
+        b.shli(a3, a3, 3);
+        b.addi(a3, a3, static_cast<std::int64_t>(centroids));
+        b.st(a3, 0, t4, 8);
+        b.addi(t2, t2, 1);
+        b.jmp(dLoop2);
+        b.bind(dDone2);
+        b.bind(skipK);
+        b.addi(t0, t0, 1);
+        b.jmp(cLoop);
+        b.bind(cDone);
+        b.bind(skip);
+    }
+    emitBarrier();
+
+    b.addi(s2, s2, 1);
+    b.jmp(iterLoop);
+    b.bind(doneAll);
+    b.ret();
+
+    // ---- host reference ------------------------------------------------
+    auto ptHost = hostFill(points * dim, fillMult, fillAdd, fillMask);
+    auto cHost = hostFill(clusters * dim, fillMult, fillAdd, fillMask);
+    for (std::uint64_t it = 0; it < iters; ++it) {
+        std::vector<std::int64_t> acc(accWords, 0);
+        for (std::uint64_t pt = 0; pt < points; ++pt) {
+            std::int64_t best = 0;
+            std::int64_t bestDist =
+                std::numeric_limits<std::int64_t>::max();
+            for (std::uint64_t k = 0; k < clusters; ++k) {
+                std::int64_t dist = 0;
+                for (std::uint64_t d = 0; d < dim; ++d) {
+                    std::int64_t diff = ptHost[pt * dim + d] -
+                                        cHost[k * dim + d];
+                    dist += diff * diff;
+                }
+                if (dist < bestDist) {
+                    bestDist = dist;
+                    best = static_cast<std::int64_t>(k);
+                }
+            }
+            for (std::uint64_t d = 0; d < dim; ++d)
+                acc[best * (dim + 1) + d] += ptHost[pt * dim + d];
+            acc[best * (dim + 1) + dim] += 1;
+        }
+        for (std::uint64_t k = 0; k < clusters; ++k) {
+            std::int64_t count = acc[k * (dim + 1) + dim];
+            if (count == 0)
+                continue;
+            for (std::uint64_t d = 0; d < dim; ++d)
+                cHost[k * dim + d] = acc[k * (dim + 1) + d] / count;
+        }
+    }
+
+    Workload w;
+    w.app.name = "kmeans";
+    w.app.program = b.finish(mem::kCodeBase);
+    w.app.data = layout.take();
+    w.validate = makeIntArrayValidator(centroids, std::move(cHost),
+                                       "kmeans.centroids");
+    w.workEstimate = iters * points * clusters * (dim * 10 + 30);
+    return w;
+}
+
+} // namespace misp::wl

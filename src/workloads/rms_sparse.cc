@@ -1,0 +1,331 @@
+/**
+ * @file
+ * RMS sparse kernels: sparse_mvm, sparse_mvm_sym, sparse_mvm_trans.
+ * CSR matrices are generated host-side deterministically; the transposed
+ * and symmetric variants scatter with atomic FETCHADD, exercising the
+ * coherence-visible read-modify-write path.
+ */
+
+#include "workloads/builder_util.hh"
+#include "workloads/workload.hh"
+
+namespace misp::wl {
+
+using isa::Cond;
+using isa::ProgramBuilder;
+using namespace reg;
+
+namespace {
+
+constexpr std::uint64_t kValMask = 0xFFFF;
+
+struct Csr {
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    std::vector<std::int64_t> rowPtr; // rows+1
+    std::vector<std::int64_t> colIdx;
+    std::vector<std::int64_t> vals;
+};
+
+Csr
+makeCsr(std::uint64_t rows, std::uint64_t cols, unsigned nnzPerRow,
+        std::uint64_t seed, bool lowerTriangular)
+{
+    Rng rng(seed);
+    Csr m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.resize(rows + 1, 0);
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        m.rowPtr[i] = static_cast<std::int64_t>(m.colIdx.size());
+        std::uint64_t limit = lowerTriangular ? i + 1 : cols;
+        unsigned count = 1 + static_cast<unsigned>(
+            rng.below(nnzPerRow));
+        std::uint64_t prev = 0;
+        for (unsigned e = 0; e < count && prev < limit; ++e) {
+            std::uint64_t span = (limit - prev + count - e - 1) /
+                                 (count - e);
+            std::uint64_t col = prev + rng.below(std::max<std::uint64_t>(
+                                          span, 1));
+            if (col >= limit)
+                break;
+            m.colIdx.push_back(static_cast<std::int64_t>(col));
+            m.vals.push_back(
+                static_cast<std::int64_t>(rng.next() & kValMask));
+            prev = col + 1;
+        }
+    }
+    m.rowPtr[rows] = static_cast<std::int64_t>(m.colIdx.size());
+    return m;
+}
+
+struct SparseLayout {
+    VAddr rowPtr, colIdx, vals, x, y;
+};
+
+SparseLayout
+layoutCsr(DataLayout &layout, const Csr &m,
+          const std::vector<std::int64_t> &x)
+{
+    SparseLayout out;
+    out.rowPtr = layout.reserveInts(m.rowPtr, "rowPtr");
+    out.colIdx = layout.reserveInts(m.colIdx, "colIdx");
+    out.vals = layout.reserveInts(m.vals, "vals");
+    out.x = layout.reserveInts(x, "x");
+    out.y = layout.reserve(std::max(m.rows, m.cols) * 8, "y");
+    return out;
+}
+
+std::vector<std::int64_t>
+randomInts(std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int64_t> v(n);
+    for (auto &e : v)
+        e = static_cast<std::int64_t>(rng.next() & kValMask);
+    return v;
+}
+
+/** Emit the common row-loop prologue: s0=i in [lo,hi); for each row,
+ *  t3 = element cursor = rowPtr[i], s2 = rowPtr[i+1]. The @p body emits
+ *  per-element code with the element index in t3 (it may clobber
+ *  t0,t1,t2,t4,s3,s4). */
+void
+emitCsrRowLoop(ProgramBuilder &b, const SparseLayout &addrs,
+               std::uint64_t rows, unsigned workers,
+               const std::function<void()> &perRowInit,
+               const std::function<void()> &perElem,
+               const std::function<void()> &perRowDone)
+{
+    emitChunkBounds(b, rows, workers, s0, s1);
+    auto rowLoop = b.newLabel(), rowsDone = b.newLabel();
+    b.bind(rowLoop);
+    b.cmp(s0, s1);
+    b.jcc(Cond::Ge, rowsDone);
+    // t3 = rowPtr[i], s2 = rowPtr[i+1]
+    b.shli(t0, s0, 3);
+    b.addi(t0, t0, static_cast<std::int64_t>(addrs.rowPtr));
+    b.ld(t3, t0, 0, 8);
+    b.ld(s2, t0, 8, 8);
+    perRowInit();
+    auto elemLoop = b.newLabel(), elemDone = b.newLabel();
+    b.bind(elemLoop);
+    b.cmp(t3, s2);
+    b.jcc(Cond::Ge, elemDone);
+    perElem();
+    b.addi(t3, t3, 1);
+    b.jmp(elemLoop);
+    b.bind(elemDone);
+    perRowDone();
+    b.addi(s0, s0, 1);
+    b.jmp(rowLoop);
+    b.bind(rowsDone);
+    b.ret();
+}
+
+Workload
+finishSparse(ProgramBuilder &b, DataLayout &layout, const char *name,
+             VAddr yAddr, std::vector<std::int64_t> expected,
+             std::uint64_t work)
+{
+    Workload w;
+    w.app.name = name;
+    w.app.program = b.finish(mem::kCodeBase);
+    w.app.data = layout.take();
+    w.validate = makeIntArrayValidator(yAddr, std::move(expected),
+                                       std::string(name) + ".y");
+    w.workEstimate = work;
+    return w;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// sparse_mvm: y = A * x (CSR), row-partitioned, gather only.
+// ---------------------------------------------------------------------
+Workload
+buildSparseMvm(const WorkloadParams &p)
+{
+    const std::uint64_t n = 4096 * p.scale;
+    Csr m = makeCsr(n, n, 12, p.seed, false);
+    auto x = randomInts(n, p.seed + 1);
+
+    DataLayout layout;
+    SparseLayout addrs = layoutCsr(layout, m, x);
+
+    ProgramBuilder b;
+    emitMainProlog(b, p.prefault
+                          ? std::vector<std::pair<VAddr, std::uint64_t>>{
+                                {addrs.vals, m.vals.size() * 8},
+                                {addrs.colIdx, m.colIdx.size() * 8},
+                                {addrs.x, n * 8},
+                                {addrs.y, n * 8}}
+                          : std::vector<std::pair<VAddr, std::uint64_t>>{});
+    auto worker = b.newLabel();
+    emitCreateAndJoin(b, p.workers, worker);
+    emitMainEpilog(b);
+
+    b.bind(worker);
+    emitCsrRowLoop(
+        b, addrs, n, p.workers,
+        [&] { b.movi(s3, 0); }, // acc
+        [&] {
+            // t4 = vals[t3] * x[colIdx[t3]]
+            b.shli(t0, t3, 3);
+            b.addi(t1, t0, static_cast<std::int64_t>(addrs.colIdx));
+            b.ld(t2, t1, 0, 8); // col
+            b.addi(t1, t0, static_cast<std::int64_t>(addrs.vals));
+            b.ld(t4, t1, 0, 8); // val
+            b.shli(t2, t2, 3);
+            b.addi(t2, t2, static_cast<std::int64_t>(addrs.x));
+            b.ld(t2, t2, 0, 8);
+            b.mul(t4, t4, t2);
+            b.add(s3, s3, t4);
+        },
+        [&] {
+            emitComputeBurst(b, 240000, t4);
+            b.shli(t0, s0, 3);
+            b.addi(t0, t0, static_cast<std::int64_t>(addrs.y));
+            b.st(t0, 0, s3, 8);
+        });
+
+    std::vector<std::int64_t> expected(n, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (auto e = m.rowPtr[i]; e < m.rowPtr[i + 1]; ++e)
+            expected[i] += m.vals[e] * x[m.colIdx[e]];
+    }
+    return finishSparse(b, layout, "sparse_mvm", addrs.y,
+                        std::move(expected), m.vals.size() * 16);
+}
+
+// ---------------------------------------------------------------------
+// sparse_mvm_trans: y = A^T * x — every element scatters, so updates go
+// through atomic FETCHADD.
+// ---------------------------------------------------------------------
+Workload
+buildSparseMvmTrans(const WorkloadParams &p)
+{
+    const std::uint64_t n = 2048 * p.scale;
+    Csr m = makeCsr(n, n, 12, p.seed, false);
+    auto x = randomInts(n, p.seed + 1);
+
+    DataLayout layout;
+    SparseLayout addrs = layoutCsr(layout, m, x);
+
+    ProgramBuilder b;
+    emitMainProlog(b, p.prefault
+                          ? std::vector<std::pair<VAddr, std::uint64_t>>{
+                                {addrs.vals, m.vals.size() * 8},
+                                {addrs.colIdx, m.colIdx.size() * 8},
+                                {addrs.x, n * 8},
+                                {addrs.y, n * 8}}
+                          : std::vector<std::pair<VAddr, std::uint64_t>>{});
+    auto worker = b.newLabel();
+    emitCreateAndJoin(b, p.workers, worker);
+    emitMainEpilog(b);
+
+    b.bind(worker);
+    emitCsrRowLoop(
+        b, addrs, n, p.workers,
+        [&] {
+            // s3 = x[i]
+            b.shli(t0, s0, 3);
+            b.addi(t0, t0, static_cast<std::int64_t>(addrs.x));
+            b.ld(s3, t0, 0, 8);
+        },
+        [&] {
+            b.shli(t0, t3, 3);
+            b.addi(t1, t0, static_cast<std::int64_t>(addrs.colIdx));
+            b.ld(t2, t1, 0, 8); // col
+            b.addi(t1, t0, static_cast<std::int64_t>(addrs.vals));
+            b.ld(t4, t1, 0, 8); // val
+            b.mul(t4, t4, s3);
+            b.shli(t2, t2, 3);
+            b.addi(t2, t2, static_cast<std::int64_t>(addrs.y));
+            b.fetchadd(s4, t2, t4); // y[col] += val * x[i]
+        },
+        [&] { emitComputeBurst(b, 400000, t4); });
+
+    std::vector<std::int64_t> expected(n, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (auto e = m.rowPtr[i]; e < m.rowPtr[i + 1]; ++e)
+            expected[m.colIdx[e]] += m.vals[e] * x[i];
+    }
+    return finishSparse(b, layout, "sparse_mvm_trans", addrs.y,
+                        std::move(expected), m.vals.size() * 24);
+}
+
+// ---------------------------------------------------------------------
+// sparse_mvm_sym: y = A * x with A symmetric, stored lower-triangular —
+// gather along the row, atomic scatter along the column.
+// ---------------------------------------------------------------------
+Workload
+buildSparseMvmSym(const WorkloadParams &p)
+{
+    const std::uint64_t n = 2048 * p.scale;
+    Csr m = makeCsr(n, n, 10, p.seed, /*lowerTriangular=*/true);
+    auto x = randomInts(n, p.seed + 1);
+
+    DataLayout layout;
+    SparseLayout addrs = layoutCsr(layout, m, x);
+
+    ProgramBuilder b;
+    emitMainProlog(b);
+    auto worker = b.newLabel();
+    emitCreateAndJoin(b, p.workers, worker);
+    emitMainEpilog(b);
+
+    b.bind(worker);
+    emitCsrRowLoop(
+        b, addrs, n, p.workers,
+        [&] {
+            b.movi(s3, 0); // row acc
+            // s4 = x[i]
+            b.shli(t0, s0, 3);
+            b.addi(t0, t0, static_cast<std::int64_t>(addrs.x));
+            b.ld(s4, t0, 0, 8);
+        },
+        [&] {
+            b.shli(t0, t3, 3);
+            b.addi(t1, t0, static_cast<std::int64_t>(addrs.colIdx));
+            b.ld(t2, t1, 0, 8); // col j (j <= i)
+            b.addi(t1, t0, static_cast<std::int64_t>(addrs.vals));
+            b.ld(t4, t1, 0, 8); // val
+            // acc += val * x[j]
+            b.shli(t1, t2, 3);
+            b.addi(t1, t1, static_cast<std::int64_t>(addrs.x));
+            b.ld(t1, t1, 0, 8);
+            b.mul(t1, t1, t4);
+            b.add(s3, s3, t1);
+            // if j != i: y[j] += val * x[i] atomically
+            b.cmp(t2, s0);
+            auto diag = b.newLabel();
+            b.jcc(Cond::Eq, diag);
+            b.mul(t4, t4, s4);
+            b.shli(t2, t2, 3);
+            b.addi(t2, t2, static_cast<std::int64_t>(addrs.y));
+            b.fetchadd(t1, t2, t4);
+            b.bind(diag);
+        },
+        [&] {
+            emitComputeBurst(b, 400000, t4);
+            // y[i] += acc atomically
+            b.shli(t0, s0, 3);
+            b.addi(t0, t0, static_cast<std::int64_t>(addrs.y));
+            b.fetchadd(t1, t0, s3);
+        });
+
+    std::vector<std::int64_t> expected(n, 0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (auto e = m.rowPtr[i]; e < m.rowPtr[i + 1]; ++e) {
+            auto j = static_cast<std::uint64_t>(m.colIdx[e]);
+            expected[i] += m.vals[e] * x[j];
+            if (j != i)
+                expected[j] += m.vals[e] * x[i];
+        }
+    }
+    return finishSparse(b, layout, "sparse_mvm_sym", addrs.y,
+                        std::move(expected), m.vals.size() * 28);
+}
+
+} // namespace misp::wl

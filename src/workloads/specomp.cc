@@ -1,0 +1,212 @@
+/**
+ * @file
+ * SPEComp application proxies: swim, applu, galgel, equake, art.
+ *
+ * The paper runs the real SPEComp suite (ref inputs) through a
+ * MISP-enabled OpenMP runtime. Sources and the Intel compilers are not
+ * available here, so each application is substituted by a synthetic
+ * OpenMP-style generator: iterated parallel sweeps over a working-set
+ * array with barrier-separated phases, a serial-init fraction executed
+ * by main (OMS page faults), per-iteration main-thread syscalls (the
+ * runtime/IO activity that dominates swim/equake in Table 1), and — for
+ * art only — a low rate of syscalls from inside the parallel region
+ * (the paper's only workload with nonzero AMS SysCall counts).
+ *
+ * The substitution preserves the quantities the evaluation consumes:
+ * event-class mix, working-set paging, and near-linear scalability.
+ */
+
+#include "workloads/builder_util.hh"
+#include "workloads/workload.hh"
+
+namespace misp::wl {
+
+using isa::Cond;
+using isa::ProgramBuilder;
+using namespace reg;
+
+namespace {
+
+struct SpecProfile {
+    const char *name;
+    std::uint64_t words;          ///< working-set size (8-byte words)
+    double serialInitFraction;    ///< share initialized serially by main
+    std::uint64_t iters;          ///< outer (timestep) iterations
+    Cycles computePerElem;        ///< modeled FP work per touched element
+    std::uint64_t elemStride;     ///< words between touched elements
+    unsigned mainSyscallsPerIter; ///< OS requests from main per timestep
+    std::uint64_t workerSyscallEvery; ///< 0 = never (elements between)
+};
+
+Workload
+buildSpecOmp(const SpecProfile &prof, const WorkloadParams &p)
+{
+    const std::uint64_t words = prof.words * p.scale;
+    const std::uint64_t serialWords = static_cast<std::uint64_t>(
+        static_cast<double>(words) * prof.serialInitFraction);
+    const StubCalls &stubs = StubCalls::get();
+    const unsigned participants = p.workers;
+    const std::uint64_t elems = words / prof.elemStride;
+
+    DataLayout layout;
+    VAddr data = layout.reserve(words * 8, "field");
+    VAddr barrier = layout.reserve(mem::kPageSize, "barrier");
+    VAddr logBuf = layout.reserve(mem::kPageSize, "logbuf");
+
+    ProgramBuilder b;
+    emitMainProlog(b, p.prefault
+                          ? std::vector<std::pair<VAddr, std::uint64_t>>{
+                                {data, words * 8}}
+                          : std::vector<std::pair<VAddr, std::uint64_t>>{});
+    // Serial initialization of the leading fraction (OMS page faults).
+    if (serialWords > 0)
+        emitSerialFill(b, data, serialWords / 8, 64, 13, 5, 0xFFFF);
+
+    auto worker = b.newLabel();
+
+    // Interleave create/join with per-iteration main syscalls: OpenMP
+    // runtimes fork/join once and barrier per timestep, with the master
+    // doing I/O between steps. We model: create workers once; workers
+    // barrier per iteration; main does its syscalls after join (the
+    // ordering does not matter for event counts).
+    emitCreateAndJoin(b, p.workers, worker);
+    for (std::uint64_t it = 0; it < prof.iters; ++it) {
+        for (unsigned s = 0; s < prof.mainSyscallsPerIter; ++s) {
+            b.movi(a0, 1);      // fd
+            b.movi(a1, logBuf); // buf
+            b.movi(a2, 24);     // len
+            b.callAbs(stubs.logWrite);
+        }
+    }
+    emitMainEpilog(b);
+
+    // worker(idx): for each iteration, sweep the chunk with
+    // stride-`elemStride` read-modify-write + compute, then barrier.
+    b.bind(worker);
+    b.mov(s4, a0); // worker index
+    b.movi(s2, 0); // iteration
+    auto iterLoop = b.newLabel(), doneAll = b.newLabel();
+    b.bind(iterLoop);
+    b.cmpi(s2, static_cast<std::int64_t>(prof.iters));
+    b.jcc(Cond::Ge, doneAll);
+    b.mov(a0, s4);
+    emitChunkBounds(b, elems, p.workers, s0, s1);
+    b.movi(s3, 0); // elements since last worker syscall
+    auto elemLoop = b.newLabel(), elemsDone = b.newLabel();
+    b.bind(elemLoop);
+    b.cmp(s0, s1);
+    b.jcc(Cond::Ge, elemsDone);
+    // addr = data + (elem * stride) * 8
+    b.muli(t0, s0, static_cast<std::int64_t>(prof.elemStride * 8));
+    b.addi(t0, t0, static_cast<std::int64_t>(data));
+    b.ld(t1, t0, 0, 8);
+    b.muli(t1, t1, 3);
+    b.addi(t1, t1, 1);
+    b.andi(t1, t1, 0xFFFF);
+    b.st(t0, 0, t1, 8);
+    emitComputeBurst(b, prof.computePerElem, t1);
+    if (prof.workerSyscallEvery > 0) {
+        b.addi(s3, s3, 1);
+        b.cmpi(s3, static_cast<std::int64_t>(prof.workerSyscallEvery));
+        auto noSys = b.newLabel();
+        b.jcc(Cond::Lt, noSys);
+        b.movi(s3, 0);
+        // An OS query from inside the parallel region: on MISP this is
+        // an AMS syscall and therefore a proxy-execution event.
+        b.syscall(static_cast<Word>(os::Sys::Noop));
+        b.bind(noSys);
+    }
+    b.addi(s0, s0, 1);
+    b.jmp(elemLoop);
+    b.bind(elemsDone);
+    b.movi(a0, barrier);
+    b.movi(a1, participants);
+    b.callAbs(stubs.barrierWait);
+    b.addi(s2, s2, 1);
+    b.jmp(iterLoop);
+    b.bind(doneAll);
+    b.ret();
+
+    Workload w;
+    w.app.name = prof.name;
+    w.app.program = b.finish(mem::kCodeBase);
+    w.app.data = layout.take();
+    // The field's final value is deterministic but interleaving-free
+    // (disjoint chunks); validate a spot value: every element got
+    // `iters` applications of x -> (3x+1) & 0xFFFF.
+    VAddr dataAddr = data;
+    std::uint64_t itersCopy = prof.iters;
+    std::uint64_t serialCopy = serialWords;
+    std::uint64_t strideCopy = prof.elemStride;
+    std::uint64_t elemsCopy = elems;
+    w.validate = [dataAddr, itersCopy, serialCopy, strideCopy,
+                  elemsCopy](mem::AddressSpace &as) {
+        auto apply = [&](std::int64_t v) {
+            for (std::uint64_t i = 0; i < itersCopy; ++i)
+                v = (v * 3 + 1) & 0xFFFF;
+            return v;
+        };
+        for (std::uint64_t e : {std::uint64_t{0}, elemsCopy / 2,
+                                elemsCopy - 1}) {
+            std::uint64_t wordIdx = e * strideCopy;
+            // Initial value: serial fill covers index i at addr stride
+            // 64 bytes (8 words): word w got value ((w/8)*13+5)&0xFFFF
+            // if w%8==0 and w/8 < serial count; else 0.
+            std::int64_t init = 0;
+            if (wordIdx % 8 == 0 && wordIdx / 8 < serialCopy / 8)
+                init = static_cast<std::int64_t>(
+                    ((wordIdx / 8) * 13 + 5) & 0xFFFF);
+            std::int64_t want = apply(init);
+            auto got = static_cast<std::int64_t>(
+                as.peekWord(dataAddr + wordIdx * 8, 8));
+            if (got != want) {
+                warn("%s: field[%llu] = %lld, want %lld", "specomp",
+                     (unsigned long long)wordIdx, (long long)got,
+                     (long long)want);
+                return false;
+            }
+        }
+        return true;
+    };
+    w.workEstimate = prof.iters * elems *
+                     (prof.computePerElem + 14);
+    return w;
+}
+
+} // namespace
+
+// Profiles shaped after Table 1's relative event mix (scaled down).
+Workload
+buildSwim(const WorkloadParams &p)
+{
+    // Syscall-heavy master, huge parallel working set (AMS PFs).
+    return buildSpecOmp({"swim", 192 * 1024, 0.05, 12, 5300, 8, 14, 0}, p);
+}
+
+Workload
+buildApplu(const WorkloadParams &p)
+{
+    return buildSpecOmp({"applu", 160 * 1024, 0.08, 15, 5300, 8, 3, 0}, p);
+}
+
+Workload
+buildGalgel(const WorkloadParams &p)
+{
+    // Majority of compulsory faults on the OMS (large serial init).
+    return buildSpecOmp({"galgel", 128 * 1024, 0.55, 15, 5000, 8, 2, 0}, p);
+}
+
+Workload
+buildEquake(const WorkloadParams &p)
+{
+    return buildSpecOmp({"equake", 96 * 1024, 0.10, 15, 5800, 8, 8, 0}, p);
+}
+
+Workload
+buildArt(const WorkloadParams &p)
+{
+    // The only app with AMS-side syscalls (Table 1: 436).
+    return buildSpecOmp({"art", 96 * 1024, 0.12, 15, 5700, 8, 4, 600}, p);
+}
+
+} // namespace misp::wl

@@ -1,0 +1,39 @@
+#include "workload.hh"
+
+namespace misp::wl {
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> kAll = {
+        {"ADAt", "rms", buildAdat},
+        {"dense_mmm", "rms", buildDenseMmm},
+        {"dense_mvm", "rms", buildDenseMvm},
+        {"dense_mvm_sym", "rms", buildDenseMvmSym},
+        {"gauss", "rms", buildGauss},
+        {"kmeans", "rms", buildKmeans},
+        {"sparse_mvm", "rms", buildSparseMvm},
+        {"sparse_mvm_sym", "rms", buildSparseMvmSym},
+        {"sparse_mvm_trans", "rms", buildSparseMvmTrans},
+        {"svm_c", "rms", buildSvmC},
+        {"Raytracer", "rms", buildRaytracer},
+        {"swim", "specomp", buildSwim},
+        {"applu", "specomp", buildApplu},
+        {"galgel", "specomp", buildGalgel},
+        {"equake", "specomp", buildEquake},
+        {"art", "specomp", buildArt},
+    };
+    return kAll;
+}
+
+const WorkloadInfo *
+findWorkload(const std::string &name)
+{
+    for (const WorkloadInfo &info : allWorkloads()) {
+        if (info.name == name)
+            return &info;
+    }
+    return nullptr;
+}
+
+} // namespace misp::wl

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Workload registry: the paper's evaluation suite (§5.2).
+ *
+ * RMS kernels (Recognition-Mining-Synthesis suite): ADAt, dense_mmm,
+ * dense_mvm, dense_mvm_sym, gauss, kmeans, sparse_mvm, sparse_mvm_sym,
+ * sparse_mvm_trans, svm_c, plus the RayTracer application. These are
+ * fully reimplemented as multi-shredded guest programs doing real
+ * (integer) computation; results are validated against host-side
+ * reference implementations.
+ *
+ * SPEComp applications (swim, applu, galgel, equake, art): the sources
+ * and Intel compilers are unavailable, so each is substituted by a
+ * synthetic OpenMP-style loop-nest generator whose serializing-event
+ * profile (serial-init pages, barrier cadence, syscall rates, AMS
+ * syscall rate for art) is shaped after the paper's Table 1. See
+ * DESIGN.md §2 for the substitution rationale.
+ */
+
+#ifndef MISP_WORKLOADS_WORKLOAD_HH
+#define MISP_WORKLOADS_WORKLOAD_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/loader.hh"
+#include "mem/address_space.hh"
+
+namespace misp::wl {
+
+/** Knobs shared by every workload builder. */
+struct WorkloadParams {
+    unsigned workers = 7;       ///< shreds (or worker threads) created
+    std::uint64_t scale = 1;    ///< problem-size multiplier
+    bool prefault = false;      ///< §5.3 page-probe optimization
+    std::uint64_t seed = 42;    ///< deterministic input generation
+};
+
+/** A built workload instance. */
+struct Workload {
+    harness::GuestApp app;
+    /** Host-side result check (empty = none). Reads guest memory after
+     *  the run; returns true when the computation was correct. */
+    std::function<bool(mem::AddressSpace &)> validate;
+    /** Rough useful-work estimate (guest compute cycles), for sanity
+     *  checks of speedup figures. */
+    std::uint64_t workEstimate = 0;
+};
+
+using WorkloadBuilder = std::function<Workload(const WorkloadParams &)>;
+
+struct WorkloadInfo {
+    std::string name;
+    std::string suite; ///< "rms" or "specomp" or "util"
+    WorkloadBuilder build;
+};
+
+/** All registered workloads, in the paper's Figure-4 order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Lookup by name; nullptr if unknown. */
+const WorkloadInfo *findWorkload(const std::string &name);
+
+// Individual builders (also reachable through the registry).
+Workload buildAdat(const WorkloadParams &p);
+Workload buildDenseMmm(const WorkloadParams &p);
+Workload buildDenseMvm(const WorkloadParams &p);
+Workload buildDenseMvmSym(const WorkloadParams &p);
+Workload buildGauss(const WorkloadParams &p);
+Workload buildKmeans(const WorkloadParams &p);
+Workload buildSparseMvm(const WorkloadParams &p);
+Workload buildSparseMvmSym(const WorkloadParams &p);
+Workload buildSparseMvmTrans(const WorkloadParams &p);
+Workload buildSvmC(const WorkloadParams &p);
+Workload buildRaytracer(const WorkloadParams &p);
+Workload buildSwim(const WorkloadParams &p);
+Workload buildApplu(const WorkloadParams &p);
+Workload buildGalgel(const WorkloadParams &p);
+Workload buildEquake(const WorkloadParams &p);
+Workload buildArt(const WorkloadParams &p);
+
+/** A single-threaded CPU-bound process (Figure 7's competing load). */
+Workload buildSpinner(const WorkloadParams &p);
+
+} // namespace misp::wl
+
+#endif // MISP_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+using namespace misp;
+
+namespace {
+
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::string name, std::vector<std::string> &log,
+                   int priority = kPrioDefault)
+        : Event(std::move(name), priority), log_(log)
+    {}
+
+    void process() override { log_.push_back(name()); }
+
+  private:
+    std::vector<std::string> &log_;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.size(), 0u);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log), b("b", log), c("c", log);
+    eq.schedule(&a, 30);
+    eq.schedule(&b, 10);
+    eq.schedule(&c, 20);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b", "c", "a"}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent low("low", log, Event::kPrioStats);
+    RecordingEvent first("first", log, Event::kPrioDefault);
+    RecordingEvent second("second", log, Event::kPrioDefault);
+    RecordingEvent irq("irq", log, Event::kPrioInterrupt);
+    eq.schedule(&low, 5);
+    eq.schedule(&first, 5);
+    eq.schedule(&second, 5);
+    eq.schedule(&irq, 5);
+    eq.run();
+    EXPECT_EQ(log,
+              (std::vector<std::string>{"irq", "first", "second", "low"}));
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    eq.schedule(&a, 10);
+    eq.run();
+    RecordingEvent b("b", log);
+    EXPECT_THROW(eq.schedule(&b, 5), SimError);
+}
+
+TEST(EventQueue, DoubleSchedulePanics)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    eq.schedule(&a, 10);
+    EXPECT_THROW(eq.schedule(&a, 20), SimError);
+    eq.deschedule(&a);
+}
+
+TEST(EventQueue, DescheduleRemovesEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b"}));
+}
+
+TEST(EventQueue, DescheduleUnscheduledPanics)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    EXPECT_THROW(eq.deschedule(&a), SimError);
+}
+
+TEST(EventQueue, RescheduleMovesEvent)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 20);
+    eq.reschedule(&a, 30);
+    eq.run();
+    EXPECT_EQ(log, (std::vector<std::string>{"b", "a"}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, LambdaEventsRunAndAreOwned)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleLambda(5, "inc", [&count] { ++count; });
+    eq.scheduleLambda(6, "inc", [&count] { ++count; });
+    eq.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> ticks;
+    std::function<void()> chain = [&] {
+        ticks.push_back(eq.curTick());
+        if (ticks.size() < 5)
+            eq.scheduleLambda(eq.curTick() + 10, "chain", chain);
+    };
+    eq.scheduleLambda(0, "chain", chain);
+    eq.run();
+    EXPECT_EQ(ticks, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, MaxTickStopsBeforeProcessing)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log), b("b", log);
+    eq.schedule(&a, 10);
+    eq.schedule(&b, 100);
+    eq.run(50);
+    EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+    EXPECT_TRUE(b.scheduled());
+    eq.deschedule(&b);
+}
+
+TEST(EventQueue, RequestStopEndsRun)
+{
+    EventQueue eq;
+    int after = 0;
+    eq.scheduleLambda(10, "stop", [&eq] { eq.requestStop(); });
+    eq.scheduleLambda(20, "after", [&after] { ++after; });
+    eq.run();
+    EXPECT_EQ(after, 0);
+    // A later run picks the remaining event up again.
+    eq.run();
+    EXPECT_EQ(after, 1);
+}
+
+TEST(EventQueue, StepProcessesExactlyOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.scheduleLambda(1, "a", [&count] { ++count; });
+    eq.scheduleLambda(2, "b", [&count] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 2);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, SquashSkipsPendingOccurrence)
+{
+    EventQueue eq;
+    std::vector<std::string> log;
+    RecordingEvent a("a", log);
+    eq.schedule(&a, 10);
+    a.squash();
+    eq.run();
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(EventQueue, NumProcessedCounts)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.scheduleLambda(i, "e", [] {});
+    eq.run();
+    EXPECT_EQ(eq.numProcessed(), 7u);
+}

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit and property tests for the MISA instruction set: encoding,
+ * decoding, latencies, the program builder and the assembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/isa.hh"
+#include "isa/program.hh"
+#include "sim/random.hh"
+
+using namespace misp;
+using namespace misp::isa;
+
+// ---------------------------------------------------------------------
+// Encode/decode
+// ---------------------------------------------------------------------
+
+TEST(IsaEncoding, RoundTripProperty)
+{
+    // Property: decode(encode(i)) == i for every well-formed instruction.
+    Rng rng(2024);
+    for (int trial = 0; trial < 2000; ++trial) {
+        Instruction inst;
+        inst.op = static_cast<Opcode>(
+            rng.below(static_cast<std::uint64_t>(Opcode::NumOpcodes)));
+        inst.rd = static_cast<std::uint8_t>(rng.below(kNumRegs));
+        inst.rs1 = static_cast<std::uint8_t>(rng.below(kNumRegs));
+        inst.rs2 = static_cast<std::uint8_t>(rng.below(kNumRegs));
+        inst.sub = static_cast<std::uint8_t>(rng.below(8));
+        inst.imm = rng.next();
+        auto bytes = encode(inst);
+        Instruction out;
+        ASSERT_TRUE(decode(bytes.data(), &out));
+        EXPECT_EQ(inst, out);
+    }
+}
+
+TEST(IsaEncoding, RejectsBadOpcode)
+{
+    std::uint8_t bytes[kInstBytes] = {};
+    bytes[0] = 0xFF;
+    Instruction out;
+    EXPECT_FALSE(decode(bytes, &out));
+}
+
+TEST(IsaEncoding, RejectsBadRegister)
+{
+    Instruction inst;
+    inst.op = Opcode::Mov;
+    inst.rd = 3;
+    auto bytes = encode(inst);
+    bytes[2] = 99; // rs1 out of range
+    Instruction out;
+    EXPECT_FALSE(decode(bytes.data(), &out));
+}
+
+TEST(IsaLatency, EveryOpcodeHasNonzeroLatency)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        EXPECT_GE(baseLatency(static_cast<Opcode>(op)), 1u)
+            << opcodeName(static_cast<Opcode>(op));
+    }
+}
+
+TEST(IsaLatency, RelativeCostsSane)
+{
+    EXPECT_LT(baseLatency(Opcode::Add), baseLatency(Opcode::Mul));
+    EXPECT_LT(baseLatency(Opcode::Mul), baseLatency(Opcode::Div));
+    EXPECT_GT(baseLatency(Opcode::CmpXchg), baseLatency(Opcode::Ld));
+}
+
+TEST(IsaNames, AllOpcodesNamed)
+{
+    for (unsigned op = 0;
+         op < static_cast<unsigned>(Opcode::NumOpcodes); ++op) {
+        EXPECT_STRNE(opcodeName(static_cast<Opcode>(op)), "???");
+    }
+}
+
+TEST(IsaDisasm, RendersRepresentativeForms)
+{
+    Instruction movi{Opcode::MovI, 3, 0, 0, 0, 42};
+    EXPECT_EQ(disassemble(movi), "movi r3, 42");
+    Instruction ld{Opcode::Ld, 2, 5, 0, 8, 16};
+    EXPECT_EQ(disassemble(ld), "ld8 r2, [r5+16]");
+    Instruction sig{Opcode::Signal, 3, 1, 2, 0, 0};
+    EXPECT_EQ(disassemble(sig), "signal sid=r1, eip=r2, esp=r3");
+}
+
+// ---------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------
+
+TEST(ProgramBuilder, ResolvesForwardLabels)
+{
+    ProgramBuilder b;
+    auto target = b.newLabel();
+    b.jmp(target);    // forward reference
+    b.nop();
+    b.bind(target);
+    b.halt();
+    Program prog = b.finish(0x1000);
+    ASSERT_EQ(prog.insts.size(), 3u);
+    EXPECT_EQ(prog.insts[0].op, Opcode::Jmp);
+    EXPECT_EQ(prog.insts[0].imm, 0x1000u + 2 * kInstBytes);
+}
+
+TEST(ProgramBuilder, UnboundLabelIsError)
+{
+    ProgramBuilder b;
+    auto missing = b.newLabel();
+    b.jmp(missing);
+    EXPECT_THROW(b.finish(0x1000), SimError);
+}
+
+TEST(ProgramBuilder, DoubleBindIsError)
+{
+    ProgramBuilder b;
+    auto l = b.newLabel();
+    b.bind(l);
+    EXPECT_THROW(b.bind(l), SimError);
+}
+
+TEST(ProgramBuilder, ExportsSymbols)
+{
+    ProgramBuilder b;
+    b.nop();
+    b.exportHere("entry");
+    b.halt();
+    Program prog = b.finish(0x2000);
+    EXPECT_EQ(prog.symbol("entry"), 0x2000u + kInstBytes);
+    EXPECT_THROW(prog.symbol("missing"), SimError);
+}
+
+TEST(ProgramBuilder, LeaLabelLoadsAbsoluteAddress)
+{
+    ProgramBuilder b;
+    auto fn = b.newLabel();
+    b.leaLabel(4, fn);
+    b.halt();
+    b.bind(fn);
+    b.ret();
+    Program prog = b.finish(0x3000);
+    EXPECT_EQ(prog.insts[0].op, Opcode::MovI);
+    EXPECT_EQ(prog.insts[0].imm, 0x3000u + 2 * kInstBytes);
+}
+
+TEST(ProgramBuilder, BytesMatchEncodedInstructions)
+{
+    ProgramBuilder b;
+    b.movi(1, 7);
+    b.addi(2, 1, 3);
+    Program prog = b.finish(0x1000);
+    auto bytes = prog.bytes();
+    ASSERT_EQ(bytes.size(), 2 * kInstBytes);
+    Instruction out;
+    ASSERT_TRUE(decode(bytes.data(), &out));
+    EXPECT_EQ(out.op, Opcode::MovI);
+    EXPECT_EQ(out.imm, 7u);
+}
+
+// ---------------------------------------------------------------------
+// Assembler
+// ---------------------------------------------------------------------
+
+TEST(Assembler, AssemblesBasicProgram)
+{
+    Program prog = assemble(R"(
+        ; a tiny program
+        main:
+            movi r1, 10
+            movi r2, 0x20
+            add  r3, r1, r2
+            halt
+    )",
+                            0x1000);
+    ASSERT_EQ(prog.insts.size(), 4u);
+    EXPECT_EQ(prog.symbol("main"), 0x1000u);
+    EXPECT_EQ(prog.insts[1].imm, 0x20u);
+    EXPECT_EQ(prog.insts[2].op, Opcode::Add);
+}
+
+TEST(Assembler, MemoryOperandsAndSizes)
+{
+    Program prog = assemble(R"(
+        ld8 r1, [r2+8]
+        ld1 r3, [r4]
+        st4 [r5-4], r6
+    )",
+                            0);
+    EXPECT_EQ(prog.insts[0].sub, 8);
+    EXPECT_EQ(prog.insts[0].imm, 8u);
+    EXPECT_EQ(prog.insts[1].sub, 1);
+    EXPECT_EQ(prog.insts[2].op, Opcode::St);
+    EXPECT_EQ(static_cast<std::int64_t>(prog.insts[2].imm), -4);
+}
+
+TEST(Assembler, ForwardAndBackwardBranches)
+{
+    Program prog = assemble(R"(
+        start:
+            cmpi r1, 5
+            jcc.ge end
+            addi r1, r1, 1
+            jmp start
+        end:
+            halt
+    )",
+                            0x4000);
+    EXPECT_EQ(prog.insts[1].imm, 0x4000u + 4 * kInstBytes); // -> end
+    EXPECT_EQ(prog.insts[3].imm, 0x4000u);                  // -> start
+}
+
+TEST(Assembler, MispExtensionInstructions)
+{
+    Program prog = assemble(R"(
+        init:
+            semonitor proxy, handler
+            signal r1, r2, r3
+            halt
+        handler:
+            yret
+    )",
+                            0);
+    EXPECT_EQ(prog.insts[0].op, Opcode::Semonitor);
+    EXPECT_EQ(prog.insts[0].sub,
+              static_cast<std::uint8_t>(Scenario::ProxyRequest));
+    EXPECT_EQ(prog.insts[0].imm, 3u * kInstBytes);
+    EXPECT_EQ(prog.insts[1].op, Opcode::Signal);
+    EXPECT_EQ(prog.insts[3].op, Opcode::Yret);
+}
+
+TEST(Assembler, AtomicsAndRuntimeCalls)
+{
+    Program prog = assemble(R"(
+        fetchadd r1, [r2], r3
+        cmpxchg r4, [r5], r6
+        xchg r7, [r8]
+        rtcall 7
+        syscall 3
+        compute 100
+        pause
+    )",
+                            0);
+    EXPECT_EQ(prog.insts[0].op, Opcode::FetchAdd);
+    EXPECT_EQ(prog.insts[1].op, Opcode::CmpXchg);
+    EXPECT_EQ(prog.insts[2].op, Opcode::Xchg);
+    EXPECT_EQ(prog.insts[3].imm, 7u);
+    EXPECT_EQ(prog.insts[4].imm, 3u);
+    EXPECT_EQ(prog.insts[5].imm, 100u);
+}
+
+TEST(Assembler, SpAlias)
+{
+    Program prog = assemble("mov r1, sp\n", 0);
+    EXPECT_EQ(prog.insts[0].rs1, kRegSp);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers)
+{
+    try {
+        assemble("nop\nbogus r1\n", 0);
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+    }
+}
+
+TEST(Assembler, UnknownLabelReportsError)
+{
+    EXPECT_THROW(assemble("jmp nowhere\n", 0), AsmError);
+}
+
+TEST(Assembler, OperandCountValidation)
+{
+    EXPECT_THROW(assemble("add r1, r2\n", 0), AsmError);
+    EXPECT_THROW(assemble("movi r1\n", 0), AsmError);
+    EXPECT_THROW(assemble("halt r1\n", 0), AsmError);
+}

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: physical memory, page tables,
+ * TLBs, address spaces and the MMU.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/address_space.hh"
+#include "mem/mmu.hh"
+#include "mem/page_table.hh"
+#include "mem/paging.hh"
+#include "mem/physical_memory.hh"
+#include "mem/tlb.hh"
+#include "sim/stats.hh"
+
+using namespace misp;
+using namespace misp::mem;
+
+// ---------------------------------------------------------------------
+// PhysicalMemory
+// ---------------------------------------------------------------------
+
+TEST(PhysicalMemory, AllocatesDistinctZeroedFrames)
+{
+    PhysicalMemory pm(16);
+    auto f1 = pm.allocFrame();
+    auto f2 = pm.allocFrame();
+    EXPECT_NE(f1, f2);
+    EXPECT_EQ(pm.framesUsed(), 2u);
+    EXPECT_EQ(pm.read(f1 << kPageShift, 8), 0u);
+}
+
+TEST(PhysicalMemory, ReadWriteRoundTripAllSizes)
+{
+    PhysicalMemory pm(4);
+    auto f = pm.allocFrame();
+    PAddr base = f << kPageShift;
+    pm.write(base, 0x11, 1);
+    pm.write(base + 2, 0x2233, 2);
+    pm.write(base + 4, 0x44556677, 4);
+    pm.write(base + 8, 0x8899AABBCCDDEEFFull, 8);
+    EXPECT_EQ(pm.read(base, 1), 0x11u);
+    EXPECT_EQ(pm.read(base + 2, 2), 0x2233u);
+    EXPECT_EQ(pm.read(base + 4, 4), 0x44556677u);
+    EXPECT_EQ(pm.read(base + 8, 8), 0x8899AABBCCDDEEFFull);
+}
+
+TEST(PhysicalMemory, FreedFramesAreRecycledZeroed)
+{
+    PhysicalMemory pm(2);
+    auto f1 = pm.allocFrame();
+    pm.write(f1 << kPageShift, 0xDEAD, 8);
+    pm.freeFrame(f1);
+    auto f2 = pm.allocFrame();
+    auto f3 = pm.allocFrame();
+    // One of them must be the recycled frame and it must read zero.
+    EXPECT_TRUE(f2 == f1 || f3 == f1);
+    EXPECT_EQ(pm.read(f1 << kPageShift, 8), 0u);
+}
+
+TEST(PhysicalMemory, ExhaustionIsFatal)
+{
+    PhysicalMemory pm(2);
+    pm.allocFrame();
+    pm.allocFrame();
+    EXPECT_THROW(pm.allocFrame(), SimError);
+}
+
+TEST(PhysicalMemory, BulkCopyCrossesFrames)
+{
+    PhysicalMemory pm(4);
+    auto f1 = pm.allocFrame();
+    auto f2 = pm.allocFrame();
+    (void)f2;
+    std::vector<std::uint8_t> data(kPageSize + 100, 0xAB);
+    pm.writeBytes(f1 << kPageShift, data.data(), data.size());
+    std::vector<std::uint8_t> out(data.size(), 0);
+    pm.readBytes(f1 << kPageShift, out.data(), out.size());
+    EXPECT_EQ(data, out);
+}
+
+// ---------------------------------------------------------------------
+// PageTable
+// ---------------------------------------------------------------------
+
+TEST(PageTable, MapsAndLooksUp)
+{
+    PageTable pt;
+    EXPECT_EQ(pt.mappedPages(), 0u);
+    pt.map(0x40'0000, 7, /*writable=*/true, /*user=*/true);
+    const Pte *pte = pt.lookup(0x40'0123);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->present);
+    EXPECT_EQ(pte->frame, 7u);
+    EXPECT_TRUE(pte->writable);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+TEST(PageTable, UnmappedAddressHasNoPresentPte)
+{
+    PageTable pt;
+    pt.map(0x40'0000, 1, true, true);
+    const Pte *pte = pt.lookup(0x80'0000);
+    // Either no leaf table or a non-present entry.
+    EXPECT_TRUE(pte == nullptr || !pte->present);
+}
+
+TEST(PageTable, UnmapReturnsOldEntryAndFreesSlot)
+{
+    PageTable pt;
+    pt.map(0x40'0000, 3, true, true);
+    Pte old = pt.unmap(0x40'0000);
+    EXPECT_TRUE(old.present);
+    EXPECT_EQ(old.frame, 3u);
+    EXPECT_EQ(pt.mappedPages(), 0u);
+    const Pte *pte = pt.lookup(0x40'0000);
+    EXPECT_TRUE(pte == nullptr || !pte->present);
+}
+
+TEST(PageTable, RootsAreUniquePerInstance)
+{
+    PageTable a, b;
+    EXPECT_NE(a.root(), b.root());
+    EXPECT_NE(a.root(), kNullRoot);
+}
+
+TEST(PageTable, DistinguishesNeighbouringPages)
+{
+    PageTable pt;
+    pt.map(0x40'0000, 1, true, true);
+    pt.map(0x40'1000, 2, true, true);
+    EXPECT_EQ(pt.lookup(0x40'0FFF)->frame, 1u);
+    EXPECT_EQ(pt.lookup(0x40'1000)->frame, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Tlb
+// ---------------------------------------------------------------------
+
+TEST(Tlb, HitAfterInsert)
+{
+    stats::StatGroup root("");
+    Tlb tlb("tlb", 4, &root);
+    EXPECT_EQ(tlb.lookup(0x1000), nullptr);
+    Pte pte;
+    pte.present = true;
+    pte.frame = 9;
+    tlb.insert(0x1000, pte);
+    const Pte *hit = tlb.lookup(0x1FFF); // same page
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->frame, 9u);
+    EXPECT_EQ(tlb.hits(), 1u);
+    EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(Tlb, LruEviction)
+{
+    stats::StatGroup root("");
+    Tlb tlb("tlb", 2, &root);
+    Pte pte;
+    pte.present = true;
+    tlb.insert(0x1000, pte);
+    tlb.insert(0x2000, pte);
+    ASSERT_NE(tlb.lookup(0x1000), nullptr); // touch 1 -> 2 is LRU
+    tlb.insert(0x3000, pte);                // evicts 2
+    EXPECT_NE(tlb.lookup(0x1000), nullptr);
+    EXPECT_EQ(tlb.lookup(0x2000), nullptr);
+    EXPECT_NE(tlb.lookup(0x3000), nullptr);
+}
+
+TEST(Tlb, FlushAllEmpties)
+{
+    stats::StatGroup root("");
+    Tlb tlb("tlb", 4, &root);
+    Pte pte;
+    pte.present = true;
+    tlb.insert(0x1000, pte);
+    tlb.insert(0x2000, pte);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.size(), 0u);
+    EXPECT_EQ(tlb.lookup(0x1000), nullptr);
+}
+
+TEST(Tlb, InvalidatePageIsTargeted)
+{
+    stats::StatGroup root("");
+    Tlb tlb("tlb", 4, &root);
+    Pte pte;
+    pte.present = true;
+    tlb.insert(0x1000, pte);
+    tlb.insert(0x2000, pte);
+    tlb.invalidatePage(0x1234);
+    EXPECT_EQ(tlb.lookup(0x1000), nullptr);
+    EXPECT_NE(tlb.lookup(0x2000), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// AddressSpace
+// ---------------------------------------------------------------------
+
+TEST(AddressSpace, DemandPagesOnFault)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    as.defineRegion(0x40'0000, 3 * kPageSize, /*writable=*/true, "data");
+    EXPECT_FALSE(as.mapped(0x40'0000));
+    EXPECT_EQ(as.handleFault(0x40'0000, false), FaultOutcome::Paged);
+    EXPECT_TRUE(as.mapped(0x40'0000));
+    EXPECT_FALSE(as.mapped(0x40'1000));
+    EXPECT_EQ(as.residentPages(), 1u);
+}
+
+TEST(AddressSpace, BadAccessOutsideVma)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    as.defineRegion(0x40'0000, kPageSize, true, "data");
+    EXPECT_EQ(as.handleFault(0x90'0000, false), FaultOutcome::BadAccess);
+}
+
+TEST(AddressSpace, WriteToReadOnlyIsBadAccess)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    as.defineRegion(0x40'0000, kPageSize, /*writable=*/false, "code");
+    EXPECT_EQ(as.handleFault(0x40'0000, /*write=*/true),
+              FaultOutcome::BadAccess);
+    EXPECT_EQ(as.handleFault(0x40'0000, /*write=*/false),
+              FaultOutcome::Paged);
+}
+
+TEST(AddressSpace, ImageBackedRegionFaultsInContent)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    std::vector<std::uint8_t> image = {1, 2, 3, 4, 5};
+    as.defineRegion(0x40'0000, 2 * kPageSize, false, "code", image);
+    ASSERT_EQ(as.handleFault(0x40'0000, false), FaultOutcome::Paged);
+    EXPECT_EQ(as.peekWord(0x40'0000, 1), 1u);
+    EXPECT_EQ(as.peekWord(0x40'0004, 1), 5u);
+    EXPECT_EQ(as.peekWord(0x40'0005, 1), 0u); // zero-fill beyond image
+}
+
+TEST(AddressSpace, OverlappingRegionsAreFatal)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    as.defineRegion(0x40'0000, 2 * kPageSize, true, "a");
+    EXPECT_THROW(as.defineRegion(0x40'1000, kPageSize, true, "b"),
+                 SimError);
+}
+
+TEST(AddressSpace, AllocRegionSeparatesWithGuardPages)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    VAddr a = as.allocRegion(100, true, "a");
+    VAddr b = as.allocRegion(100, true, "b");
+    EXPECT_GE(b, a + 2 * kPageSize); // region + guard page
+    EXPECT_EQ(as.handleFault(a, true), FaultOutcome::Paged);
+    // The guard page between them stays unmapped.
+    EXPECT_EQ(as.handleFault(a + kPageSize, true),
+              FaultOutcome::BadAccess);
+}
+
+TEST(AddressSpace, PrefaultTouchesWholeRange)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    as.defineRegion(0x40'0000, 4 * kPageSize, true, "data");
+    EXPECT_EQ(as.prefault(0x40'0000, 4 * kPageSize), 4u);
+    EXPECT_EQ(as.residentPages(), 4u);
+    // Idempotent.
+    EXPECT_EQ(as.prefault(0x40'0000, 4 * kPageSize), 0u);
+}
+
+TEST(AddressSpace, PokePeekRoundTrip)
+{
+    PhysicalMemory pm(64);
+    AddressSpace as("p", pm);
+    as.defineRegion(0x40'0000, 2 * kPageSize, true, "data");
+    as.pokeWord(0x40'0FFC, 0xABCD, 4); // within first page
+    EXPECT_EQ(as.peekWord(0x40'0FFC, 4), 0xABCDu);
+    // Peek of unmapped page reads zero without mapping it.
+    EXPECT_EQ(as.peekWord(0x40'1000, 8), 0u);
+    EXPECT_FALSE(as.mapped(0x40'1000));
+}
+
+TEST(AddressSpace, DestructorFreesFrames)
+{
+    PhysicalMemory pm(64);
+    {
+        AddressSpace as("p", pm);
+        as.defineRegion(0x40'0000, 8 * kPageSize, true, "data");
+        as.prefault(0x40'0000, 8 * kPageSize);
+        EXPECT_EQ(pm.framesUsed(), 8u);
+    }
+    EXPECT_EQ(pm.framesUsed(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Mmu
+// ---------------------------------------------------------------------
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MmuTest() : pm(64), root(""), as("p", pm), mmu("mmu", pm, &root)
+    {
+        as.defineRegion(0x40'0000, 4 * kPageSize, true, "data");
+        as.prefault(0x40'0000, 4 * kPageSize);
+        mmu.setAddressSpace(&as);
+    }
+
+    PhysicalMemory pm;
+    stats::StatGroup root;
+    AddressSpace as;
+    Mmu mmu;
+};
+
+TEST_F(MmuTest, ReadWriteRoundTrip)
+{
+    AccessResult w = mmu.write(0x40'0008, 0x1234, 8, Ring::User);
+    EXPECT_FALSE(w.fault);
+    AccessResult r = mmu.read(0x40'0008, 8, Ring::User);
+    EXPECT_FALSE(r.fault);
+    EXPECT_EQ(r.value, 0x1234u);
+}
+
+TEST_F(MmuTest, FirstAccessWalksThenTlbHits)
+{
+    mmu.read(0x40'0000, 8, Ring::User);
+    EXPECT_EQ(mmu.pageWalks(), 1u);
+    AccessResult r = mmu.read(0x40'0010, 8, Ring::User);
+    EXPECT_EQ(mmu.pageWalks(), 1u); // TLB hit, no extra walk
+    EXPECT_LT(r.cycles, PageTable::kWalkCycles);
+}
+
+TEST_F(MmuTest, UnmappedPageFaults)
+{
+    AccessResult r = mmu.read(0x90'0000, 8, Ring::User);
+    ASSERT_TRUE(r.fault);
+    EXPECT_EQ(r.fault.kind, FaultKind::PageFault);
+    EXPECT_EQ(r.fault.addr, 0x90'0000u);
+    EXPECT_FALSE(r.fault.write);
+}
+
+TEST_F(MmuTest, MisalignedAccessIsGeneralProtection)
+{
+    AccessResult r = mmu.read(0x40'0001, 8, Ring::User);
+    ASSERT_TRUE(r.fault);
+    EXPECT_EQ(r.fault.kind, FaultKind::GeneralProtection);
+}
+
+TEST_F(MmuTest, WriteFaultCarriesWriteFlag)
+{
+    AccessResult r = mmu.write(0x90'0000, 1, 8, Ring::User);
+    ASSERT_TRUE(r.fault);
+    EXPECT_TRUE(r.fault.write);
+}
+
+TEST_F(MmuTest, AddressSpaceSwitchFlushesTlb)
+{
+    mmu.read(0x40'0000, 8, Ring::User);
+    EXPECT_GT(mmu.tlb().size(), 0u);
+    AddressSpace other("q", pm);
+    mmu.setAddressSpace(&other);
+    EXPECT_EQ(mmu.tlb().size(), 0u);
+}
+
+TEST_F(MmuTest, SameRootPreserveTlbSkipsFlush)
+{
+    mmu.read(0x40'0000, 8, Ring::User);
+    EXPECT_GT(mmu.tlb().size(), 0u);
+    mmu.setAddressSpace(&as, /*preserveTlb=*/true);
+    EXPECT_GT(mmu.tlb().size(), 0u);
+}
+
+TEST_F(MmuTest, DirtyAndAccessedBitsMaintained)
+{
+    mmu.write(0x40'0000, 5, 8, Ring::User);
+    const Pte *pte = as.pageTable().lookup(0x40'0000);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->accessed);
+    EXPECT_TRUE(pte->dirty);
+}
+
+TEST_F(MmuTest, FetchInstRequiresAlignment)
+{
+    std::uint8_t buf[16];
+    AccessResult r = mmu.fetchInst(0x40'0008, buf, Ring::User);
+    ASSERT_TRUE(r.fault);
+    EXPECT_EQ(r.fault.kind, FaultKind::GeneralProtection);
+    r = mmu.fetchInst(0x40'0010, buf, Ring::User);
+    EXPECT_FALSE(r.fault);
+}

@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Architecture-level tests of the MISP processor: SIGNAL delivery,
+ * ring-transition serialization (§2.3), proxy execution (§2.5),
+ * overhead accounting (Eq.1–3), MP configurations (§2.6) and the
+ * aggregate AMS save area across OS thread switches (§2.2).
+ *
+ * These tests run small assembly programs through a full MispSystem
+ * with the real ShredLib runtime attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "workloads/workload.hh"
+
+using namespace misp;
+using namespace misp::arch;
+
+namespace {
+
+/** Build a GuestApp from assembly source (entry symbol "main"). */
+harness::GuestApp
+asmApp(const std::string &name, const std::string &src,
+       std::vector<harness::DataRegion> data = {})
+{
+    harness::GuestApp app;
+    app.name = name;
+    app.program = isa::assemble(src, mem::kCodeBase);
+    app.data = std::move(data);
+    return app;
+}
+
+} // namespace
+
+TEST(MispArch, SignalStartsShredOnAms)
+{
+    // main SIGNALs AMS 1 with a continuation that stores a marker.
+    harness::DataRegion region;
+    region.addr = 0x0800'0000;
+    region.size = mem::kPageSize;
+    auto app = asmApp("sigtest", R"(
+        main:
+            movi r1, 1          ; sid
+            movi r2, worker     ; eip
+            movi r3, 0x8000FF8  ; esp (top of data page)
+            signal r1, r2, r3
+        waitloop:
+            movi r4, 0x8000000
+            ld8 r5, [r4]
+            cmpi r5, 77
+            jcc.ne waitloop
+            movi r0, 0
+            syscall 2           ; exit process
+        worker:
+            movi r4, 0x8000000
+            movi r5, 77
+            st8 [r4], r5
+            halt
+    )",
+                      {region});
+
+    harness::Experiment exp(SystemConfig::uniprocessor(3),
+                            rt::Backend::Shred);
+    auto proc = exp.load(app);
+    Tick t = exp.run(proc.process, 500'000'000);
+    EXPECT_GT(t, 0u);
+    EXPECT_EQ(proc.process->addressSpace().peekWord(0x0800'0000, 8), 77u);
+    // The continuation started after one signal latency at least.
+    EXPECT_GE(t, exp.system().processor(0).config().signalCycles);
+}
+
+TEST(MispArch, AmsPageFaultTriggersProxyExecution)
+{
+    // The shred on the AMS touches an unmapped page: proxy execution
+    // must service it via the OMS and resume the shred.
+    harness::DataRegion region;
+    region.addr = 0x0800'0000;
+    region.size = 4 * mem::kPageSize;
+    auto app = asmApp("proxytest", R"(
+        main:
+            call 0x600000       ; rt_init (registers proxy handler)
+            movi r1, 1
+            movi r2, worker
+            movi r3, 0x8003FF8
+            signal r1, r2, r3
+        waitloop:
+            movi r4, 0x8000000
+            ld8 r5, [r4]
+            cmpi r5, 1234
+            jcc.ne waitloop
+            movi r0, 0
+            syscall 2
+        worker:
+            movi r4, 0x8001000  ; a fresh page: compulsory fault -> proxy
+            movi r5, 42
+            st8 [r4], r5
+            movi r4, 0x8000000
+            movi r5, 1234
+            st8 [r4], r5
+            halt
+    )",
+                      {region});
+
+    harness::Experiment exp(SystemConfig::uniprocessor(3),
+                            rt::Backend::Shred);
+    auto proc = exp.load(app);
+    Tick t = exp.run(proc.process, 500'000'000);
+    ASSERT_GT(t, 0u);
+    EXPECT_EQ(proc.process->addressSpace().peekWord(0x0800'1000, 8), 42u);
+    MispProcessor &mp = exp.system().processor(0);
+    EXPECT_GE(mp.eventCount(Ring0Cause::ProxyPageFault), 1u);
+}
+
+TEST(MispArch, AmsSyscallProxiesWithReturnValue)
+{
+    harness::DataRegion region;
+    region.addr = 0x0800'0000;
+    region.size = mem::kPageSize;
+    auto app = asmApp("proxysyscall", R"(
+        main:
+            call 0x600000       ; rt_init
+            movi r1, 1
+            movi r2, worker
+            movi r3, 0x8000FF8
+            signal r1, r2, r3
+        waitloop:
+            movi r4, 0x8000000
+            ld8 r5, [r4]
+            cmpi r5, 0
+            jcc.eq waitloop
+            movi r0, 0
+            syscall 2
+        worker:
+            syscall 10          ; GetTid, proxied via the OMS
+            movi r4, 0x8000000
+            st8 [r4], r0        ; store the returned tid (nonzero)
+            halt
+    )",
+                      {region});
+
+    harness::Experiment exp(SystemConfig::uniprocessor(2),
+                            rt::Backend::Shred);
+    auto proc = exp.load(app);
+    Tick t = exp.run(proc.process, 500'000'000);
+    ASSERT_GT(t, 0u);
+    EXPECT_EQ(proc.process->addressSpace().peekWord(0x0800'0000, 8),
+              proc.mainThread->tid());
+    MispProcessor &mp = exp.system().processor(0);
+    EXPECT_GE(mp.eventCount(Ring0Cause::ProxySyscall), 1u);
+}
+
+TEST(MispArch, SerializationSuspendsRunningAms)
+{
+    // A long-running shred on the AMS; main performs a syscall. The AMS
+    // must show suspended cycles from the serialization window.
+    auto app = asmApp("serialize", R"(
+        main:
+            call 0x600000
+            movi r1, 1
+            movi r2, worker
+            movi r3, 0
+            signal r1, r2, r3
+            movi r6, 0
+        sysloop:
+            syscall 11          ; Noop: Ring-0 round trip
+            addi r6, r6, 1
+            cmpi r6, 5
+            jcc.lt sysloop
+            movi r0, 0
+            syscall 2
+        worker:
+            movi r5, 0
+        spin:
+            addi r5, r5, 1
+            compute 50
+            jmp spin
+    )");
+
+    harness::Experiment exp(SystemConfig::uniprocessor(1),
+                            rt::Backend::Shred);
+    auto proc = exp.load(app);
+    Tick t = exp.run(proc.process, 500'000'000);
+    ASSERT_GT(t, 0u);
+    MispProcessor &mp = exp.system().processor(0);
+    EXPECT_GE(mp.eventCount(Ring0Cause::OmsSyscall), 5u);
+    EXPECT_GT(mp.amsAt(0).suspendedCycles(), 0u);
+    EXPECT_GE(mp.serializations(), 5u);
+}
+
+TEST(MispArch, SpeculativeMonitorAvoidsSuspension)
+{
+    auto src = R"(
+        main:
+            call 0x600000
+            movi r1, 1
+            movi r2, worker
+            movi r3, 0
+            signal r1, r2, r3
+            movi r6, 0
+        sysloop:
+            syscall 11
+            addi r6, r6, 1
+            cmpi r6, 20
+            jcc.lt sysloop
+            movi r0, 0
+            syscall 2
+        worker:
+            movi r5, 0
+        spin:
+            addi r5, r5, 1
+            compute 50
+            jmp spin
+    )";
+
+    SystemConfig spec = SystemConfig::uniprocessor(1);
+    spec.misp.serialization = SerializationPolicy::SpeculativeMonitor;
+    harness::Experiment specExp(spec, rt::Backend::Shred);
+    auto specProc = specExp.load(asmApp("spec", src));
+    Tick specT = specExp.run(specProc.process, 500'000'000);
+    ASSERT_GT(specT, 0u);
+    EXPECT_EQ(specExp.system().processor(0).amsAt(0).suspendedCycles(),
+              0u);
+
+    harness::Experiment baseExp(SystemConfig::uniprocessor(1),
+                                rt::Backend::Shred);
+    auto baseProc = baseExp.load(asmApp("base", src));
+    Tick baseT = baseExp.run(baseProc.process, 500'000'000);
+    ASSERT_GT(baseT, 0u);
+    EXPECT_GT(baseExp.system().processor(0).amsAt(0).suspendedCycles(),
+              0u);
+}
+
+TEST(MispArch, SerializeWindowMatchesEquationOne)
+{
+    // Measure one serialization episode: window = 2*signal + priv.
+    // Use Noop syscalls and compare serializeCycles accounting.
+    auto app = asmApp("eq1", R"(
+        main:
+            syscall 11
+            movi r0, 0
+            syscall 2
+    )");
+    SystemConfig cfg = SystemConfig::uniprocessor(3);
+    cfg.kernel.deviceIrqMeanPeriod = 0; // quiet
+    harness::Experiment exp(cfg, rt::Backend::Shred);
+    auto proc = exp.load(app);
+    Tick t = exp.run(proc.process, 500'000'000);
+    ASSERT_GT(t, 0u);
+
+    MispProcessor &mp = exp.system().processor(0);
+    const Cycles signal = mp.config().signalCycles;
+    double serializations = mp.serializations();
+    double windows = mp.statGroup().lookupValue("serializeCycles");
+    double priv = mp.statGroup().lookupValue("privCycles");
+    // Eq.1 summed over all episodes.
+    EXPECT_DOUBLE_EQ(windows, 2.0 * signal * serializations + priv);
+}
+
+TEST(MispArch, ProxySignalAccountingMatchesEquationTwo)
+{
+    harness::DataRegion region;
+    region.addr = 0x0800'0000;
+    region.size = 16 * mem::kPageSize;
+    auto app = asmApp("eq2", R"(
+        main:
+            call 0x600000
+            movi r1, 1
+            movi r2, worker
+            movi r3, 0x800FFF8
+            signal r1, r2, r3
+        waitloop:
+            movi r4, 0x8000000
+            ld8 r5, [r4]
+            cmpi r5, 5
+            jcc.ne waitloop
+            movi r0, 0
+            syscall 2
+        worker:
+            ; touch 5 fresh pages -> 5 proxy page faults
+            movi r4, 0x8001000
+            movi r6, 0
+        faultloop:
+            st8 [r4], r6
+            addi r4, r4, 4096
+            addi r6, r6, 1
+            cmpi r6, 5
+            jcc.lt faultloop
+            movi r4, 0x8000000
+            movi r5, 5
+            st8 [r4], r5
+            halt
+    )",
+                      {region});
+
+    SystemConfig cfg = SystemConfig::uniprocessor(2);
+    cfg.kernel.deviceIrqMeanPeriod = 0;
+    harness::Experiment exp(cfg, rt::Backend::Shred);
+    auto proc = exp.load(app);
+    Tick t = exp.run(proc.process, 500'000'000);
+    ASSERT_GT(t, 0u);
+
+    MispProcessor &mp = exp.system().processor(0);
+    const Cycles signal = mp.config().signalCycles;
+    double requests = mp.statGroup().lookupValue("proxyRequests");
+    double egress = mp.statGroup().lookupValue("proxySignalCycles");
+    EXPECT_GE(requests, 5.0);
+    // Eq.2: proxy egress overhead = 3 * signal per request.
+    EXPECT_DOUBLE_EQ(egress, 3.0 * signal * requests);
+}
+
+TEST(MispArch, MpConfigurationsExposeCorrectTopology)
+{
+    MispSystem sys(SystemConfig::mp({3, 0, 0, 0, 0}));
+    EXPECT_EQ(sys.numProcessors(), 5u);
+    EXPECT_EQ(sys.processor(0).numAms(), 3u);
+    EXPECT_EQ(sys.processor(1).numAms(), 0u);
+    EXPECT_EQ(sys.processor(0).numSequencers(), 4u);
+    // Kernel sees one CPU per MISP processor (the OMSs only).
+    EXPECT_EQ(sys.kernel().numCpus(), 5u);
+}
+
+TEST(MispArch, SequencerLookupBySid)
+{
+    MispSystem sys(SystemConfig::uniprocessor(2));
+    MispProcessor &mp = sys.processor(0);
+    EXPECT_EQ(mp.sequencer(0), &mp.oms());
+    EXPECT_EQ(mp.sequencer(1), &mp.amsAt(0));
+    EXPECT_EQ(mp.sequencer(2), &mp.amsAt(1));
+    EXPECT_EQ(mp.sequencer(3), nullptr);
+}
+
+TEST(MispArch, TwoProcessesShareOneOmsByTimeSlicing)
+{
+    // Two single-threaded processes on a 1x2 MISP system: both must make
+    // progress through preemptive scheduling.
+    auto src = R"(
+        main:
+            movi r5, 0
+        loop:
+            compute 2000
+            addi r5, r5, 1
+            cmpi r5, 3000
+            jcc.lt loop
+            movi r0, 0
+            syscall 2
+    )";
+    harness::Experiment exp(SystemConfig::uniprocessor(1),
+                            rt::Backend::Shred);
+    auto a = exp.load(asmApp("a", src));
+    auto b = exp.load(asmApp("b", src));
+    Tick ta = exp.run(a.process, 100'000'000'000ull);
+    ASSERT_GT(ta, 0u);
+    // Both processes interleaved on one OMS: the first to finish needed
+    // roughly twice its solo time.
+    EXPECT_GT(exp.system().kernel().contextSwitches(), 2u);
+    (void)b;
+}
+
+TEST(MispArch, ShreddedThreadSurvivesContextSwitch)
+{
+    // A shredded app (raytracer, small) shares the OMS with a competing
+    // process; its shreds are suspended/saved/restored across thread
+    // switches and the result must stay correct.
+    wl::WorkloadParams params;
+    params.workers = 3;
+    wl::Workload w = wl::buildRaytracer(params);
+
+    harness::Experiment exp(SystemConfig::uniprocessor(3),
+                            rt::Backend::Shred);
+    auto rt = exp.load(w.app);
+    auto spin = exp.load(wl::buildSpinner(params).app);
+    (void)spin;
+    Tick t = exp.run(rt.process, 100'000'000'000ull);
+    ASSERT_GT(t, 0u);
+    EXPECT_TRUE(w.validate(rt.process->addressSpace()));
+    EXPECT_GT(exp.system().processor(0).statGroup().lookupValue(
+                  "threadSwitches"),
+              1.0);
+}
+
+TEST(MispArch, SignalCostZeroStillCorrect)
+{
+    wl::WorkloadParams params;
+    params.workers = 3;
+    wl::Workload w = wl::buildDenseMvm(params);
+    SystemConfig cfg = SystemConfig::uniprocessor(3);
+    cfg.misp.signalCycles = 0;
+    harness::Experiment exp(cfg, rt::Backend::Shred);
+    auto proc = exp.load(w.app);
+    Tick t = exp.run(proc.process);
+    ASSERT_GT(t, 0u);
+    EXPECT_TRUE(w.validate(proc.process->addressSpace()));
+}
+
+TEST(MispArch, HigherSignalCostNeverFaster)
+{
+    wl::WorkloadParams params;
+    params.workers = 3;
+    Tick prev = 0;
+    for (Cycles cost : {Cycles{0}, Cycles{5000}, Cycles{50000}}) {
+        wl::Workload w = wl::buildSparseMvm(params);
+        SystemConfig cfg = SystemConfig::uniprocessor(3);
+        cfg.misp.signalCycles = cost;
+        cfg.kernel.deviceIrqMeanPeriod = 0;
+        harness::Experiment exp(cfg, rt::Backend::Shred);
+        auto proc = exp.load(w.app);
+        Tick t = exp.run(proc.process);
+        ASSERT_GT(t, 0u);
+        EXPECT_GE(t + 1000, prev) << "signal=" << cost; // small tolerance
+        prev = t;
+    }
+}
+
+TEST(MispArch, Table1EventClassesAllExercised)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+    wl::Workload w = wl::buildArt(params); // has AMS syscalls too
+    harness::Experiment exp(SystemConfig::uniprocessor(7),
+                            rt::Backend::Shred);
+    auto proc = exp.load(w.app);
+    Tick t = exp.run(proc.process);
+    ASSERT_GT(t, 0u);
+    MispProcessor &mp = exp.system().processor(0);
+    EXPECT_GT(mp.eventCount(Ring0Cause::OmsSyscall), 0u);
+    EXPECT_GT(mp.eventCount(Ring0Cause::OmsPageFault), 0u);
+    EXPECT_GT(mp.eventCount(Ring0Cause::Timer), 0u);
+    EXPECT_GT(mp.eventCount(Ring0Cause::OtherInterrupt), 0u);
+    EXPECT_GT(mp.eventCount(Ring0Cause::ProxySyscall), 0u);
+    EXPECT_GT(mp.eventCount(Ring0Cause::ProxyPageFault), 0u);
+}

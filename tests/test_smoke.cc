@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end smoke tests: a workload runs to completion and computes
+ * the right answer on both the MISP machine and the SMP baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace misp;
+
+namespace {
+
+struct RunOutcome {
+    Tick ticks = 0;
+    bool valid = false;
+};
+
+RunOutcome
+runOnce(const arch::SystemConfig &sys, rt::Backend backend,
+        wl::Workload workload)
+{
+    harness::Experiment exp(sys, backend);
+    harness::LoadedProcess proc = exp.load(workload.app);
+    RunOutcome out;
+    out.ticks = exp.run(proc.process);
+    out.valid = !workload.validate ||
+                workload.validate(proc.process->addressSpace());
+    return out;
+}
+
+} // namespace
+
+TEST(Smoke, DenseMvmOnMisp)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+    wl::Workload w = wl::buildDenseMvm(params);
+    RunOutcome out = runOnce(arch::SystemConfig::uniprocessor(7),
+                             rt::Backend::Shred, std::move(w));
+    EXPECT_GT(out.ticks, 0u);
+    EXPECT_TRUE(out.valid);
+}
+
+TEST(Smoke, DenseMvmOnSmp)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+    wl::Workload w = wl::buildDenseMvm(params);
+    RunOutcome out =
+        runOnce(arch::SystemConfig::mp({0, 0, 0, 0, 0, 0, 0, 0}),
+                rt::Backend::OsThread, std::move(w));
+    EXPECT_GT(out.ticks, 0u);
+    EXPECT_TRUE(out.valid);
+}
+
+TEST(Smoke, MispBeatsSingleSequencer)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+
+    RunOutcome par = runOnce(arch::SystemConfig::uniprocessor(7),
+                             rt::Backend::Shred,
+                             wl::buildDenseMvm(params));
+    RunOutcome ser = runOnce(arch::SystemConfig::mp({0}),
+                             rt::Backend::OsThread,
+                             wl::buildDenseMvm(params));
+    ASSERT_GT(par.ticks, 0u);
+    ASSERT_GT(ser.ticks, 0u);
+    double speedup =
+        static_cast<double>(ser.ticks) / static_cast<double>(par.ticks);
+    EXPECT_GT(speedup, 3.0) << "expected parallel speedup on 8 sequencers";
+}

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Parameterized end-to-end sweep: every workload in the paper's suite
+ * must run to completion and produce the host-validated result on the
+ * MISP machine, plus cross-backend and property checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "workloads/workload.hh"
+
+using namespace misp;
+
+namespace {
+
+struct RunOut {
+    Tick ticks = 0;
+    bool valid = false;
+    std::uint64_t proxies = 0;
+};
+
+RunOut
+runWorkload(const wl::WorkloadInfo &info, const arch::SystemConfig &cfg,
+            rt::Backend backend, const wl::WorkloadParams &params)
+{
+    wl::Workload w = info.build(params);
+    harness::Experiment exp(cfg, backend);
+    auto proc = exp.load(w.app);
+    RunOut out;
+    out.ticks = exp.run(proc.process);
+    out.valid =
+        !w.validate || w.validate(proc.process->addressSpace());
+    out.proxies = static_cast<std::uint64_t>(
+        exp.system().processor(0).statGroup().lookupValue(
+            "proxyRequests"));
+    return out;
+}
+
+class WorkloadSweep
+    : public ::testing::TestWithParam<const wl::WorkloadInfo *>
+{};
+
+std::string
+workloadName(
+    const ::testing::TestParamInfo<const wl::WorkloadInfo *> &info)
+{
+    return info.param->name;
+}
+
+std::vector<const wl::WorkloadInfo *>
+allInfos()
+{
+    std::vector<const wl::WorkloadInfo *> out;
+    for (const wl::WorkloadInfo &info : wl::allWorkloads())
+        out.push_back(&info);
+    return out;
+}
+
+} // namespace
+
+TEST_P(WorkloadSweep, CorrectOnMispUniprocessor)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+    RunOut out = runWorkload(*GetParam(),
+                             arch::SystemConfig::uniprocessor(7),
+                             rt::Backend::Shred, params);
+    ASSERT_GT(out.ticks, 0u);
+    EXPECT_TRUE(out.valid);
+}
+
+TEST_P(WorkloadSweep, DeterministicAcrossRuns)
+{
+    wl::WorkloadParams params;
+    params.workers = 3;
+    arch::SystemConfig cfg = arch::SystemConfig::uniprocessor(3);
+    RunOut a = runWorkload(*GetParam(), cfg, rt::Backend::Shred, params);
+    RunOut b = runWorkload(*GetParam(), cfg, rt::Backend::Shred, params);
+    ASSERT_GT(a.ticks, 0u);
+    // Bit-identical simulation: same seed, same config => same tick.
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.proxies, b.proxies);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadSweep,
+                         ::testing::ValuesIn(allInfos()), workloadName);
+
+// ---------------------------------------------------------------------
+// Cross-cutting properties on a representative subset
+// ---------------------------------------------------------------------
+
+class WorkloadProperties
+    : public ::testing::TestWithParam<const wl::WorkloadInfo *>
+{};
+
+std::vector<const wl::WorkloadInfo *>
+subsetInfos()
+{
+    std::vector<const wl::WorkloadInfo *> out;
+    for (const char *name :
+         {"dense_mvm", "kmeans", "sparse_mvm_trans", "Raytracer",
+          "galgel"}) {
+        out.push_back(wl::findWorkload(name));
+    }
+    return out;
+}
+
+TEST_P(WorkloadProperties, CorrectOnSmpBaseline)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+    RunOut out = runWorkload(
+        *GetParam(), arch::SystemConfig::mp({0, 0, 0, 0, 0, 0, 0, 0}),
+        rt::Backend::OsThread, params);
+    ASSERT_GT(out.ticks, 0u);
+    EXPECT_TRUE(out.valid);
+}
+
+TEST_P(WorkloadProperties, CorrectWithOneWorker)
+{
+    wl::WorkloadParams params;
+    params.workers = 1;
+    RunOut out = runWorkload(*GetParam(),
+                             arch::SystemConfig::uniprocessor(1),
+                             rt::Backend::Shred, params);
+    ASSERT_GT(out.ticks, 0u);
+    EXPECT_TRUE(out.valid);
+}
+
+TEST_P(WorkloadProperties, ParallelismHelps)
+{
+    wl::WorkloadParams params;
+    params.workers = 7;
+    RunOut par = runWorkload(*GetParam(),
+                             arch::SystemConfig::uniprocessor(7),
+                             rt::Backend::Shred, params);
+    RunOut ser = runWorkload(*GetParam(), arch::SystemConfig::mp({0}),
+                             rt::Backend::OsThread, params);
+    ASSERT_GT(par.ticks, 0u);
+    ASSERT_GT(ser.ticks, 0u);
+    double speedup = double(ser.ticks) / double(par.ticks);
+    EXPECT_GT(speedup, 4.0) << "8 sequencers should speed up >4x";
+    EXPECT_LT(speedup, 8.5) << "speedup cannot exceed sequencer count";
+}
+
+TEST_P(WorkloadProperties, PrefaultEliminatesProxyPageFaults)
+{
+    const wl::WorkloadInfo *info = GetParam();
+    if (std::string(info->name) == "kmeans" ||
+        info->name == std::string("galgel")) {
+        GTEST_SKIP() << "serial-init workloads fault on the OMS anyway";
+    }
+    wl::WorkloadParams off;
+    off.workers = 7;
+    wl::WorkloadParams on = off;
+    on.prefault = true;
+    RunOut roff = runWorkload(*info, arch::SystemConfig::uniprocessor(7),
+                              rt::Backend::Shred, off);
+    RunOut ron = runWorkload(*info, arch::SystemConfig::uniprocessor(7),
+                             rt::Backend::Shred, on);
+    if (info->name == std::string("dense_mvm") ||
+        info->name == std::string("sparse_mvm_trans")) {
+        EXPECT_LT(ron.proxies, roff.proxies);
+    }
+    EXPECT_TRUE(ron.valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(Subset, WorkloadProperties,
+                         ::testing::ValuesIn(subsetInfos()),
+                         workloadName);
