@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Ablation: the predecoded-block execution engine (decode cache + TLB
+ * fetch fast path) on vs. off.
+ *
+ * Runs interpreter-bound kernels — straight-line, tight loop, and a
+ * memory-touching loop — plus one full-system workload, each with the
+ * engine enabled and disabled, and reports:
+ *
+ *  - host throughput (retired guest instructions per host second) for
+ *    both settings and the speedup ratio, and
+ *  - a model check: simulated cycles, retired counts, and final ticks
+ *    must be bit-identical across the two settings (the engine is a
+ *    host-side optimization only). Any divergence fails the run.
+ *
+ * Results are also written to BENCH_decode_cache.json so CI keeps a
+ * perf trajectory across PRs.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "harness/bare_machine.hh"
+#include "isa/assembler.hh"
+
+using namespace misp;
+using namespace misp::bench;
+
+namespace {
+
+struct KernelResult {
+    std::string name;
+    Tick simCyclesOn = 0, simCyclesOff = 0;
+    std::uint64_t retiredOn = 0, retiredOff = 0;
+    double mipsOn = 0.0, mipsOff = 0.0;
+    double speedup = 0.0;
+    bool identical = false;
+};
+
+/** Multi-page straight-line code: @p bodyInsts ALU ops in sequence,
+ *  re-run @p reps times by one outer backward branch. */
+std::string
+straightLineSrc(unsigned bodyInsts, unsigned reps)
+{
+    std::string src = "main:\n    movi r1, 0\nouter:\n";
+    for (unsigned i = 0; i < bodyInsts; ++i) {
+        switch (i % 4) {
+          case 0: src += "    addi r2, r2, 3\n"; break;
+          case 1: src += "    xori r3, r2, 0x5a\n"; break;
+          case 2: src += "    muli r4, r3, 7\n"; break;
+          case 3: src += "    subi r5, r4, 1\n"; break;
+        }
+    }
+    src += "    addi r1, r1, 1\n    cmpi r1, " + std::to_string(reps) +
+           "\n    jcc.lt outer\n    halt\n";
+    return src;
+}
+
+std::string
+tightLoopSrc(unsigned iters)
+{
+    return R"(
+        main:
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            muli r2, r1, 3
+            xori r3, r2, 0x55
+            cmpi r1, )" +
+           std::to_string(iters) + R"(
+            jcc.lt loop
+            halt
+    )";
+}
+
+std::string
+memLoopSrc(unsigned iters)
+{
+    // Loads + stores so the data-side TLB and the SMC write probe are
+    // both exercised (stores land on data pages: O(1) bitmap test).
+    return R"(
+        main:
+            movi r1, 0
+            movi r4, 0x100000
+        loop:
+            ld8 r2, [r4+0]
+            addi r2, r2, 1
+            st8 [r4+0], r2
+            addi r1, r1, 1
+            cmpi r1, )" +
+           std::to_string(iters) + R"(
+            jcc.lt loop
+            halt
+    )";
+}
+
+struct Measured {
+    Tick ticks = 0;
+    Tick busyCycles = 0;
+    std::uint64_t retired = 0;
+    double seconds = 0.0;
+};
+
+Measured
+runKernel(const std::string &src, bool decodeCache)
+{
+    harness::BareMachine m(src, decodeCache);
+    auto t0 = std::chrono::steady_clock::now();
+    m.run();
+    auto t1 = std::chrono::steady_clock::now();
+    Measured out;
+    out.ticks = m.eq.curTick();
+    out.busyCycles = m.seq.busyCycles();
+    out.retired = m.seq.instsRetired();
+    out.seconds = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+KernelResult
+compareKernel(const std::string &name, const std::string &src,
+              unsigned reps)
+{
+    KernelResult r;
+    r.name = name;
+    // Warm-up once per setting, then take the best host time of reps.
+    double bestOn = 1e30, bestOff = 1e30;
+    Measured on, off;
+    for (unsigned i = 0; i < reps; ++i) {
+        Measured m = runKernel(src, true);
+        on = m;
+        bestOn = std::min(bestOn, m.seconds);
+    }
+    for (unsigned i = 0; i < reps; ++i) {
+        Measured m = runKernel(src, false);
+        off = m;
+        bestOff = std::min(bestOff, m.seconds);
+    }
+    r.simCyclesOn = on.busyCycles;
+    r.simCyclesOff = off.busyCycles;
+    r.retiredOn = on.retired;
+    r.retiredOff = off.retired;
+    r.identical = on.ticks == off.ticks &&
+                  on.busyCycles == off.busyCycles &&
+                  on.retired == off.retired;
+    r.mipsOn = on.retired / bestOn / 1e6;
+    r.mipsOff = off.retired / bestOff / 1e6;
+    r.speedup = r.mipsOn / r.mipsOff;
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    const bool quick = quickMode(argc, argv);
+    const unsigned scale = quick ? 1 : 4;
+    const unsigned reps = quick ? 2 : 3;
+
+    printHeader("Ablation: predecoded-block execution engine "
+                "(decode cache + TLB fetch fast path)");
+
+    std::vector<KernelResult> results;
+    results.push_back(compareKernel(
+        "straight_line", straightLineSrc(600, 200 * scale), reps));
+    results.push_back(
+        compareKernel("tight_loop", tightLoopSrc(50'000 * scale), reps));
+    results.push_back(
+        compareKernel("mem_loop", memLoopSrc(30'000 * scale), reps));
+
+    // Full-system check: one Figure-4 workload end to end, both ways.
+    const wl::WorkloadInfo *mvm = nullptr;
+    for (const wl::WorkloadInfo &info : wl::allWorkloads()) {
+        if (info.name == "dense_mvm")
+            mvm = &info;
+    }
+    bool fullIdentical = true;
+    if (mvm) {
+        wl::WorkloadParams params = defaultParams(quick);
+        arch::SystemConfig on = mispUni();
+        on.misp.decodeCache = true;
+        arch::SystemConfig off = mispUni();
+        off.misp.decodeCache = false;
+        RunResult rOn = runWorkload(on, rt::Backend::Shred, *mvm, params);
+        RunResult rOff =
+            runWorkload(off, rt::Backend::Shred, *mvm, params);
+        fullIdentical = rOn.ticks == rOff.ticks && rOn.valid &&
+                        rOff.valid &&
+                        rOn.instsRetired == rOff.instsRetired;
+        std::printf("\nfull-system dense_mvm: on=%llu off=%llu ticks "
+                    "(%s), host %.2f vs %.2f MIPS\n",
+                    (unsigned long long)rOn.ticks,
+                    (unsigned long long)rOff.ticks,
+                    fullIdentical ? "identical" : "DIVERGED",
+                    rOn.hostMips, rOff.hostMips);
+    }
+
+    std::printf("\n%-14s %12s %12s %9s %9s %8s  %s\n", "kernel",
+                "sim_cyc_on", "sim_cyc_off", "mips_on", "mips_off",
+                "speedup", "model");
+    bool allIdentical = fullIdentical;
+    double minSpeedup = 1e30;
+    for (const KernelResult &r : results) {
+        std::printf("%-14s %12llu %12llu %9.2f %9.2f %7.2fx  %s\n",
+                    r.name.c_str(), (unsigned long long)r.simCyclesOn,
+                    (unsigned long long)r.simCyclesOff, r.mipsOn,
+                    r.mipsOff, r.speedup,
+                    r.identical ? "identical" : "DIVERGED");
+        allIdentical = allIdentical && r.identical;
+        minSpeedup = std::min(minSpeedup, r.speedup);
+    }
+
+    // Machine-readable trajectory for CI.
+    FILE *json = std::fopen("BENCH_decode_cache.json", "w");
+    if (json) {
+        std::fprintf(json, "{\n  \"kernels\": [\n");
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const KernelResult &r = results[i];
+            std::fprintf(
+                json,
+                "    {\"name\": \"%s\", \"mips_on\": %.2f, "
+                "\"mips_off\": %.2f, \"speedup\": %.3f, "
+                "\"sim_cycles_on\": %llu, \"sim_cycles_off\": %llu, "
+                "\"retired\": %llu, \"identical\": %s}%s\n",
+                r.name.c_str(), r.mipsOn, r.mipsOff, r.speedup,
+                (unsigned long long)r.simCyclesOn,
+                (unsigned long long)r.simCyclesOff,
+                (unsigned long long)r.retiredOn,
+                r.identical ? "true" : "false",
+                i + 1 < results.size() ? "," : "");
+        }
+        std::fprintf(json,
+                     "  ],\n  \"min_speedup\": %.3f,\n"
+                     "  \"model_identical\": %s\n}\n",
+                     minSpeedup, allIdentical ? "true" : "false");
+        std::fclose(json);
+        std::printf("\nwrote BENCH_decode_cache.json (min speedup "
+                    "%.2fx)\n",
+                    minSpeedup);
+    }
+
+    if (!allIdentical) {
+        std::printf("FAIL: simulated results diverged between decode "
+                    "cache on and off\n");
+        return 1;
+    }
+    return 0;
+}

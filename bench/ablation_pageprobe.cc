@@ -20,7 +20,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bool quick = quickMode(argc, argv);
+    bool quick = parseBenchFlags(argc, argv);
 
     printHeader("Ablation B: §5.3 page-probe pre-faulting "
                 "(prefault off -> on)");

@@ -50,7 +50,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bool quick = quickMode(argc, argv);
+    bool quick = parseBenchFlags(argc, argv);
     wl::WorkloadParams params = defaultParams(quick);
 
     printHeader("Ablation A: suspend-all vs speculative control-register "

@@ -11,6 +11,7 @@
 #ifndef MISP_BENCH_BENCH_COMMON_HH
 #define MISP_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +27,12 @@ namespace misp::bench {
 struct RunResult {
     Tick ticks = 0;
     bool valid = false;
+    /** Host-side performance of the run: retired guest instructions
+     *  (all sequencers, all processors), wall-clock seconds, and their
+     *  ratio in millions of instructions per host second. */
+    std::uint64_t instsRetired = 0;
+    double hostSeconds = 0.0;
+    double hostMips = 0.0;
     /** Table-1 event counts of processor 0. */
     std::uint64_t omsSyscalls = 0;
     std::uint64_t omsPageFaults = 0;
@@ -51,26 +58,131 @@ quickMode(int argc, char **argv)
     return env && env[0] == '1';
 }
 
+/** `--no-decode-cache` / MISP_NO_DECODE_CACHE=1: run the reference
+ *  per-instruction fetch+decode path instead of the predecoded-block
+ *  engine. Simulated results are bit-identical either way; this is the
+ *  escape hatch for isolating the engine and for A/B host-time runs. */
+inline bool
+decodeCacheDisabled(int argc = 0, char **argv = nullptr)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-decode-cache") == 0)
+            return true;
+    }
+    const char *env = std::getenv("MISP_NO_DECODE_CACHE");
+    return env && env[0] == '1';
+}
+
+/** Default decode-cache setting baked into the config helpers below.
+ *  Set once per bench via parseBenchFlags(); explicit assignments to
+ *  SystemConfig::misp.decodeCache after construction still win (the
+ *  decode-cache ablation relies on that for its A/B legs). */
+inline bool gBenchDecodeCache = true;
+
+/** Parse the flags every bench shares; call first thing in main(). */
+inline bool
+parseBenchFlags(int argc, char **argv)
+{
+    gBenchDecodeCache = !decodeCacheDisabled(argc, argv);
+    return quickMode(argc, argv);
+}
+
+/** Sum of retired guest instructions over every sequencer of every
+ *  processor in @p sys. */
+inline std::uint64_t
+totalInstsRetired(arch::MispSystem &sys)
+{
+    std::uint64_t total = 0;
+    for (unsigned p = 0; p < sys.numProcessors(); ++p) {
+        arch::MispProcessor &mp = sys.processor(p);
+        for (SequencerId sid = 0;; ++sid) {
+            cpu::Sequencer *seq = mp.sequencer(sid);
+            if (!seq)
+                break;
+            total += seq->instsRetired();
+        }
+    }
+    return total;
+}
+
 /** The paper's default machine: 8 sequencers at 3.0 GHz. */
 inline arch::SystemConfig
 mispUni(unsigned numAms = 7)
 {
-    return arch::SystemConfig::uniprocessor(numAms);
+    arch::SystemConfig sys = arch::SystemConfig::uniprocessor(numAms);
+    sys.misp.decodeCache = gBenchDecodeCache;
+    return sys;
+}
+
+/** An MP machine with the given per-processor AMS counts; the single
+ *  place bench-wide flags are folded into MP configs. */
+inline arch::SystemConfig
+mispMp(const std::vector<unsigned> &amsCounts)
+{
+    arch::SystemConfig sys = arch::SystemConfig::mp(amsCounts);
+    sys.misp.decodeCache = gBenchDecodeCache;
+    return sys;
 }
 
 inline arch::SystemConfig
 smp8()
 {
-    return arch::SystemConfig::mp({0, 0, 0, 0, 0, 0, 0, 0});
+    return mispMp({0, 0, 0, 0, 0, 0, 0, 0});
 }
 
 inline arch::SystemConfig
 smp1()
 {
-    return arch::SystemConfig::mp({0});
+    return mispMp({0});
 }
 
-/** Build + load + run one workload to completion; harvest stats. */
+/** Uniform host-throughput line, one per measured run, on stderr (so
+ *  figure tables on stdout stay clean). @return MIPS. */
+inline double
+reportHost(const std::string &name, std::uint64_t instsRetired,
+           double hostSeconds, bool decodeCache)
+{
+    double mips =
+        hostSeconds > 0.0 ? instsRetired / hostSeconds / 1e6 : 0.0;
+    std::fprintf(stderr,
+                 "HOST name=%s retired=%llu host_ms=%.1f mips=%.2f "
+                 "decode_cache=%d\n",
+                 name.c_str(), (unsigned long long)instsRetired,
+                 hostSeconds * 1e3, mips, decodeCache ? 1 : 0);
+    return mips;
+}
+
+/** Outcome of one wall-clock-timed simulation run. */
+struct TimedRun {
+    Tick ticks = 0;
+    std::uint64_t instsRetired = 0;
+    double hostSeconds = 0.0;
+    double hostMips = 0.0;
+};
+
+/** Run @p target to completion under the wall clock and emit the
+ *  uniform HOST line — the one place measured runs are timed, shared
+ *  by runWorkload() and the benches that build their machines by
+ *  hand (e.g. fig7). */
+inline TimedRun
+runTimed(harness::Experiment &exp, os::Process *target,
+         const std::string &name, bool decodeCache,
+         Tick maxTicks = 2'000'000'000'000ull)
+{
+    TimedRun out;
+    auto t0 = std::chrono::steady_clock::now();
+    out.ticks = exp.run(target, maxTicks);
+    auto t1 = std::chrono::steady_clock::now();
+    out.instsRetired = totalInstsRetired(exp.system());
+    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.hostMips = reportHost(name, out.instsRetired, out.hostSeconds,
+                              decodeCache);
+    return out;
+}
+
+/** Build + load + run one workload to completion; harvest stats. Every
+ *  bench reports host-side throughput uniformly via reportHost(), so
+ *  perf trajectories are comparable across figures. */
 inline RunResult
 runWorkload(const arch::SystemConfig &sys, rt::Backend backend,
             const wl::WorkloadInfo &info, const wl::WorkloadParams &params)
@@ -78,9 +190,14 @@ runWorkload(const arch::SystemConfig &sys, rt::Backend backend,
     wl::Workload w = info.build(params);
     harness::Experiment exp(sys, backend);
     harness::LoadedProcess proc = exp.load(w.app);
+    TimedRun timed = runTimed(exp, proc.process, info.name,
+                              sys.misp.decodeCache);
     RunResult out;
-    out.ticks = exp.run(proc.process);
+    out.ticks = timed.ticks;
     out.valid = !w.validate || w.validate(proc.process->addressSpace());
+    out.instsRetired = timed.instsRetired;
+    out.hostSeconds = timed.hostSeconds;
+    out.hostMips = timed.hostMips;
 
     arch::MispProcessor &mp = exp.system().processor(0);
     using arch::Ring0Cause;

@@ -20,7 +20,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bool quick = quickMode(argc, argv);
+    bool quick = parseBenchFlags(argc, argv);
     wl::WorkloadParams params = defaultParams(quick);
 
     printHeader("Figure 4: MISP (1 OMS + 7 AMS) vs SMP (8 cores), "

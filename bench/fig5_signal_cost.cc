@@ -21,7 +21,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bool quick = quickMode(argc, argv);
+    bool quick = parseBenchFlags(argc, argv);
     wl::WorkloadParams params = defaultParams(quick);
 
     const Cycles costs[] = {500, 1000, 5000};

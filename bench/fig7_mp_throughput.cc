@@ -35,8 +35,7 @@ runRaytracerUnder(const MpConfig &cfg, unsigned competitors,
                   const wl::WorkloadParams &params)
 {
     wl::Workload w = wl::buildRaytracer(params);
-    harness::Experiment exp(arch::SystemConfig::mp(cfg.ams),
-                            rt::Backend::Shred);
+    harness::Experiment exp(mispMp(cfg.ams), rt::Backend::Shred);
 
     // Pin the shredded thread to a processor with enough AMSs (§5.4:
     // "a thread should not migrate to a MISP processor that does not
@@ -60,7 +59,11 @@ runRaytracerUnder(const MpConfig &cfg, unsigned competitors,
         exp.load(wl::buildSpinner(spinParams).app, affinity);
     }
 
-    return exp.run(rtProc.process, 2'000'000'000'000ull);
+    return runTimed(exp, rtProc.process,
+                    "fig7_" + std::string(cfg.name) + "_+" +
+                        std::to_string(competitors),
+                    gBenchDecodeCache)
+        .ticks;
 }
 
 } // namespace
@@ -69,7 +72,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bool quick = quickMode(argc, argv);
+    bool quick = parseBenchFlags(argc, argv);
     wl::WorkloadParams params = defaultParams(quick);
     params.workers = 7;
 
@@ -105,13 +108,16 @@ main(int argc, char **argv)
             if (cfg.name == std::string("smp") && cfg.shredProcAms == 0) {
                 // SMP baseline: RayTracer uses OS threads.
                 wl::Workload w = wl::buildRaytracer(params);
-                harness::Experiment exp(arch::SystemConfig::mp(cfg.ams),
+                harness::Experiment exp(mispMp(cfg.ams),
                                         rt::Backend::OsThread);
                 auto rtProc = exp.load(w.app);
                 wl::WorkloadParams spinParams;
                 for (unsigned c = 0; c < load; ++c)
                     exp.load(wl::buildSpinner(spinParams).app);
-                Tick t = exp.run(rtProc.process, 2'000'000'000'000ull);
+                Tick t = runTimed(exp, rtProc.process,
+                                  "fig7_smp_+" + std::to_string(load),
+                                  gBenchDecodeCache)
+                             .ticks;
                 if (load == 0)
                     unloaded = t;
                 std::printf(" %8.3f",

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "harness/bare_machine.hh"
 #include "harness/experiment.hh"
 #include "isa/assembler.hh"
 #include "workloads/workload.hh"
@@ -54,52 +55,6 @@ BM_AssembleSmallProgram(benchmark::State &state)
 }
 BENCHMARK(BM_AssembleSmallProgram);
 
-namespace {
-
-/** Run a bare guest program on one sequencer, returning insts/host-s. */
-struct BareMachine {
-    EventQueue eq;
-    mem::PhysicalMemory pmem{1 << 14};
-    stats::StatGroup root{""};
-    mem::AddressSpace as{"p", pmem};
-    cpu::Sequencer seq{"s", 0, true, eq, pmem, &root};
-
-    struct NullEnv : cpu::SequencerEnv {
-        mem::AddressSpace &as;
-        explicit NullEnv(mem::AddressSpace &a) : as(a) {}
-        cpu::FaultAction
-        handleFault(cpu::Sequencer &, const mem::Fault &f,
-                    Cycles *c) override
-        {
-            *c = 0;
-            if (f.kind == mem::FaultKind::PageFault &&
-                as.handleFault(f.addr, f.write) ==
-                    mem::FaultOutcome::Paged)
-                return cpu::FaultAction::Retry;
-            return cpu::FaultAction::Kill;
-        }
-        Cycles handleRtCall(cpu::Sequencer &, Word) override { return 0; }
-        void signalInstruction(cpu::Sequencer &, SequencerId,
-                               const cpu::SignalPayload &) override
-        {}
-        void sequencerHalted(cpu::Sequencer &) override {}
-        unsigned numSequencers() const override { return 1; }
-    } env{as};
-
-    explicit BareMachine(const std::string &src)
-    {
-        seq.setEnv(&env);
-        seq.mmu().setAddressSpace(&as);
-        isa::Program prog = isa::assemble(src, 0x40'0000);
-        as.defineRegion(prog.base, prog.byteSize() + 64, false, "code",
-                        prog.bytes());
-        as.defineRegion(0x10'0000, 8 * mem::kPageSize, true, "stack");
-        seq.startAt(prog.symbol("main"), 0x10'0000 + 8 * mem::kPageSize - 64);
-    }
-};
-
-} // namespace
-
 static void
 BM_InterpreterThroughput(benchmark::State &state)
 {
@@ -116,8 +71,8 @@ BM_InterpreterThroughput(benchmark::State &state)
     )";
     std::uint64_t insts = 0;
     for (auto _ : state) {
-        BareMachine m(src);
-        m.eq.run();
+        harness::BareMachine m(src);
+        m.run();
         insts += m.seq.instsRetired();
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(insts));

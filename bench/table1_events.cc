@@ -25,7 +25,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
-    bool quick = quickMode(argc, argv);
+    bool quick = parseBenchFlags(argc, argv);
     wl::WorkloadParams params = defaultParams(quick);
 
     printHeader("Table 1: Serializing Events (MISP, 1 OMS + 7 AMS)");

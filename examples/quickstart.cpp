@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "harness/experiment.hh"
 #include "isa/assembler.hh"
@@ -19,9 +20,18 @@
 using namespace misp;
 
 int
-main()
+main(int argc, char **argv)
 {
     setQuietLogging(true);
+
+    // Escape hatch: run the reference per-instruction fetch+decode path
+    // instead of the predecoded-block engine. Output is bit-identical —
+    // diff the two runs to check the engine.
+    bool decodeCache = true;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-decode-cache") == 0)
+            decodeCache = false;
+    }
 
     // A guest program: main starts one shred per AMS via SIGNAL; each
     // shred sums a slice of an array into a per-shred slot; main spins
@@ -132,8 +142,9 @@ main()
     data.size = 16 * mem::kPageSize;
     app.data.push_back(data);
 
-    harness::Experiment exp(arch::SystemConfig::uniprocessor(7),
-                            rt::Backend::Shred);
+    arch::SystemConfig sys = arch::SystemConfig::uniprocessor(7);
+    sys.misp.decodeCache = decodeCache;
+    harness::Experiment exp(sys, rt::Backend::Shred);
     harness::LoadedProcess proc = exp.load(app);
     Tick ticks = exp.run(proc.process);
 

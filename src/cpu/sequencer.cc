@@ -45,6 +45,12 @@ Sequencer::Sequencer(std::string name, SequencerId sid, bool ring0Capable,
       asyncTransfers_(&statGroup_, "asyncTransfers",
                       "YIELD-CONDITIONAL asynchronous control transfers"),
       faultsRaised_(&statGroup_, "faultsRaised", "architectural faults"),
+      decodeCacheHits_(&statGroup_, "decodeCacheHits",
+                       "instructions dispatched from a live predecoded "
+                       "block"),
+      decodeCacheMisses_(&statGroup_, "decodeCacheMisses",
+                         "decoded-block refills (page switch, "
+                         "invalidation, or CR3 change)"),
       mmu_("mmu", pmem, &statGroup_)
 {}
 
@@ -441,9 +447,68 @@ Sequencer::condHolds(isa::Cond cond) const
     return false;
 }
 
+void
+Sequencer::refillBlock(std::uint64_t vpn, PAddr pa)
+{
+    ++decodeCacheMisses_;
+    mem::AddressSpace *as = mmu_.addressSpace();
+    MISP_ASSERT(as != nullptr); // fetch translation just succeeded
+    DecodeCache &dc = as->decodeCache();
+    const PAddr paBase = pa & ~static_cast<PAddr>(mem::kPageMask);
+    DecodedPage *page = dc.find(vpn);
+    if (!page || page->paBase != paBase)
+        page = dc.decodePage(vpn, paBase);
+    block_.page = page;
+    block_.vpn = vpn;
+    block_.version = page->version;
+    block_.asGen = mmu_.addressSpaceGen();
+}
+
 Cycles
 Sequencer::executeOne(bool *stop)
 {
+    if (decodeCacheOn_) {
+        // Predecoded-block engine: model the fetch translation exactly
+        // (same TLB state, counters, and cycles as the reference path),
+        // then dispatch straight from the decoded page.
+        mem::FetchResult fr =
+            mmu_.fetchTranslate(ctx_.eip, ring_, /*fastPath=*/true);
+        Cycles cycles = fr.cycles;
+        if (fr.fault) {
+            bool advance = false;
+            cycles += handleFaultFromExec(fr.fault, stop, &advance);
+            return cycles;
+        }
+
+        const std::uint64_t vpn = mem::pageNumber(ctx_.eip);
+        // Validate the cached block: generation first (an address-space
+        // switch may have freed the page), then identity and content.
+        if (block_.page != nullptr &&
+            block_.asGen == mmu_.addressSpaceGen() && block_.vpn == vpn &&
+            block_.page->version == block_.version &&
+            block_.page->paBase == (fr.pa & ~static_cast<PAddr>(
+                                                mem::kPageMask))) {
+            ++decodeCacheHits_;
+        } else {
+            refillBlock(vpn, fr.pa);
+        }
+
+        const DecodedSlot &slot =
+            block_.page->slots[mem::pageOffset(ctx_.eip) /
+                               isa::kInstBytes];
+        if (!slot.valid) {
+            bool advance = false;
+            cycles += handleFaultFromExec(
+                mem::Fault::of(mem::FaultKind::InvalidOpcode, ctx_.eip),
+                stop, &advance);
+            if (advance)
+                ctx_.eip += isa::kInstBytes;
+            return cycles;
+        }
+        return executeDecoded(slot.inst, cycles + slot.lat, stop);
+    }
+
+    // Reference path: per-instruction fetch + byte-level decode.
     std::uint8_t buf[isa::kInstBytes];
     mem::AccessResult fr = mmu_.fetchInst(ctx_.eip, buf, ring_);
     Cycles cycles = fr.cycles;
@@ -464,7 +529,13 @@ Sequencer::executeOne(bool *stop)
         return cycles;
     }
 
-    cycles += isa::baseLatency(inst.op);
+    return executeDecoded(inst, cycles + isa::baseLatency(inst.op), stop);
+}
+
+Cycles
+Sequencer::executeDecoded(const isa::Instruction &inst, Cycles cycles,
+                          bool *stop)
+{
     auto &regs = ctx_.regs;
     bool advance = true;
 

@@ -25,6 +25,7 @@
 #include <deque>
 #include <string>
 
+#include "cpu/decode_cache.hh"
 #include "isa/isa.hh"
 #include "mem/mmu.hh"
 #include "sim/event_queue.hh"
@@ -304,6 +305,39 @@ class Sequencer
      *  suspensions and signal deliveries unboundedly. */
     void setSliceCycleBudget(Cycles budget) { sliceCycleBudget_ = budget; }
 
+    /** Enable/disable the predecoded-block execution engine. Both
+     *  settings produce bit-identical simulated cycles and stats; off is
+     *  the per-instruction fetch+decode reference path (the
+     *  `--no-decode-cache` escape hatch). */
+    void
+    setDecodeCache(bool on)
+    {
+        decodeCacheOn_ = on;
+        invalidateDecodedBlock();
+    }
+    bool decodeCacheEnabled() const { return decodeCacheOn_; }
+
+    /** Drop the cached decoded-block reference. Called by the MISP
+     *  serialization engine alongside TLB purges, and by anything else
+     *  that wants a hard resynchronization with guest memory. The block
+     *  is also revalidated per instruction (address-space generation +
+     *  page version), so this is a belt-and-braces purge point, not the
+     *  only line of defense. */
+    void
+    invalidateDecodedBlock()
+    {
+        block_ = BlockRef{};
+    }
+
+    std::uint64_t decodeCacheHits() const
+    {
+        return static_cast<std::uint64_t>(decodeCacheHits_.value());
+    }
+    std::uint64_t decodeCacheMisses() const
+    {
+        return static_cast<std::uint64_t>(decodeCacheMisses_.value());
+    }
+
     /** The current privilege ring (AMSs are always Ring 3 / User). */
     mem::Ring ring() const { return ring_; }
 
@@ -363,6 +397,13 @@ class Sequencer
     /** Execute one instruction; returns consumed cycles, sets *stop when
      *  the slice must end (fault deferred, halted, parked, ...). */
     Cycles executeOne(bool *stop);
+    /** Execute the already-fetched @p inst; shared by the predecoded and
+     *  reference fetch paths. @p cycles has the fetch+base latency. */
+    Cycles executeDecoded(const isa::Instruction &inst, Cycles cycles,
+                          bool *stop);
+    /** Re-point block_ at the decoded page for @p vpn (decoding it if
+     *  needed); the fetch translation for the page resolved to @p pa. */
+    void refillBlock(std::uint64_t vpn, PAddr pa);
     Cycles handleFaultFromExec(const mem::Fault &fault, bool *stop,
                                bool *advance);
 
@@ -381,6 +422,21 @@ class Sequencer
     mem::Ring ring_ = mem::Ring::User;
     unsigned sliceLimit_ = 32;
     Cycles sliceCycleBudget_ = 2500;
+
+    /** Cached reference into the current address space's decode cache.
+     *  Valid only while the MMU's address-space generation and the
+     *  page's version are unchanged — both are checked per instruction,
+     *  and the generation check runs first so a page freed with its
+     *  address space is never dereferenced. */
+    struct BlockRef {
+        DecodedPage *page = nullptr;
+        std::uint64_t vpn = 0;
+        std::uint64_t version = 0;
+        std::uint64_t asGen = 0;
+    };
+
+    bool decodeCacheOn_ = true;
+    BlockRef block_;
 
     RunEvent runEvent_;
     bool suspendRequested_ = false;
@@ -401,6 +457,8 @@ class Sequencer
     stats::Scalar signalsSent_;
     stats::Scalar asyncTransfers_;
     stats::Scalar faultsRaised_;
+    stats::Scalar decodeCacheHits_;
+    stats::Scalar decodeCacheMisses_;
     mem::Mmu mmu_;
 };
 

@@ -7,8 +7,15 @@
 
 namespace misp::mem {
 
+namespace {
+std::uint64_t nextAddressSpaceId = 1;
+} // namespace
+
 AddressSpace::AddressSpace(std::string name, PhysicalMemory &pmem)
-    : name_(std::move(name)), pmem_(pmem)
+    : name_(std::move(name)),
+      pmem_(pmem),
+      id_(nextAddressSpaceId++),
+      decodeCache_(pmem)
 {}
 
 AddressSpace::~AddressSpace()
@@ -105,6 +112,8 @@ AddressSpace::handleFault(VAddr va, bool write)
     // All user pages are mapped user-accessible; write permission follows
     // the VMA.
     table_.map(va, frame, region->vma.writable, /*user=*/true);
+    // A (re)mapped page can never serve stale predecoded contents.
+    decodeCache_.invalidateVpn(pageNumber(va));
     ++resident_;
     ++faultsServiced_;
 
@@ -157,6 +166,9 @@ AddressSpace::poke(VAddr va, const void *src, std::uint64_t len)
         std::uint64_t chunk =
             std::min<std::uint64_t>(len, kPageSize - pageOffset(va));
         pmem_.writeBytes(pte->frameBase() + pageOffset(va), in, chunk);
+        // Host-side writers (loaders, runtimes) obey the same decode
+        // coherence rule as guest stores.
+        decodeCache_.noteWrite(va);
         va += chunk;
         in += chunk;
         len -= chunk;

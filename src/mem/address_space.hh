@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "cpu/decode_cache.hh"
 #include "mem/page_table.hh"
 #include "mem/paging.hh"
 #include "mem/physical_memory.hh"
@@ -74,6 +75,17 @@ class AddressSpace
     const PageTable &pageTable() const { return table_; }
     PageTableRoot root() const { return table_.root(); }
 
+    /** Process-lifetime-unique identity (never reused, unlike the heap
+     *  address); lets an MMU detect "same space reloaded" without the
+     *  ABA hazard of comparing pointers across destruction. */
+    std::uint64_t id() const { return id_; }
+
+    /** Predecoded instruction pages derived from this space's memory.
+     *  Shared by every sequencer currently pointing its MMU here, and
+     *  invalidated by all writers (stores, pokes, mapping changes). */
+    cpu::DecodeCache &decodeCache() { return decodeCache_; }
+    const cpu::DecodeCache &decodeCache() const { return decodeCache_; }
+
     /**
      * Declare a VMA. If @p image is non-empty its bytes back the start of
      * the region (zero-fill beyond). Addresses are page-rounded outward.
@@ -126,6 +138,8 @@ class AddressSpace
 
     std::string name_;
     PhysicalMemory &pmem_;
+    std::uint64_t id_;
+    cpu::DecodeCache decodeCache_;
     PageTable table_;
     std::map<VAddr, Region> regions_; ///< keyed by start
     VAddr allocCursor_ = kHeapBase;

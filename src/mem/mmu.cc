@@ -1,5 +1,7 @@
 #include "mmu.hh"
 
+#include "cpu/decode_cache.hh"
+
 namespace misp::mem {
 
 Mmu::Mmu(std::string name, PhysicalMemory &pmem, stats::StatGroup *parent)
@@ -14,7 +16,19 @@ void
 Mmu::setAddressSpace(AddressSpace *as, bool preserveTlb)
 {
     bool sameRoot = as_ && as && as_->root() == as->root();
+    // Bump the generation (dropping every cached decoded-block
+    // reference) only when the space actually changes. Identity is the
+    // space's never-reused id, not its pointer, so a freed-and-
+    // reallocated AddressSpace at the same heap address still
+    // invalidates; reloading the same live space (common in the
+    // multiprogramming runs) keeps coherent blocks.
+    std::uint64_t newId = as ? as->id() : 0;
+    if (newId != lastAsId_) {
+        ++asGen_;
+        lastAsId_ = newId;
+    }
     as_ = as;
+    lastFetch_.tlbStamp = 0;
     // Architecturally a CR3 write always purges the TLB; preserveTlb
     // models the synchronization fast-path where the root is verified
     // unchanged, so no write is performed at all.
@@ -24,7 +38,7 @@ Mmu::setAddressSpace(AddressSpace *as, bool preserveTlb)
 
 AccessResult
 Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
-               PAddr *paOut)
+               PAddr *paOut, Tlb::EntryRef *refOut)
 {
     AccessResult res;
     if (!as_) {
@@ -38,7 +52,7 @@ Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
     }
 
     bool isWrite = access == Access::Write;
-    const Pte *pte = tlb_.lookup(va);
+    const Pte *pte = tlb_.lookup(va, refOut);
     if (!pte) {
         // Hardware page walk.
         res.cycles += PageTable::kWalkCycles;
@@ -52,8 +66,9 @@ Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
         walked->accessed = true;
         if (isWrite)
             walked->dirty = true;
-        tlb_.insert(va, *walked);
-        pte = tlb_.lookup(va);
+        // insert() hands back the installed entry: no second probe, and
+        // no pointer into a structure the insert may just have reshaped.
+        pte = tlb_.insert(va, *walked, refOut);
     }
 
     // Permission checks: user bit for Ring 3, write bit for stores.
@@ -93,23 +108,63 @@ Mmu::write(VAddr va, Word value, unsigned size, Ring ring)
     if (res.fault)
         return res;
     pmem_.write(pa, value, size);
+    // Self-modifying-code coherence: a store that lands on a predecoded
+    // page drops that page (O(1) probe for ordinary data stores).
+    as_->decodeCache().noteWrite(va);
+    return res;
+}
+
+FetchResult
+Mmu::fetchTranslate(VAddr va, Ring ring, bool fastPath)
+{
+    FetchResult res;
+    if ((va & 15) != 0) { // 16-byte instruction bundle alignment
+        res.fault = Fault::of(FaultKind::GeneralProtection, va);
+        return res;
+    }
+
+    const std::uint64_t vpn = pageNumber(va);
+    if (fastPath && lastFetch_.tlbStamp == tlb_.stamp() &&
+        lastFetch_.vpn == vpn && lastFetch_.ring == ring) {
+        // Replay the guaranteed hit: identical modeled effects to a full
+        // lookup (reference-bit touch, hit count, access latency).
+        tlb_.touchHit(lastFetch_.way);
+        res.cycles = kAccessCycles;
+        res.pa = lastFetch_.paBase + pageOffset(va);
+        return res;
+    }
+
+    // Slow path: the same probe-or-walk as every data access (so fetch
+    // behavior can never diverge from data-access behavior), plus the
+    // last-translation cache refill.
+    Tlb::EntryRef way;
+    PAddr pa = 0;
+    AccessResult ar = translate(va, 8, Access::Execute, ring, &pa, &way);
+    res.fault = ar.fault;
+    res.cycles = ar.cycles;
+    if (res.fault)
+        return res;
+    res.pa = pa;
+
+    lastFetch_.vpn = vpn;
+    lastFetch_.tlbStamp = tlb_.stamp();
+    lastFetch_.paBase = pa & ~static_cast<PAddr>(kPageMask);
+    lastFetch_.ring = ring;
+    lastFetch_.way = way;
     return res;
 }
 
 AccessResult
 Mmu::fetchInst(VAddr va, std::uint8_t buf[16], Ring ring)
 {
+    // Reference fetch path: full TLB probe, then read the bundle bytes.
+    FetchResult ft = fetchTranslate(va, ring, /*fastPath=*/false);
     AccessResult res;
-    if ((va & 15) != 0) {
-        res.fault = Fault::of(FaultKind::GeneralProtection, va);
-        return res;
-    }
-    PAddr pa = 0;
-    // Alignment already guaranteed; translate with an 8-byte probe.
-    res = translate(va, 8, Access::Execute, ring, &pa);
+    res.fault = ft.fault;
+    res.cycles = ft.cycles;
     if (res.fault)
         return res;
-    pmem_.readBytes(pa, buf, 16);
+    pmem_.readBytes(ft.pa, buf, 16);
     return res;
 }
 

@@ -7,6 +7,19 @@
  * this is how an AMS (which only ever runs Ring 3) can never touch kernel
  * mappings — and raises page faults that, on an AMS, become proxy
  * execution triggers.
+ *
+ * Instruction fetch has two host-side paths with identical modeled
+ * behavior:
+ *
+ *  - fetchTranslate(va, ring, /\*fastPath=*\/false): the reference path —
+ *    a full TLB probe per fetch (walking on a miss).
+ *  - fetchTranslate(va, ring, /\*fastPath=*\/true): the predecoded-block
+ *    engine's path. A one-entry last-translation cache short-circuits
+ *    sequential fetches to the same page: while the TLB's content stamp
+ *    is unchanged, the hit is *replayed* (reference-bit touch + hit
+ *    count + access cycles) without re-scanning the set, so simulated
+ *    cycle counts and TLB statistics stay bit-identical to the
+ *    reference path.
  */
 
 #ifndef MISP_MEM_MMU_HH
@@ -36,6 +49,13 @@ struct AccessResult {
     Word value = 0;    ///< loaded value (reads)
 };
 
+/** Outcome of an instruction-fetch translation. */
+struct FetchResult {
+    Fault fault = Fault::none();
+    Cycles cycles = 0;
+    PAddr pa = 0; ///< physical address of the fetched bundle
+};
+
 /** Per-sequencer MMU. */
 class Mmu
 {
@@ -50,10 +70,17 @@ class Mmu
     AddressSpace *addressSpace() const { return as_; }
     PageTableRoot root() const { return as_ ? as_->root() : kNullRoot; }
 
+    /** Advances whenever the MMU is pointed at a different address
+     *  space (by never-reused space identity, not pointer); cached
+     *  decoded-block references are only valid while this is
+     *  unchanged. */
+    std::uint64_t addressSpaceGen() const { return asGen_; }
+
     /** Translate-and-load. Alignment must be natural for @p size. */
     AccessResult read(VAddr va, unsigned size, Ring ring);
 
-    /** Translate-and-store. */
+    /** Translate-and-store. Notifies the address space's decode cache so
+     *  stores to predecoded code pages invalidate them (SMC). */
     AccessResult write(VAddr va, Word value, unsigned size, Ring ring);
 
     /** Instruction fetch (execute access). */
@@ -63,11 +90,20 @@ class Mmu
      *  must be 16-byte aligned, so a bundle never crosses a page. */
     AccessResult fetchInst(VAddr va, std::uint8_t buf[16], Ring ring);
 
+    /** Translate an instruction fetch without reading the bytes (the
+     *  predecoded-block engine executes from decoded pages instead).
+     *  @p fastPath enables the one-entry last-translation cache; both
+     *  settings produce identical modeled cycles and TLB statistics. */
+    FetchResult fetchTranslate(VAddr va, Ring ring, bool fastPath);
+
     /** Atomic read-modify-write support: translate once with write
      *  intent, return the physical address for the caller to operate on.
-     */
+     *  @p refOut (optional) receives a handle to the TLB entry that
+     *  served the translation (hit or freshly walked), replayable with
+     *  Tlb::touchHit while the TLB stamp is unchanged. */
     AccessResult translate(VAddr va, unsigned size, Access access,
-                           Ring ring, PAddr *paOut);
+                           Ring ring, PAddr *paOut,
+                           Tlb::EntryRef *refOut = nullptr);
 
     Tlb &tlb() { return tlb_; }
 
@@ -82,6 +118,17 @@ class Mmu
   private:
     AddressSpace *as_ = nullptr;
     PhysicalMemory &pmem_;
+    std::uint64_t asGen_ = 1;
+    std::uint64_t lastAsId_ = 0; ///< id of as_ (0 = none); see setAddressSpace
+
+    /** One-entry last-translation cache for sequential fetches. */
+    struct LastFetch {
+        std::uint64_t vpn = 0;
+        std::uint64_t tlbStamp = 0; ///< 0 = invalid
+        PAddr paBase = 0;
+        Ring ring = Ring::User;
+        Tlb::EntryRef way;
+    } lastFetch_;
 
     stats::StatGroup statGroup_;
     Tlb tlb_;

@@ -2,59 +2,135 @@
 
 namespace misp::mem {
 
+namespace {
+
+std::size_t
+roundSets(std::size_t entries)
+{
+    // Round up: capacity is never below the requested entry count.
+    // Power-of-two set count for mask indexing.
+    std::size_t sets = (entries + Tlb::kWays - 1) / Tlb::kWays;
+    std::size_t pow2 = 1;
+    while (pow2 < sets)
+        pow2 <<= 1;
+    return pow2;
+}
+
+} // namespace
+
 Tlb::Tlb(std::string name, std::size_t entries, stats::StatGroup *parent)
-    : entries_(entries),
+    : numSets_(roundSets(entries)),
+      slots_(numSets_ * kWays),
+      hand_(numSets_, 0),
       statGroup_(std::move(name), parent),
       hits_(&statGroup_, "hits", "TLB hits"),
       misses_(&statGroup_, "misses", "TLB misses"),
       flushes_(&statGroup_, "flushes", "full TLB purges")
 {
-    MISP_ASSERT(entries_ > 0);
+    MISP_ASSERT(entries > 0);
 }
 
 const Pte *
-Tlb::lookup(VAddr va)
+Tlb::lookup(VAddr va, EntryRef *ref)
 {
-    auto it = map_.find(pageNumber(va));
-    if (it == map_.end()) {
-        ++misses_;
-        return nullptr;
+    const std::uint64_t vpn = pageNumber(va);
+    Entry *set = &slots_[setIndex(vpn) * kWays];
+    for (std::size_t w = 0; w < kWays; ++w) {
+        Entry &e = set[w];
+        if (e.valid && e.vpn == vpn) {
+            e.used = true;
+            ++hits_;
+            if (ref)
+                ref->entry = &e;
+            return &e.pte;
+        }
     }
-    ++hits_;
-    it->second.lastUse = ++useClock_;
-    return &it->second.pte;
+    ++misses_;
+    if (ref)
+        ref->entry = nullptr;
+    return nullptr;
 }
 
-void
-Tlb::insert(VAddr va, const Pte &pte)
+const Pte *
+Tlb::insert(VAddr va, const Pte &pte, EntryRef *ref)
 {
-    if (map_.size() >= entries_ && !map_.count(pageNumber(va)))
-        evictLru();
-    map_[pageNumber(va)] = Slot{pte, ++useClock_};
+    const std::uint64_t vpn = pageNumber(va);
+    Entry *set = &slots_[setIndex(vpn) * kWays];
+    Entry *victim = nullptr;
+
+    // Re-insert over an existing mapping of the same page, else fill an
+    // invalid way, else run the clock over the set.
+    for (std::size_t w = 0; w < kWays && !victim; ++w) {
+        if (set[w].valid && set[w].vpn == vpn)
+            victim = &set[w];
+    }
+    for (std::size_t w = 0; w < kWays && !victim; ++w) {
+        if (!set[w].valid)
+            victim = &set[w];
+    }
+    if (!victim) {
+        std::uint8_t &hand = hand_[setIndex(vpn)];
+        // Clock: sweep past referenced ways (clearing the bit) until an
+        // unreferenced one is found; bounded by 2 full revolutions.
+        for (std::size_t step = 0; step < 2 * kWays; ++step) {
+            Entry &cand = set[hand];
+            hand = static_cast<std::uint8_t>((hand + 1) % kWays);
+            if (!cand.used) {
+                victim = &cand;
+                break;
+            }
+            cand.used = false;
+        }
+        if (!victim)
+            victim = &set[0]; // unreachable; defensive
+    }
+
+    victim->vpn = vpn;
+    victim->pte = pte;
+    victim->valid = true;
+    victim->used = true;
+    ++stamp_;
+    if (ref)
+        ref->entry = victim;
+    return &victim->pte;
 }
 
 void
 Tlb::invalidatePage(VAddr va)
 {
-    map_.erase(pageNumber(va));
+    const std::uint64_t vpn = pageNumber(va);
+    Entry *set = &slots_[setIndex(vpn) * kWays];
+    for (std::size_t w = 0; w < kWays; ++w) {
+        if (set[w].valid && set[w].vpn == vpn) {
+            set[w].valid = false;
+            set[w].used = false;
+            ++stamp_;
+            return;
+        }
+    }
 }
 
 void
 Tlb::flushAll()
 {
-    map_.clear();
+    for (Entry &e : slots_) {
+        e.valid = false;
+        e.used = false;
+    }
+    std::fill(hand_.begin(), hand_.end(), 0);
+    ++stamp_;
     ++flushes_;
 }
 
-void
-Tlb::evictLru()
+std::size_t
+Tlb::size() const
 {
-    auto victim = map_.begin();
-    for (auto it = map_.begin(); it != map_.end(); ++it) {
-        if (it->second.lastUse < victim->second.lastUse)
-            victim = it;
+    std::size_t n = 0;
+    for (const Entry &e : slots_) {
+        if (e.valid)
+            ++n;
     }
-    map_.erase(victim);
+    return n;
 }
 
 } // namespace misp::mem

@@ -9,13 +9,27 @@
  * Any CR3 write purges the writing sequencer's TLB; the MISP
  * serialization engine purges AMS TLBs when synchronizing privileged
  * state after an OMS Ring-0 episode that changed the root.
+ *
+ * The TLB is a set-associative array with clock (one-bit pseudo-LRU)
+ * replacement — the layout real DTLBs use — rather than the map-backed
+ * true-LRU structure early versions of this model carried. The array
+ * form has two properties the execution engine's fast path depends on:
+ *
+ *  - Entry storage never reallocates, so a pointer returned by lookup()
+ *    or insert() stays dereferenceable for the TLB's lifetime. Whether
+ *    the entry still *means* anything is captured by stamp(), which
+ *    advances on every insert, invalidate, and flush; a caller holding
+ *    an EntryRef may replay a hit cheaply while the stamp is unchanged
+ *    (see Mmu's last-translation cache).
+ *  - Lookup is a handful of tag compares instead of a hash probe, which
+ *    matters when it runs once per simulated instruction.
  */
 
 #ifndef MISP_MEM_TLB_HH
 #define MISP_MEM_TLB_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "mem/paging.hh"
 #include "sim/stats.hh"
@@ -23,20 +37,49 @@
 
 namespace misp::mem {
 
-/** Fully-associative TLB with true-LRU replacement. */
+/** Set-associative TLB with clock pseudo-LRU replacement. */
 class Tlb
 {
   public:
+    struct Entry {
+        std::uint64_t vpn = 0;
+        Pte pte;
+        bool valid = false;
+        bool used = false; ///< clock reference bit
+    };
+
+    /** Opaque handle to a resident entry, valid while stamp() holds. */
+    struct EntryRef {
+        Entry *entry = nullptr;
+        explicit operator bool() const { return entry != nullptr; }
+    };
+
     /**
-     * @param entries capacity; 64 matches a Pentium-4-era DTLB.
+     * @param entries capacity; 64 matches a Pentium-4-era DTLB. Rounded
+     *        up so each set holds kWays entries.
      */
     Tlb(std::string name, std::size_t entries, stats::StatGroup *parent);
 
-    /** Look up a cached translation. @return nullptr on miss. */
-    const Pte *lookup(VAddr va);
+    /** Look up a cached translation. @return nullptr on miss. On a hit
+     *  the entry's reference bit is set and @p ref (if given) receives a
+     *  handle usable with touchHit() while stamp() is unchanged. */
+    const Pte *lookup(VAddr va, EntryRef *ref = nullptr);
 
-    /** Install a translation (after a successful page walk). */
-    void insert(VAddr va, const Pte &pte);
+    /** Install a translation (after a successful page walk).
+     *  @return the installed entry's PTE; the pointer stays valid for
+     *  the TLB's lifetime (re-validate against stamp() before reuse). */
+    const Pte *insert(VAddr va, const Pte &pte, EntryRef *ref = nullptr);
+
+    /** Replay a hit on an entry known to still be resident (the caller
+     *  verified stamp() is unchanged since lookup/insert returned
+     *  @p ref). Performs exactly the modeled effects of lookup():
+     *  reference-bit touch and hit accounting. */
+    void
+    touchHit(EntryRef ref)
+    {
+        ref.entry->used = true;
+        ++hits_;
+    }
 
     /** Remove one page's entry if cached (e.g. TLB shootdown). */
     void invalidatePage(VAddr va);
@@ -44,8 +87,13 @@ class Tlb
     /** Purge everything (CR3 write semantics). */
     void flushAll();
 
-    std::size_t capacity() const { return entries_; }
-    std::size_t size() const { return map_.size(); }
+    /** Monotonic content-change stamp: advances on insert,
+     *  invalidatePage, and flushAll. Cached EntryRefs and derived
+     *  translations are only replayable while this is unchanged. */
+    std::uint64_t stamp() const { return stamp_; }
+
+    std::size_t capacity() const { return slots_.size(); }
+    std::size_t size() const;
 
     std::uint64_t hits() const
     {
@@ -56,17 +104,18 @@ class Tlb
         return static_cast<std::uint64_t>(misses_.value());
     }
 
+    static constexpr std::size_t kWays = 4;
+
   private:
-    struct Slot {
-        Pte pte;
-        std::uint64_t lastUse;
-    };
+    std::size_t setIndex(std::uint64_t vpn) const
+    {
+        return vpn & (numSets_ - 1);
+    }
 
-    void evictLru();
-
-    std::size_t entries_;
-    std::uint64_t useClock_ = 0;
-    std::unordered_map<std::uint64_t, Slot> map_; ///< keyed by VPN
+    std::size_t numSets_;
+    std::vector<Entry> slots_;        ///< numSets_ * kWays, set-major
+    std::vector<std::uint8_t> hand_;  ///< per-set clock hand
+    std::uint64_t stamp_ = 1;
 
     stats::StatGroup statGroup_;
     stats::Scalar hits_;

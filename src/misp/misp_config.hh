@@ -44,6 +44,12 @@ struct MispConfig {
     /** Instructions per sequencer scheduling slice (timing fidelity
      *  knob; see Sequencer::setSliceLimit). */
     unsigned sliceLimit = 32;
+
+    /** Predecoded-block execution engine (host-side fast path; simulated
+     *  cycles and stats are bit-identical either way). Off is the
+     *  per-instruction fetch+decode reference path — the
+     *  `--no-decode-cache` escape hatch benches and examples expose. */
+    bool decodeCache = true;
 };
 
 } // namespace misp::arch

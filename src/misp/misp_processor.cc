@@ -62,12 +62,14 @@ MispProcessor::MispProcessor(std::string name, const MispConfig &config,
                                             pmem_, &statGroup_);
     oms_->setEnv(this);
     oms_->setSliceLimit(config_.sliceLimit);
+    oms_->setDecodeCache(config_.decodeCache);
     for (unsigned i = 0; i < config_.numAms; ++i) {
         ams_.push_back(std::make_unique<cpu::Sequencer>(
             "ams" + std::to_string(i + 1), i + 1, /*ring0=*/false, eq_,
             pmem_, &statGroup_));
         ams_.back()->setEnv(this);
         ams_.back()->setSliceLimit(config_.sliceLimit);
+        ams_.back()->setDecodeCache(config_.decodeCache);
     }
 }
 
@@ -276,9 +278,12 @@ MispProcessor::endSerialization(bool rootChanged)
         }
     } else if (rootChanged) {
         // Speculative monitor: AMSs kept executing; a CR3 change means
-        // their speculative work must be discarded at TLB granularity.
-        for (auto &ams : ams_)
+        // their speculative work must be discarded at TLB granularity,
+        // and their predecoded blocks resynchronized with it.
+        for (auto &ams : ams_) {
             ams->mmu().tlb().flushAll();
+            ams->invalidateDecodedBlock();
+        }
     }
 }
 

@@ -287,7 +287,7 @@ ShredRuntime::doShredYield(Gang &g, Sequencer &seq)
 }
 
 bool
-ShredRuntime::acquireOrWait(Gang &g, MutexObj &m, ShredId id)
+ShredRuntime::acquireOrWait(Gang & /*g*/, MutexObj &m, ShredId id)
 {
     if (!m.locked) {
         m.locked = true;

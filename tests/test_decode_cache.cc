@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Decode-cache coherence tests: the predecoded-block execution engine
+ * must never execute stale instructions. Covered invalidation paths:
+ *
+ *  - self-modifying code: a guest store to a decoded page forces a
+ *    re-decode before the next fetch from it;
+ *  - host-side pokes (loaders/runtimes) obey the same rule;
+ *  - CR3 / address-space switch: no block from another space is reused;
+ *  - MISP serialization purge (TLB flush + decoded-block drop) resyncs
+ *    with memory the modeled kernel changed;
+ *  - and the engine is a pure host-side optimization: simulated cycles
+ *    and retired counts are bit-identical with the engine on and off.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/decode_cache.hh"
+#include "cpu/sequencer.hh"
+#include "harness/bare_machine.hh"
+#include "harness/experiment.hh"
+#include "isa/assembler.hh"
+#include "mem/address_space.hh"
+#include "workloads/workload.hh"
+
+using namespace misp;
+
+namespace {
+
+/** One-sequencer machine with a writable code region (SMC tests). */
+struct Machine : harness::BareMachine {
+    Machine(const std::string &src, bool decodeCache)
+        : harness::BareMachine(src, decodeCache, /*writableCode=*/true)
+    {}
+};
+
+// The guest overwrites the immediate field of a later instruction
+// (bytes 8..15 of the 16-byte bundle), then executes it.
+const char *kSmcSrc = R"(
+    main:
+        movi r5, target
+        addi r5, r5, 8
+        movi r6, 222
+        st8 [r5+0], r6
+    target:
+        movi r0, 111
+        halt
+)";
+
+} // namespace
+
+TEST(DecodeCacheCoherence, SelfModifyingStoreForcesRedecode)
+{
+    Machine m(kSmcSrc, /*decodeCache=*/true);
+    m.run();
+    // Stale predecode would execute movi r0, 111.
+    EXPECT_EQ(m.reg(0), 222u);
+    EXPECT_GE(m.as.decodeCache().invalidations(), 1u);
+    EXPECT_GE(m.as.decodeCache().pagesDecoded(), 2u); // initial + redecode
+}
+
+TEST(DecodeCacheCoherence, SmcMatchesReferencePathBitExactly)
+{
+    Machine on(kSmcSrc, true);
+    Machine off(kSmcSrc, false);
+    on.run();
+    off.run();
+    EXPECT_EQ(on.reg(0), 222u);
+    EXPECT_EQ(off.reg(0), 222u);
+    EXPECT_EQ(on.eq.curTick(), off.eq.curTick());
+    EXPECT_EQ(on.seq.instsRetired(), off.seq.instsRetired());
+    EXPECT_EQ(on.seq.busyCycles(), off.seq.busyCycles());
+}
+
+TEST(DecodeCacheCoherence, HostPokeInvalidatesDecodedPage)
+{
+    const char *src = R"(
+        main:
+            movi r0, 1
+            halt
+    )";
+    Machine m(src, true);
+    m.run();
+    EXPECT_EQ(m.reg(0), 1u);
+
+    // Host-side rewrite of the first instruction's immediate (the path
+    // loaders and runtimes use), then re-run from the same address.
+    Word newImm = 7;
+    m.as.pokeWord(m.prog.symbol("main") + 8, newImm, 8);
+    EXPECT_GE(m.as.decodeCache().invalidations(), 1u);
+    m.run();
+    EXPECT_EQ(m.reg(0), 7u);
+}
+
+TEST(DecodeCacheCoherence, AddressSpaceSwitchNeverReusesBlocks)
+{
+    // Two address spaces with different code at the same VA; a CR3
+    // write (setAddressSpace) between runs must never leak blocks.
+    const char *srcA = "main:\n    movi r0, 1\n    halt\n";
+    const char *srcB = "main:\n    movi r0, 2\n    halt\n";
+
+    Machine m(srcA, true);
+    mem::AddressSpace other("q", m.pmem);
+    isa::Program progB = isa::assemble(srcB, 0x40'0000);
+    other.defineRegion(progB.base, progB.byteSize() + 64, false, "code",
+                       progB.bytes());
+
+    m.run();
+    EXPECT_EQ(m.reg(0), 1u);
+
+    m.env.as = &other;
+    m.seq.mmu().setAddressSpace(&other); // CR3 write: TLB purge
+    m.seq.startAt(progB.symbol("main"), 0);
+    m.eq.run();
+    EXPECT_EQ(m.reg(0), 2u);
+
+    // And back: space A's decoded page may be reused (it is still
+    // coherent), but must again produce A's code.
+    m.env.as = &m.as;
+    m.seq.mmu().setAddressSpace(&m.as);
+    m.seq.startAt(m.prog.symbol("main"), 0);
+    m.eq.run();
+    EXPECT_EQ(m.reg(0), 1u);
+}
+
+TEST(DecodeCacheCoherence, SerializationPurgeResyncsWithMemory)
+{
+    // Model the MISP serialization engine's purge (misp_processor's
+    // SpeculativeMonitor path): the kernel changed guest memory during
+    // a Ring-0 episode; the sequencer's TLB is flushed and its decoded
+    // block dropped before it resumes.
+    const char *src = R"(
+        main:
+            movi r0, 1
+            halt
+    )";
+    Machine m(src, true);
+    m.run();
+    EXPECT_EQ(m.reg(0), 1u);
+
+    // Ring-0 episode rewrites the code page behind the sequencer...
+    std::array<std::uint8_t, isa::kInstBytes> bytes =
+        isa::encode({isa::Opcode::MovI, 0, 0, 0, 0, 99});
+    m.as.poke(m.prog.symbol("main"), bytes.data(), bytes.size());
+    // ...and the serialization engine purges before resuming.
+    m.seq.mmu().tlb().flushAll();
+    m.seq.invalidateDecodedBlock();
+
+    m.run();
+    EXPECT_EQ(m.reg(0), 99u);
+}
+
+TEST(DecodeCacheCoherence, FullSystemIdenticalUnderSpeculativeMonitor)
+{
+    // End-to-end: the serialization policy that keeps AMSs running and
+    // purges on CR3 change, with the engine on vs. off, must agree.
+    const wl::WorkloadInfo *target = nullptr;
+    for (const wl::WorkloadInfo &info : wl::allWorkloads()) {
+        if (info.name == "dense_mvm")
+            target = &info;
+    }
+    ASSERT_NE(target, nullptr);
+
+    auto runOnce = [&](bool decodeCache) {
+        wl::WorkloadParams params;
+        params.workers = 7;
+        wl::Workload w = target->build(params);
+        arch::SystemConfig sys = arch::SystemConfig::uniprocessor(7);
+        sys.misp.serialization =
+            arch::SerializationPolicy::SpeculativeMonitor;
+        sys.misp.decodeCache = decodeCache;
+        harness::Experiment exp(sys, rt::Backend::Shred);
+        harness::LoadedProcess proc = exp.load(w.app);
+        Tick t = exp.run(proc.process);
+        EXPECT_TRUE(!w.validate ||
+                    w.validate(proc.process->addressSpace()));
+        return t;
+    };
+
+    EXPECT_EQ(runOnce(true), runOnce(false));
+}
+
+// ---------------------------------------------------------------------
+// DecodeCache unit behavior
+// ---------------------------------------------------------------------
+
+TEST(DecodeCacheUnit, DecodeFindInvalidateCycle)
+{
+    mem::PhysicalMemory pmem(16);
+    cpu::DecodeCache dc(pmem);
+
+    std::uint64_t frame = pmem.allocFrame();
+    PAddr pa = frame << mem::kPageShift;
+    auto bytes = isa::encode({isa::Opcode::MovI, 3, 0, 0, 0, 42});
+    pmem.writeBytes(pa, bytes.data(), bytes.size());
+
+    const std::uint64_t vpn = 0x400;
+    EXPECT_EQ(dc.find(vpn), nullptr);
+
+    cpu::DecodedPage *page = dc.decodePage(vpn, pa);
+    ASSERT_NE(page, nullptr);
+    EXPECT_EQ(dc.find(vpn), page);
+    EXPECT_TRUE(page->slots[0].valid);
+    EXPECT_EQ(page->slots[0].inst.op, isa::Opcode::MovI);
+    EXPECT_EQ(page->slots[0].inst.imm, 42u);
+    EXPECT_EQ(page->slots[0].lat, isa::baseLatency(isa::Opcode::MovI));
+    EXPECT_EQ(dc.residentPages(), 1u);
+
+    std::uint64_t v0 = page->version;
+    dc.invalidateVpn(vpn);
+    EXPECT_EQ(dc.find(vpn), nullptr);
+    EXPECT_GT(page->version, v0); // stale references die by version
+    EXPECT_EQ(dc.invalidations(), 1u);
+    EXPECT_EQ(dc.residentPages(), 0u);
+
+    // Redecode reuses the allocation and bumps the version again.
+    cpu::DecodedPage *again = dc.decodePage(vpn, pa);
+    EXPECT_EQ(again, page);
+    EXPECT_GT(page->version, v0 + 1);
+}
+
+TEST(DecodeCacheUnit, NoteWriteOnlyTouchesDecodedPages)
+{
+    mem::PhysicalMemory pmem(16);
+    cpu::DecodeCache dc(pmem);
+    std::uint64_t frame = pmem.allocFrame();
+    PAddr pa = frame << mem::kPageShift;
+
+    const std::uint64_t vpn = 0x400;
+    dc.decodePage(vpn, pa);
+
+    // Store to an undecoded page: no invalidation.
+    dc.noteWrite((vpn + 1) << mem::kPageShift);
+    EXPECT_EQ(dc.invalidations(), 0u);
+    EXPECT_NE(dc.find(vpn), nullptr);
+
+    // Store to the decoded page: dropped.
+    dc.noteWrite((vpn << mem::kPageShift) + 0x123);
+    EXPECT_EQ(dc.invalidations(), 1u);
+    EXPECT_EQ(dc.find(vpn), nullptr);
+
+    // Second store to the now-undecoded page: no double count.
+    dc.noteWrite((vpn << mem::kPageShift) + 0x456);
+    EXPECT_EQ(dc.invalidations(), 1u);
+}
+
+TEST(DecodeCacheUnit, InvalidDecodesFaultAsSlots)
+{
+    mem::PhysicalMemory pmem(16);
+    cpu::DecodeCache dc(pmem);
+    std::uint64_t frame = pmem.allocFrame();
+    PAddr pa = frame << mem::kPageShift;
+
+    std::uint8_t junk[isa::kInstBytes] = {0xFF}; // out-of-range opcode
+    pmem.writeBytes(pa, junk, sizeof(junk));
+
+    cpu::DecodedPage *page = dc.decodePage(0x400, pa);
+    EXPECT_FALSE(page->slots[0].valid); // becomes InvalidOpcode on fetch
+    // Zero-filled rest of the page decodes as NOPs.
+    EXPECT_TRUE(page->slots[1].valid);
+    EXPECT_EQ(page->slots[1].inst.op, isa::Opcode::Nop);
+}
+
+// ---------------------------------------------------------------------
+// Engine on/off equivalence on interpreter-bound kernels
+// ---------------------------------------------------------------------
+
+TEST(DecodeCacheEquivalence, LoopKernelBitIdentical)
+{
+    const char *src = R"(
+        main:
+            movi r1, 0
+        loop:
+            addi r1, r1, 1
+            muli r2, r1, 3
+            cmpi r1, 20000
+            jcc.lt loop
+            halt
+    )";
+    Machine on(src, true);
+    Machine off(src, false);
+    on.run();
+    off.run();
+    EXPECT_EQ(on.eq.curTick(), off.eq.curTick());
+    EXPECT_EQ(on.seq.instsRetired(), off.seq.instsRetired());
+    EXPECT_EQ(on.seq.busyCycles(), off.seq.busyCycles());
+    EXPECT_EQ(on.seq.mmu().tlb().hits(), off.seq.mmu().tlb().hits());
+    EXPECT_EQ(on.seq.mmu().tlb().misses(),
+              off.seq.mmu().tlb().misses());
+    EXPECT_EQ(on.seq.mmu().pageWalks(), off.seq.mmu().pageWalks());
+    EXPECT_EQ(on.reg(1), off.reg(1));
+    // The engine actually engaged.
+    EXPECT_GT(on.seq.decodeCacheHits(), 0u);
+    EXPECT_EQ(off.seq.decodeCacheHits(), 0u);
+}

@@ -154,19 +154,106 @@ TEST(Tlb, HitAfterInsert)
     EXPECT_EQ(tlb.misses(), 1u);
 }
 
-TEST(Tlb, LruEviction)
+TEST(Tlb, ClockEvictionStaysWithinCapacity)
 {
+    // One set of kWays entries; pages map to the same set when their
+    // VPNs are congruent modulo the set count (here: one set, so all).
     stats::StatGroup root("");
-    Tlb tlb("tlb", 2, &root);
+    Tlb tlb("tlb", Tlb::kWays, &root);
+    ASSERT_EQ(tlb.capacity(), Tlb::kWays);
     Pte pte;
     pte.present = true;
+    for (std::uint64_t i = 0; i < Tlb::kWays; ++i)
+        tlb.insert(0x1000 * (i + 1), pte);
+    EXPECT_EQ(tlb.size(), Tlb::kWays);
+    // Over-fill: the clock evicts exactly one resident entry.
+    tlb.insert(0x9000, pte);
+    EXPECT_EQ(tlb.size(), Tlb::kWays);
+    EXPECT_NE(tlb.lookup(0x9000), nullptr);
+    unsigned survivors = 0;
+    for (std::uint64_t i = 0; i < Tlb::kWays; ++i) {
+        if (tlb.lookup(0x1000 * (i + 1)))
+            ++survivors;
+    }
+    EXPECT_EQ(survivors, Tlb::kWays - 1);
+}
+
+TEST(Tlb, ClockPrefersUnreferencedVictim)
+{
+    stats::StatGroup root("");
+    Tlb tlb("tlb", Tlb::kWays, &root);
+    Pte pte;
+    pte.present = true;
+    for (std::uint64_t i = 0; i < Tlb::kWays; ++i)
+        tlb.insert(0x1000 * (i + 1), pte);
+    // A full sweep clears every reference bit and evicts the first way;
+    // the re-armed entries (touched below) then survive the next sweep.
+    tlb.insert(0x9000, pte);
+    ASSERT_NE(tlb.lookup(0x9000), nullptr); // re-arm 0x9000
+    // Entries not re-referenced since the sweep are preferred victims.
+    tlb.insert(0xA000, pte);
+    EXPECT_NE(tlb.lookup(0x9000), nullptr);
+    EXPECT_NE(tlb.lookup(0xA000), nullptr);
+}
+
+TEST(Tlb, ReinsertSamePageDoesNotEvict)
+{
+    stats::StatGroup root("");
+    Tlb tlb("tlb", Tlb::kWays, &root);
+    Pte pte;
+    pte.present = true;
+    for (std::uint64_t i = 0; i < Tlb::kWays; ++i)
+        tlb.insert(0x1000 * (i + 1), pte);
+    pte.frame = 42;
+    tlb.insert(0x1000, pte); // update in place
+    EXPECT_EQ(tlb.size(), Tlb::kWays);
+    const Pte *hit = tlb.lookup(0x1000);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->frame, 42u);
+}
+
+TEST(Tlb, StampAdvancesOnContentChange)
+{
+    // The execution engine's last-translation cache replays hits only
+    // while stamp() is unchanged; every content change must advance it.
+    stats::StatGroup root("");
+    Tlb tlb("tlb", Tlb::kWays, &root);
+    Pte pte;
+    pte.present = true;
+    std::uint64_t s0 = tlb.stamp();
     tlb.insert(0x1000, pte);
-    tlb.insert(0x2000, pte);
-    ASSERT_NE(tlb.lookup(0x1000), nullptr); // touch 1 -> 2 is LRU
-    tlb.insert(0x3000, pte);                // evicts 2
-    EXPECT_NE(tlb.lookup(0x1000), nullptr);
-    EXPECT_EQ(tlb.lookup(0x2000), nullptr);
-    EXPECT_NE(tlb.lookup(0x3000), nullptr);
+    std::uint64_t s1 = tlb.stamp();
+    EXPECT_GT(s1, s0);
+    EXPECT_EQ(tlb.stamp(), s1); // lookups do not change content
+    tlb.lookup(0x1000);
+    EXPECT_EQ(tlb.stamp(), s1);
+    tlb.invalidatePage(0x1000);
+    std::uint64_t s2 = tlb.stamp();
+    EXPECT_GT(s2, s1);
+    tlb.invalidatePage(0x1000); // absent: no content change
+    EXPECT_EQ(tlb.stamp(), s2);
+    tlb.flushAll();
+    EXPECT_GT(tlb.stamp(), s2);
+}
+
+TEST(Tlb, InsertReturnsStableInstalledEntry)
+{
+    // insert() hands back the installed entry directly; the historical
+    // map-backed TLB returned pointers that insert/evict could dangle.
+    stats::StatGroup root("");
+    Tlb tlb("tlb", Tlb::kWays, &root);
+    Pte pte;
+    pte.present = true;
+    pte.frame = 7;
+    const Pte *installed = tlb.insert(0x1000, pte);
+    ASSERT_NE(installed, nullptr);
+    EXPECT_EQ(installed->frame, 7u);
+    // Filling the rest of the set must not invalidate the pointer's
+    // storage (array entries never move).
+    for (std::uint64_t i = 1; i < Tlb::kWays; ++i)
+        tlb.insert(0x1000 * (i + 1), pte);
+    EXPECT_EQ(installed->frame, 7u);
+    EXPECT_EQ(tlb.lookup(0x1000), installed);
 }
 
 TEST(Tlb, FlushAllEmpties)
