@@ -88,21 +88,11 @@ parseBenchFlags(int argc, char **argv)
 }
 
 /** Sum of retired guest instructions over every sequencer of every
- *  processor in @p sys. */
+ *  processor in @p sys (shared with the scenario runner). */
 inline std::uint64_t
 totalInstsRetired(arch::MispSystem &sys)
 {
-    std::uint64_t total = 0;
-    for (unsigned p = 0; p < sys.numProcessors(); ++p) {
-        arch::MispProcessor &mp = sys.processor(p);
-        for (SequencerId sid = 0;; ++sid) {
-            cpu::Sequencer *seq = mp.sequencer(sid);
-            if (!seq)
-                break;
-            total += seq->instsRetired();
-        }
-    }
-    return total;
+    return harness::totalInstsRetired(sys);
 }
 
 /** The paper's default machine: 8 sequencers at 3.0 GHz. */
@@ -137,19 +127,14 @@ smp1()
 }
 
 /** Uniform host-throughput line, one per measured run, on stderr (so
- *  figure tables on stdout stay clean). @return MIPS. */
+ *  figure tables on stdout stay clean). Shared with the scenario
+ *  runner via harness::reportHost. @return MIPS. */
 inline double
 reportHost(const std::string &name, std::uint64_t instsRetired,
            double hostSeconds, bool decodeCache)
 {
-    double mips =
-        hostSeconds > 0.0 ? instsRetired / hostSeconds / 1e6 : 0.0;
-    std::fprintf(stderr,
-                 "HOST name=%s retired=%llu host_ms=%.1f mips=%.2f "
-                 "decode_cache=%d\n",
-                 name.c_str(), (unsigned long long)instsRetired,
-                 hostSeconds * 1e3, mips, decodeCache ? 1 : 0);
-    return mips;
+    return harness::reportHost(name, instsRetired, hostSeconds,
+                               decodeCache);
 }
 
 /** Outcome of one wall-clock-timed simulation run. */
@@ -199,21 +184,19 @@ runWorkload(const arch::SystemConfig &sys, rt::Backend backend,
     out.hostSeconds = timed.hostSeconds;
     out.hostMips = timed.hostMips;
 
-    arch::MispProcessor &mp = exp.system().processor(0);
-    using arch::Ring0Cause;
-    out.omsSyscalls = mp.eventCount(Ring0Cause::OmsSyscall);
-    out.omsPageFaults = mp.eventCount(Ring0Cause::OmsPageFault);
-    out.timer = mp.eventCount(Ring0Cause::Timer);
-    out.interrupts = mp.eventCount(Ring0Cause::OtherInterrupt);
-    out.amsSyscalls = mp.eventCount(Ring0Cause::ProxySyscall);
-    out.amsPageFaults = mp.eventCount(Ring0Cause::ProxyPageFault);
-    out.serializations = mp.serializations();
-    out.serializeCycles = mp.statGroup().lookupValue("serializeCycles");
-    out.privCycles = mp.statGroup().lookupValue("privCycles");
-    out.proxySignalCycles =
-        mp.statGroup().lookupValue("proxySignalCycles");
-    out.proxyRequests = static_cast<std::uint64_t>(
-        mp.statGroup().lookupValue("proxyRequests"));
+    harness::EventSnapshot ev =
+        harness::snapshotEvents(exp.system().processor(0));
+    out.omsSyscalls = ev.omsSyscalls;
+    out.omsPageFaults = ev.omsPageFaults;
+    out.timer = ev.timer;
+    out.interrupts = ev.interrupts;
+    out.amsSyscalls = ev.amsSyscalls;
+    out.amsPageFaults = ev.amsPageFaults;
+    out.serializations = ev.serializations;
+    out.serializeCycles = ev.serializeCycles;
+    out.privCycles = ev.privCycles;
+    out.proxySignalCycles = ev.proxySignalCycles;
+    out.proxyRequests = ev.proxyRequests;
     return out;
 }
 

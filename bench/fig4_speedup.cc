@@ -2,16 +2,25 @@
  * @file
  * Figure 4 — "MISP Performance: 1 OMS + 7 AMS".
  *
- * For each workload, speedup over single-processor performance on:
- *  - the MISP uniprocessor (1 OMS + 7 AMS, ShredLib runtime), and
- *  - an equivalently configured 8-core SMP (OS threads).
+ * Thin wrapper over the scenario driver: the machine grid and workload
+ * sweep live in scenarios/fig4.scn, the runs go through the shared
+ * ScenarioRunner (the same engine `mispsim scenarios/fig4.scn` uses),
+ * and this binary only derives the figure's presentation — speedups
+ * over the 1P baseline and the RMS/SPEComp averages.
+ *
+ * `--points` prints the canonical per-run lines instead, which CI
+ * diffs against `mispsim scenarios/fig4.scn --points` to assert the
+ * wrapper and the driver produce identical simulated numbers.
  *
  * Paper result: the RMS applications run on average 1.5% slower on MISP
  * than SMP, the SPEComp applications 1.9% faster — i.e. suspending all
  * AMSs during privileged execution has little practical effect.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
+#include "driver/runner.hh"
 
 using namespace misp;
 using namespace misp::bench;
@@ -21,38 +30,62 @@ main(int argc, char **argv)
 {
     setQuietLogging(true);
     bool quick = parseBenchFlags(argc, argv);
-    wl::WorkloadParams params = defaultParams(quick);
+    bool points = false;
+    for (int i = 1; i < argc; ++i)
+        points = points || std::string(argv[i]) == "--points";
+
+    driver::RunnerOptions opts;
+    opts.noDecodeCache = decodeCacheDisabled(argc, argv);
+    driver::Scenario sc;
+    std::vector<driver::PointResult> results;
+    if (!driver::runScenarioByName("fig4.scn", argv[0], quick, opts,
+                                   "fig4_speedup", &sc, &results))
+        return 1;
+
+    if (points) {
+        driver::writePoints(std::cout, results);
+        return 0;
+    }
 
     printHeader("Figure 4: MISP (1 OMS + 7 AMS) vs SMP (8 cores), "
                 "speedup over 1P");
     std::printf("%-18s %10s %10s %10s %12s\n", "application", "1P(Mcyc)",
                 "MISP", "SMP", "MISP-vs-SMP");
 
+    // The swept workloads, in grid order.
+    std::vector<std::string> names;
+    for (const driver::PointResult &r : results) {
+        if (r.machine == "1p")
+            names.push_back(r.workload);
+    }
+
     double rmsSum = 0, specSum = 0;
     int rmsN = 0, specN = 0;
+    for (const std::string &name : names) {
+        const driver::PointResult *oneP =
+            driver::findResult(results, "1p", name, 0);
+        const driver::PointResult *misp =
+            driver::findResult(results, "misp", name, 0);
+        const driver::PointResult *smp =
+            driver::findResult(results, "smp8", name, 0);
+        if (!oneP || !misp || !smp) {
+            std::printf("!! missing grid point for %s\n", name.c_str());
+            continue;
+        }
+        if (!oneP->valid || !misp->valid || !smp->valid)
+            std::printf("!! validation failed for %s\n", name.c_str());
 
-    for (const wl::WorkloadInfo *info : benchSuite(quick)) {
-        RunResult oneP = runWorkload(smp1(), rt::Backend::OsThread, *info,
-                                     params);
-        RunResult misp = runWorkload(mispUni(7), rt::Backend::Shred,
-                                     *info, params);
-        RunResult smp = runWorkload(smp8(), rt::Backend::OsThread, *info,
-                                    params);
-        if (!oneP.valid || !misp.valid || !smp.valid)
-            std::printf("!! validation failed for %s\n",
-                        info->name.c_str());
-
-        double sMisp = double(oneP.ticks) / double(misp.ticks);
-        double sSmp = double(oneP.ticks) / double(smp.ticks);
-        double delta = (double(smp.ticks) / double(misp.ticks) - 1.0) *
-                       100.0;
-        std::printf("%-18s %10.1f %9.2fx %9.2fx %+11.2f%%\n",
-                    info->name.c_str(), oneP.ticks / 1e6, sMisp, sSmp,
-                    delta);
-        if (info->suite == "rms") {
+        double sMisp = double(oneP->ticks) / double(misp->ticks);
+        double sSmp = double(oneP->ticks) / double(smp->ticks);
+        double delta =
+            (double(smp->ticks) / double(misp->ticks) - 1.0) * 100.0;
+        std::printf("%-18s %10.1f %9.2fx %9.2fx %+11.2f%%\n", name.c_str(),
+                    oneP->ticks / 1e6, sMisp, sSmp, delta);
+        const wl::WorkloadInfo *info = wl::findWorkload(name);
+        if (info && info->suite == "rms") {
             rmsSum += delta;
             ++rmsN;
-        } else if (info->suite == "specomp") {
+        } else if (info && info->suite == "specomp") {
             specSum += delta;
             ++specN;
         }

@@ -3,10 +3,15 @@
  * Figure 6 + Figure 7 — MISP multiprocessor configurations and
  * throughput under multiprogramming.
  *
- * Figure 6 defines the 8-sequencer MP configurations (4x2, 2x4, 1x8,
- * 1x4+4, ...). Figure 7 runs RayTracer (multi-shredded) while adding
- * 0..4 competing single-threaded processes and plots RayTracer's
- * speedup relative to its unloaded run on the same configuration.
+ * Thin wrapper over the scenario driver: the six 8-sequencer machine
+ * configurations, the RayTracer workload, and the 0..4-competitor
+ * sweep live in scenarios/fig7.scn and run through the shared
+ * ScenarioRunner (the same engine `mispsim scenarios/fig7.scn` uses).
+ * This binary derives the figure's presentation: per-configuration
+ * speedup relative to the unloaded run.
+ *
+ * `--points` prints the canonical per-run lines, which CI diffs
+ * against `mispsim scenarios/fig7.scn --points`.
  *
  * Paper result: on 1x8, performance decreases nearly linearly with
  * load (the single OMS is shared, so the AMSs sit idle ~50% of the
@@ -15,121 +20,70 @@
  * AMS-less processors.
  */
 
+#include <iostream>
+
 #include "bench_common.hh"
+#include "driver/runner.hh"
 
 using namespace misp;
 using namespace misp::bench;
-
-namespace {
-
-struct MpConfig {
-    const char *name;
-    std::vector<unsigned> ams;
-    /** Pin the shredded app to processors with this many AMSs. */
-    unsigned shredProcAms;
-    bool idealPlacement; ///< pin spinners away from the shredded CPU
-};
-
-Tick
-runRaytracerUnder(const MpConfig &cfg, unsigned competitors,
-                  const wl::WorkloadParams &params)
-{
-    wl::Workload w = wl::buildRaytracer(params);
-    harness::Experiment exp(mispMp(cfg.ams), rt::Backend::Shred);
-
-    // Pin the shredded thread to a processor with enough AMSs (§5.4:
-    // "a thread should not migrate to a MISP processor that does not
-    // have the proper number of AMSs").
-    std::vector<int> shredAffinity;
-    std::vector<int> otherCpus;
-    for (unsigned i = 0; i < exp.system().numProcessors(); ++i) {
-        int cpu = exp.system().processor(i).cpuId();
-        if (exp.system().processor(i).numAms() >= cfg.shredProcAms)
-            shredAffinity.push_back(cpu);
-        else
-            otherCpus.push_back(cpu);
-    }
-    auto rtProc = exp.load(w.app, shredAffinity);
-
-    wl::WorkloadParams spinParams;
-    for (unsigned c = 0; c < competitors; ++c) {
-        std::vector<int> affinity;
-        if (cfg.idealPlacement && !otherCpus.empty())
-            affinity = otherCpus; // keep competitors off the shredded CPU
-        exp.load(wl::buildSpinner(spinParams).app, affinity);
-    }
-
-    return runTimed(exp, rtProc.process,
-                    "fig7_" + std::string(cfg.name) + "_+" +
-                        std::to_string(competitors),
-                    gBenchDecodeCache)
-        .ticks;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
     bool quick = parseBenchFlags(argc, argv);
-    wl::WorkloadParams params = defaultParams(quick);
-    params.workers = 7;
+    bool points = false;
+    for (int i = 1; i < argc; ++i)
+        points = points || std::string(argv[i]) == "--points";
+
+    driver::RunnerOptions opts;
+    opts.noDecodeCache = decodeCacheDisabled(argc, argv);
+    driver::Scenario sc;
+    std::vector<driver::PointResult> results;
+    if (!driver::runScenarioByName("fig7.scn", argv[0], quick, opts,
+                                   "fig7_mp_throughput", &sc, &results))
+        return 1;
+
+    if (points) {
+        driver::writePoints(std::cout, results);
+        return 0;
+    }
 
     printHeader("Figure 6: MISP MP configurations (8 sequencers total)");
-    const std::vector<MpConfig> configs = {
-        {"4x2", {1, 1, 1, 1}, 1, false},
-        {"2x4", {3, 3}, 3, false},
-        {"1x8", {7}, 7, false},
-        {"1x4+4", {3, 0, 0, 0, 0}, 3, false},
-        {"ideal", {3, 0, 0, 0, 0}, 3, true},
-        {"smp", {0, 0, 0, 0, 0, 0, 0, 0}, 0, false},
-    };
-    for (const MpConfig &cfg : configs) {
-        std::printf("  %-8s processors:", cfg.name);
-        for (unsigned a : cfg.ams)
+    for (const driver::MachineSpec &m : sc.machines) {
+        std::printf("  %-8s processors:", m.name.c_str());
+        for (unsigned a : m.amsPerProcessor)
             std::printf(" [1 OMS + %u AMS]", a);
         std::printf("\n");
     }
 
-    unsigned maxLoad = quick ? 2 : 4;
+    // The swept competitor counts, in grid order.
+    std::vector<unsigned> loads;
+    for (const driver::PointResult &r : results) {
+        if (r.machine == sc.machines.front().name)
+            loads.push_back(r.competitors);
+    }
 
     printHeader("Figure 7: RayTracer speedup vs unloaded, adding "
                 "competing processes");
     std::printf("%-8s", "config");
-    for (unsigned load = 0; load <= maxLoad; ++load)
+    for (unsigned load : loads)
         std::printf(" %8s%u", "+", load);
     std::printf("\n");
 
-    for (const MpConfig &cfg : configs) {
-        std::printf("%-8s", cfg.name);
-        Tick unloaded = 0;
-        for (unsigned load = 0; load <= maxLoad; ++load) {
-            if (cfg.name == std::string("smp") && cfg.shredProcAms == 0) {
-                // SMP baseline: RayTracer uses OS threads.
-                wl::Workload w = wl::buildRaytracer(params);
-                harness::Experiment exp(mispMp(cfg.ams),
-                                        rt::Backend::OsThread);
-                auto rtProc = exp.load(w.app);
-                wl::WorkloadParams spinParams;
-                for (unsigned c = 0; c < load; ++c)
-                    exp.load(wl::buildSpinner(spinParams).app);
-                Tick t = runTimed(exp, rtProc.process,
-                                  "fig7_smp_+" + std::to_string(load),
-                                  gBenchDecodeCache)
-                             .ticks;
-                if (load == 0)
-                    unloaded = t;
-                std::printf(" %8.3f",
-                            t ? double(unloaded) / double(t) : 0.0);
-                std::fflush(stdout);
-                continue;
-            }
-            Tick t = runRaytracerUnder(cfg, load, params);
-            if (load == 0)
-                unloaded = t;
-            std::printf(" %8.3f", t ? double(unloaded) / double(t) : 0.0);
-            std::fflush(stdout);
+    for (const driver::MachineSpec &m : sc.machines) {
+        std::printf("%-8s", m.name.c_str());
+        const driver::PointResult *unloaded =
+            driver::findResult(results, m.name, sc.workload.name, 0);
+        for (unsigned load : loads) {
+            const driver::PointResult *r =
+                driver::findResult(results, m.name, sc.workload.name, load);
+            double speedup =
+                (r && r->ticks && unloaded)
+                    ? double(unloaded->ticks) / double(r->ticks)
+                    : 0.0;
+            std::printf(" %8.3f", speedup);
         }
         std::printf("\n");
     }

@@ -1,0 +1,419 @@
+#include "runner.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <ostream>
+#include <sstream>
+
+#include "harness/experiment.hh"
+
+namespace misp::driver {
+
+namespace {
+
+std::string
+jsonString(const std::string &s)
+{
+    return "\"" + stats::jsonEscape(s) + "\"";
+}
+
+bool
+sameCoords(const PointResult &r,
+           const std::vector<std::pair<std::string, std::string>> &coords)
+{
+    return r.coords == coords;
+}
+
+/** Baseline for [report] baseline_axis: the first result (grid order =
+ *  first axis value) on the same machine with the same non-axis
+ *  coordinates. */
+const PointResult *
+axisBaseline(const std::vector<PointResult> &results, const PointResult &r,
+             const std::string &axis)
+{
+    for (const PointResult &cand : results) {
+        if (cand.machine != r.machine ||
+            cand.coords.size() != r.coords.size())
+            continue;
+        bool match = true;
+        for (std::size_t i = 0; i < cand.coords.size(); ++i) {
+            if (cand.coords[i].first == axis)
+                continue;
+            match = match && cand.coords[i] == r.coords[i];
+        }
+        if (match)
+            return &cand;
+    }
+    return nullptr;
+}
+
+const PointResult *
+machineBaseline(const std::vector<PointResult> &results,
+                const PointResult &r, const std::string &machine)
+{
+    for (const PointResult &cand : results) {
+        if (cand.machine == machine && sameCoords(cand, r.coords))
+            return &cand;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+PointResult
+ScenarioRunner::runPoint(const Scenario &sc, const ScenarioPoint &pt)
+{
+    const wl::WorkloadInfo *info = wl::findWorkload(pt.workload.name);
+    MISP_ASSERT(info != nullptr); // expandPoints validated the name
+
+    wl::Workload w = info->build(pt.workload.params);
+
+    arch::SystemConfig sys = pt.machine.toSystemConfig();
+    if (opts_.noDecodeCache)
+        sys.misp.decodeCache = false;
+    harness::Experiment exp(sys, pt.machine.backend);
+
+    // Placement policy (Figure 7, §5.4): pin the target to processors
+    // with enough AMSs; optionally keep competitors off those CPUs.
+    std::vector<int> targetAffinity;
+    std::vector<int> otherCpus;
+    if (pt.machine.pinMinAms > 0) {
+        for (unsigned i = 0; i < exp.system().numProcessors(); ++i) {
+            int cpu = exp.system().processor(i).cpuId();
+            if (exp.system().processor(i).numAms() >= pt.machine.pinMinAms)
+                targetAffinity.push_back(cpu);
+            else
+                otherCpus.push_back(cpu);
+        }
+    }
+    harness::LoadedProcess proc = exp.load(w.app, targetAffinity);
+
+    for (const WorkloadSpec &bg : pt.background) {
+        const wl::WorkloadInfo *bgInfo = wl::findWorkload(bg.name);
+        MISP_ASSERT(bgInfo != nullptr);
+        exp.load(bgInfo->build(bg.params).app);
+    }
+
+    const wl::WorkloadInfo *comp = wl::findWorkload(pt.competitor);
+    for (unsigned c = 0; c < pt.competitors; ++c) {
+        std::vector<int> affinity;
+        if (pt.machine.idealPlacement && !otherCpus.empty())
+            affinity = otherCpus;
+        wl::WorkloadParams compParams;
+        exp.load(comp->build(compParams).app, affinity);
+    }
+
+    PointResult out;
+    out.machine = pt.machine.name;
+    out.workload = pt.workload.name;
+    out.competitors = pt.competitors;
+    out.coords = pt.coords;
+
+    auto t0 = std::chrono::steady_clock::now();
+    out.ticks = exp.run(proc.process, sc.maxTicks);
+    auto t1 = std::chrono::steady_clock::now();
+    out.instsRetired = exp.totalInstsRetired();
+    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.hostMips = out.hostSeconds > 0.0
+                       ? out.instsRetired / out.hostSeconds / 1e6
+                       : 0.0;
+    if (opts_.hostLines) {
+        std::string name = sc.name + "_" + out.machine + "_" + out.workload;
+        if (out.competitors)
+            name += "_+" + std::to_string(out.competitors);
+        harness::reportHost(name, out.instsRetired, out.hostSeconds,
+                            sys.misp.decodeCache);
+    }
+
+    out.valid = !w.validate || w.validate(proc.process->addressSpace());
+
+    out.events = harness::snapshotEvents(exp.system().processor(0));
+
+    if (opts_.fullStats) {
+        std::ostringstream ss;
+        exp.system().rootStats().dumpJson(ss);
+        out.statsJson = ss.str();
+    }
+    return out;
+}
+
+std::vector<PointResult>
+ScenarioRunner::runAll(const Scenario &sc,
+                       const std::vector<ScenarioPoint> &pts,
+                       std::ostream *progress)
+{
+    std::vector<PointResult> results;
+    results.reserve(pts.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        PointResult r = runPoint(sc, pts[i]);
+        if (progress) {
+            *progress << "[" << (i + 1) << "/" << pts.size() << "] "
+                      << r.machine << " " << r.workload;
+            if (!pts[i].coords.empty())
+                *progress << " " << pts[i].coordString();
+            *progress << " ticks=" << r.ticks
+                      << (r.valid ? "" : " INVALID") << "\n";
+            progress->flush();
+        }
+        results.push_back(std::move(r));
+    }
+    return results;
+}
+
+const PointResult *
+findResult(const std::vector<PointResult> &results,
+           const std::string &machine, const std::string &workload,
+           unsigned competitors)
+{
+    for (const PointResult &r : results) {
+        if (r.machine == machine && r.workload == workload &&
+            r.competitors == competitors)
+            return &r;
+    }
+    return nullptr;
+}
+
+void
+writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
+          const std::vector<PointResult> &results)
+{
+    os << "{\n";
+    os << "  \"scenario\": " << jsonString(sc.name) << ",\n";
+    os << "  \"title\": " << jsonString(sc.title) << ",\n";
+    os << "  \"quick\": " << (quickMode ? "true" : "false") << ",\n";
+    os << "  \"points\": [";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const PointResult &r = results[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"machine\": " << jsonString(r.machine) << ",\n";
+        os << "      \"workload\": " << jsonString(r.workload) << ",\n";
+        os << "      \"competitors\": " << r.competitors << ",\n";
+        os << "      \"coords\": {";
+        for (std::size_t c = 0; c < r.coords.size(); ++c) {
+            os << (c ? ", " : "") << jsonString(r.coords[c].first) << ": "
+               << jsonString(r.coords[c].second);
+        }
+        os << "},\n";
+        os << "      \"ticks\": " << r.ticks << ",\n";
+        os << "      \"valid\": " << (r.valid ? "true" : "false") << ",\n";
+        os << "      \"insts_retired\": " << r.instsRetired << ",\n";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6f", r.hostSeconds);
+        os << "      \"host_seconds\": " << buf << ",\n";
+        std::snprintf(buf, sizeof(buf), "%.3f", r.hostMips);
+        os << "      \"host_mips\": " << buf << ",\n";
+        const harness::EventSnapshot &ev = r.events;
+        os << "      \"events\": {\n";
+        os << "        \"oms_syscalls\": " << ev.omsSyscalls << ",\n";
+        os << "        \"oms_page_faults\": " << ev.omsPageFaults
+           << ",\n";
+        os << "        \"timer\": " << ev.timer << ",\n";
+        os << "        \"interrupts\": " << ev.interrupts << ",\n";
+        os << "        \"ams_syscalls\": " << ev.amsSyscalls << ",\n";
+        os << "        \"ams_page_faults\": " << ev.amsPageFaults
+           << ",\n";
+        os << "        \"serializations\": " << ev.serializations
+           << ",\n";
+        std::snprintf(buf, sizeof(buf), "%.0f", ev.serializeCycles);
+        os << "        \"serialize_cycles\": " << buf << ",\n";
+        std::snprintf(buf, sizeof(buf), "%.0f", ev.privCycles);
+        os << "        \"priv_cycles\": " << buf << ",\n";
+        std::snprintf(buf, sizeof(buf), "%.0f", ev.proxySignalCycles);
+        os << "        \"proxy_signal_cycles\": " << buf << ",\n";
+        os << "        \"proxy_requests\": " << ev.proxyRequests << "\n";
+        os << "      }";
+        if (!r.statsJson.empty())
+            os << ",\n      \"stats\": " << r.statsJson;
+        os << "\n    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+writeTable(std::ostream &os, const Scenario &sc,
+           const std::vector<PointResult> &results, bool markdown)
+{
+    if (results.empty()) {
+        os << "(no points)\n";
+        return;
+    }
+
+    // Column set: machine, workload, swept coords, Mcycles, then the
+    // [report]-requested speedups.
+    std::vector<std::string> coordKeys;
+    for (const auto &[key, value] : results.front().coords) {
+        (void)value;
+        if (key != "workload.name") // already the workload column
+            coordKeys.push_back(key);
+    }
+    const bool vsMachine = !sc.report.baselineMachine.empty();
+    const bool vsAxis = !sc.report.baselineAxis.empty();
+    bool anyInvalid = false;
+    for (const PointResult &r : results)
+        anyInvalid = anyInvalid || !r.valid;
+
+    std::vector<std::string> header = {"machine", "workload"};
+    for (const std::string &k : coordKeys)
+        header.push_back(k);
+    header.push_back("Mcycles");
+    if (vsMachine)
+        header.push_back("speedup_vs_" + sc.report.baselineMachine);
+    if (vsAxis)
+        header.push_back("vs_" + sc.report.baselineAxis + "0");
+    if (anyInvalid)
+        header.push_back("valid");
+
+    std::vector<std::vector<std::string>> rows;
+    for (const PointResult &r : results) {
+        std::vector<std::string> row = {r.machine, r.workload};
+        for (const std::string &k : coordKeys) {
+            std::string v;
+            for (const auto &[ck, cv] : r.coords) {
+                if (ck == k)
+                    v = cv;
+            }
+            row.push_back(v);
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.3f", r.ticks / 1e6);
+        row.push_back(buf);
+        if (vsMachine) {
+            const PointResult *base =
+                machineBaseline(results, r, sc.report.baselineMachine);
+            if (base && r.ticks)
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              double(base->ticks) / double(r.ticks));
+            else
+                std::snprintf(buf, sizeof(buf), "-");
+            row.push_back(buf);
+        }
+        if (vsAxis) {
+            const PointResult *base =
+                axisBaseline(results, r, sc.report.baselineAxis);
+            if (base && r.ticks)
+                std::snprintf(buf, sizeof(buf), "%.3f",
+                              double(base->ticks) / double(r.ticks));
+            else
+                std::snprintf(buf, sizeof(buf), "-");
+            row.push_back(buf);
+        }
+        if (anyInvalid)
+            row.push_back(r.valid ? "yes" : "NO");
+        rows.push_back(std::move(row));
+    }
+
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        widths[c] = header[c].size();
+        for (const auto &row : rows)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        if (markdown) {
+            os << "|";
+            for (std::size_t c = 0; c < row.size(); ++c)
+                os << " " << row[c] << " |";
+            os << "\n";
+        } else {
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                os << (c ? "  " : "");
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            }
+            os << "\n";
+        }
+    };
+
+    if (!sc.title.empty())
+        os << (markdown ? "### " : "") << sc.title << "\n\n";
+    emitRow(header);
+    if (markdown) {
+        os << "|";
+        for (std::size_t c = 0; c < header.size(); ++c)
+            os << " --- |";
+        os << "\n";
+    } else {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows)
+        emitRow(row);
+}
+
+void
+writePoints(std::ostream &os, const std::vector<PointResult> &results)
+{
+    for (const PointResult &r : results) {
+        // All swept coordinates ride along (';'-joined, '-' when there
+        // are none) so lines stay unambiguous for axes beyond
+        // workload.name/competitors (e.g. machine.signal_cycles).
+        std::string coords;
+        for (const auto &[key, value] : r.coords) {
+            if (!coords.empty())
+                coords += ";";
+            coords += key + "=" + value;
+        }
+        os << "machine=" << r.machine << " workload=" << r.workload
+           << " competitors=" << r.competitors << " coords="
+           << (coords.empty() ? "-" : coords) << " ticks=" << r.ticks
+           << " valid=" << (r.valid ? 1 : 0) << "\n";
+    }
+}
+
+std::string
+findScenarioFile(const std::string &nameOrPath, const char *argv0)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> candidates;
+    candidates.emplace_back(nameOrPath);
+    for (const char *prefix :
+         {"scenarios/", "../scenarios/", "../../scenarios/"})
+        candidates.emplace_back(prefix + nameOrPath);
+    if (argv0 && argv0[0]) {
+        fs::path exeDir = fs::path(argv0).parent_path();
+        candidates.push_back(exeDir / "scenarios" / nameOrPath);
+        candidates.push_back(exeDir / ".." / "scenarios" / nameOrPath);
+        candidates.push_back(exeDir / ".." / ".." / "scenarios" /
+                             nameOrPath);
+    }
+    for (const fs::path &p : candidates) {
+        std::error_code ec;
+        if (fs::exists(p, ec) && fs::is_regular_file(p, ec))
+            return p.string();
+    }
+    return "";
+}
+
+bool
+runScenarioByName(const std::string &nameOrPath, const char *argv0,
+                  bool quick, const RunnerOptions &opts, const char *tool,
+                  Scenario *sc, std::vector<PointResult> *results)
+{
+    std::string path = findScenarioFile(nameOrPath, argv0);
+    if (path.empty()) {
+        std::fprintf(stderr,
+                     "%s: scenario '%s' not found (run from the repo "
+                     "root)\n",
+                     tool, nameOrPath.c_str());
+        return false;
+    }
+    SpecFile spec;
+    std::vector<ScenarioPoint> grid;
+    std::string err;
+    if (!SpecFile::parseFile(path, &spec, &err) ||
+        !Scenario::fromSpec(spec, sc, &err) ||
+        !sc->expandPoints(quick, &grid, &err)) {
+        std::fprintf(stderr, "%s: %s\n", tool, err.c_str());
+        return false;
+    }
+    *results = ScenarioRunner(opts).runAll(*sc, grid);
+    return true;
+}
+
+} // namespace misp::driver

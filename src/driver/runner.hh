@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ScenarioRunner: executes an expanded scenario grid point-by-point on
+ * harness::Experiment, and the result emitters every consumer shares —
+ * JSON (machine-readable, CI artifacts), text and markdown tables
+ * (humans, $GITHUB_STEP_SUMMARY), and canonical point lines (the
+ * equivalence diff between `mispsim` and the wrapper bench binaries).
+ *
+ * One grid point is exactly the run the hand-rolled figure benches
+ * performed: build the workload, instantiate the machine + runtime
+ * backend, load the target (pinned per the machine's placement
+ * policy), load background workloads and competitor processes, run to
+ * target completion under the wall clock, harvest Table-1 events from
+ * processor 0. Simulated results are deterministic, so the same spec
+ * always reproduces the same numbers.
+ */
+
+#ifndef MISP_DRIVER_RUNNER_HH
+#define MISP_DRIVER_RUNNER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/scenario.hh"
+#include "harness/experiment.hh"
+
+namespace misp::driver {
+
+/** Everything measured at one grid point. */
+struct PointResult {
+    // Coordinates.
+    std::string machine;
+    std::string workload;
+    unsigned competitors = 0;
+    std::vector<std::pair<std::string, std::string>> coords;
+
+    // Simulated outcome (deterministic).
+    Tick ticks = 0;   ///< target completion tick (0 = never finished)
+    bool valid = true; ///< host-side result validation
+    harness::EventSnapshot events; ///< Table-1 events of processor 0
+
+    // Host-side throughput (informational; varies run to run).
+    std::uint64_t instsRetired = 0;
+    double hostSeconds = 0.0;
+    double hostMips = 0.0;
+
+    /** Full root-stats dump (JSON), when Options::fullStats is set. */
+    std::string statsJson;
+};
+
+struct RunnerOptions {
+    /** Force the reference fetch+decode path on every machine
+     *  (--no-decode-cache / MISP_NO_DECODE_CACHE=1). */
+    bool noDecodeCache = false;
+    /** Capture a full stats::StatGroup JSON dump per point. */
+    bool fullStats = false;
+    /** Emit the uniform HOST throughput line per run on stderr. */
+    bool hostLines = true;
+};
+
+class ScenarioRunner
+{
+  public:
+    /** Kept as a member alias so callers read
+     *  `ScenarioRunner::Options`. */
+    using Options = RunnerOptions;
+
+    explicit ScenarioRunner(const Options &opts = Options()) : opts_(opts)
+    {}
+
+    /** Run one grid point. */
+    PointResult runPoint(const Scenario &sc, const ScenarioPoint &pt);
+
+    /** Run the whole grid in order; one progress line per point on
+     *  @p progress when non-null. */
+    std::vector<PointResult> runAll(const Scenario &sc,
+                                    const std::vector<ScenarioPoint> &pts,
+                                    std::ostream *progress = nullptr);
+
+  private:
+    Options opts_;
+};
+
+/** Result at (machine, workload, competitors); nullptr if absent. */
+const PointResult *findResult(const std::vector<PointResult> &results,
+                              const std::string &machine,
+                              const std::string &workload,
+                              unsigned competitors);
+
+/** Machine-readable results: scenario header + one object per point. */
+void writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
+               const std::vector<PointResult> &results);
+
+/** Human results table; GitHub-flavoured markdown when @p markdown.
+ *  Adds the [report]-requested speedup columns. */
+void writeTable(std::ostream &os, const Scenario &sc,
+                const std::vector<PointResult> &results, bool markdown);
+
+/** Canonical `machine=... workload=... competitors=... ticks=...
+ *  valid=...` lines — the equivalence-diff format. */
+void writePoints(std::ostream &os,
+                 const std::vector<PointResult> &results);
+
+/**
+ * Locate a scenario file: @p nameOrPath as given, then under
+ * `scenarios/` relative to the working directory and its parents, then
+ * relative to the executable's directory (@p argv0) and its parents.
+ * Returns "" when nothing exists.
+ */
+std::string findScenarioFile(const std::string &nameOrPath,
+                             const char *argv0);
+
+/**
+ * The figure-wrapper entry point: locate @p nameOrPath (per
+ * findScenarioFile), parse + validate + expand the grid (applying
+ * [quick] overrides when @p quick), and run every point. On failure,
+ * prints a "@p tool: ..." diagnostic to stderr and returns false.
+ */
+bool runScenarioByName(const std::string &nameOrPath, const char *argv0,
+                       bool quick, const RunnerOptions &opts,
+                       const char *tool, Scenario *sc,
+                       std::vector<PointResult> *results);
+
+} // namespace misp::driver
+
+#endif // MISP_DRIVER_RUNNER_HH

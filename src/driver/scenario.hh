@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The scenario model: what a parsed `.scn` spec *means*.
+ *
+ * A scenario is a grid of simulation runs:
+ *
+ *   points = [machine sections] x cartesian([sweep] axes)
+ *
+ * Sections:
+ *   [scenario]            name, title
+ *   [machine <name>]      one grid axis value per section; knobs below
+ *   [workload]            the measured target (first section) and its
+ *                         parameters; later [workload] sections are
+ *                         co-loaded background processes (mixed runs)
+ *   [run]                 max_ticks, competitors, competitor
+ *   [sweep]               axes: key = value-list (commas, `lo..hi`)
+ *   [quick]               axis/knob overrides applied in --quick mode
+ *   [report]              baseline_machine and/or baseline_axis
+ *
+ * Machine knobs: `processors` (comma list of per-processor AMS counts)
+ * or `ams` (uniprocessor shorthand), `backend` (shred|os),
+ * `decode_cache`, `signal_cycles`, `context_xfer_cycles`,
+ * `slice_limit`, `serialization` (suspend_all|speculative_monitor),
+ * `phys_frames`, and the Figure-7 placement policy: `pin_min_ams`
+ * (pin the target to processors with at least that many AMSs; 0 = no
+ * pinning) and `ideal_placement` (keep competitors off those
+ * processors).
+ *
+ * Sweep axis keys: `workload.<param>` (name/workers/scale/prefault/
+ * seed; `workload.name` accepts the selectors of wl::selectWorkloads,
+ * e.g. `all` or `suite:rms`), `machine.<knob>` (overrides the knob on
+ * every machine), and `competitors`.
+ */
+
+#ifndef MISP_DRIVER_SCENARIO_HH
+#define MISP_DRIVER_SCENARIO_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/spec.hh"
+#include "misp/misp_system.hh"
+#include "shredlib/stub_library.hh"
+#include "workloads/workload.hh"
+
+namespace misp::driver {
+
+/** One grid-axis machine: topology + per-processor knobs + placement. */
+struct MachineSpec {
+    std::string name = "machine";
+    std::vector<unsigned> amsPerProcessor{7};
+    rt::Backend backend = rt::Backend::Shred;
+    bool decodeCache = true;
+    Cycles signalCycles = 5000;
+    Cycles contextXferCycles = 150;
+    unsigned sliceLimit = 32;
+    arch::SerializationPolicy serialization =
+        arch::SerializationPolicy::SuspendAll;
+    std::uint64_t physFrames = 1ull << 18;
+
+    /** Pin the target to processors with >= this many AMSs (0 = load
+     *  with no affinity, the kernel schedules freely). */
+    unsigned pinMinAms = 0;
+    /** Pin competitors to the processors the target is *not* pinned to
+     *  (Figure 7's "ideal" placement). No-op when no such CPU exists. */
+    bool idealPlacement = false;
+
+    /** Build the arch config this spec describes. */
+    arch::SystemConfig toSystemConfig() const;
+
+    /** Apply one `key = value` knob. False + @p err on unknown key or
+     *  bad value. */
+    bool apply(const std::string &key, const std::string &value,
+               std::string *err);
+
+    /** "3,0,0,0,0" style rendering of amsPerProcessor. */
+    std::string topologyString() const;
+};
+
+/** A workload instance: registry name + build parameters. */
+struct WorkloadSpec {
+    std::string name;
+    wl::WorkloadParams params;
+
+    bool apply(const std::string &key, const std::string &value,
+               std::string *err);
+};
+
+/** One sweep axis: a dotted key and its expanded value list. */
+struct SweepAxis {
+    std::string key;
+    std::vector<std::string> values;
+    int line = 0; ///< spec line, for expansion-time diagnostics
+};
+
+/** Derived-column requests for tables and wrapper figures. */
+struct ReportSpec {
+    /** Speedup column: ticks on this machine / ticks, per coordinate. */
+    std::string baselineMachine;
+    /** Speedup column relative to the point with this axis at its
+     *  first value, same machine / other coordinates ("competitors"
+     *  gives Figure 7's vs-unloaded curve). */
+    std::string baselineAxis;
+};
+
+/** A fully-resolved grid point, ready to run. */
+struct ScenarioPoint {
+    MachineSpec machine;   ///< machine axis value + machine.* overrides
+    WorkloadSpec workload; ///< target, with workload.* overrides
+    std::vector<WorkloadSpec> background; ///< extra [workload] sections
+    unsigned competitors = 0;
+    std::string competitor = "spinner";
+    /** Swept (key, value) coordinates, in axis order — machine name is
+     *  carried by `machine.name`, not repeated here. */
+    std::vector<std::pair<std::string, std::string>> coords;
+
+    std::string coordString() const; ///< "competitors=2 workload.name=gauss"
+};
+
+/** A validated scenario. */
+struct Scenario {
+    std::string name = "scenario";
+    std::string title;
+    std::string specPath; ///< diagnostic prefix for expansion errors
+    std::vector<MachineSpec> machines;
+    WorkloadSpec workload;
+    std::vector<WorkloadSpec> background;
+    unsigned competitors = 0;
+    std::string competitor = "spinner";
+    Tick maxTicks = 2'000'000'000'000ull;
+    std::vector<SweepAxis> sweep;
+    std::vector<SweepAxis> quick;
+    ReportSpec report;
+
+    /**
+     * Validate and type a parsed spec. All diagnostics carry
+     * "path:line:" prefixes. Requires at least one [machine] and one
+     * [workload] section with a registered workload name.
+     */
+    static bool fromSpec(const SpecFile &spec, Scenario *out,
+                         std::string *err);
+
+    /**
+     * Expand the run grid: cartesian product of the sweep axes (with
+     * [quick] overrides when @p quickMode), crossed with the machine
+     * list. Sweep order: first axis varies slowest; machines vary
+     * fastest. Axis values are validated here (e.g. workload names).
+     */
+    bool expandPoints(bool quickMode, std::vector<ScenarioPoint> *out,
+                      std::string *err) const;
+};
+
+} // namespace misp::driver
+
+#endif // MISP_DRIVER_SCENARIO_HH

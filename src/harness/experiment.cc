@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <cstdio>
+
 namespace misp::harness {
 
 Experiment::Experiment(const arch::SystemConfig &config,
@@ -56,6 +58,63 @@ std::uint64_t
 Experiment::events(unsigned proc, arch::Ring0Cause cause)
 {
     return system_->processor(proc).eventCount(cause);
+}
+
+std::uint64_t
+Experiment::totalInstsRetired()
+{
+    return harness::totalInstsRetired(*system_);
+}
+
+std::uint64_t
+totalInstsRetired(arch::MispSystem &sys)
+{
+    std::uint64_t total = 0;
+    for (unsigned p = 0; p < sys.numProcessors(); ++p) {
+        arch::MispProcessor &mp = sys.processor(p);
+        for (SequencerId sid = 0;; ++sid) {
+            cpu::Sequencer *seq = mp.sequencer(sid);
+            if (!seq)
+                break;
+            total += seq->instsRetired();
+        }
+    }
+    return total;
+}
+
+double
+reportHost(const std::string &name, std::uint64_t instsRetired,
+           double hostSeconds, bool decodeCache)
+{
+    double mips =
+        hostSeconds > 0.0 ? instsRetired / hostSeconds / 1e6 : 0.0;
+    std::fprintf(stderr,
+                 "HOST name=%s retired=%llu host_ms=%.1f mips=%.2f "
+                 "decode_cache=%d\n",
+                 name.c_str(), (unsigned long long)instsRetired,
+                 hostSeconds * 1e3, mips, decodeCache ? 1 : 0);
+    return mips;
+}
+
+EventSnapshot
+snapshotEvents(arch::MispProcessor &mp)
+{
+    using arch::Ring0Cause;
+    EventSnapshot out;
+    out.omsSyscalls = mp.eventCount(Ring0Cause::OmsSyscall);
+    out.omsPageFaults = mp.eventCount(Ring0Cause::OmsPageFault);
+    out.timer = mp.eventCount(Ring0Cause::Timer);
+    out.interrupts = mp.eventCount(Ring0Cause::OtherInterrupt);
+    out.amsSyscalls = mp.eventCount(Ring0Cause::ProxySyscall);
+    out.amsPageFaults = mp.eventCount(Ring0Cause::ProxyPageFault);
+    out.serializations = mp.serializations();
+    out.serializeCycles = mp.statGroup().lookupValue("serializeCycles");
+    out.privCycles = mp.statGroup().lookupValue("privCycles");
+    out.proxySignalCycles =
+        mp.statGroup().lookupValue("proxySignalCycles");
+    out.proxyRequests = static_cast<std::uint64_t>(
+        mp.statGroup().lookupValue("proxyRequests"));
+    return out;
 }
 
 } // namespace misp::harness

@@ -43,12 +43,49 @@ class Experiment
     /** Shortcut: Table-1 event count on processor @p proc. */
     std::uint64_t events(unsigned proc, arch::Ring0Cause cause);
 
+    /** Sum of retired guest instructions over every sequencer of
+     *  every processor — the numerator of host-MIPS reporting. */
+    std::uint64_t totalInstsRetired();
+
   private:
     rt::Backend backend_;
     std::unique_ptr<arch::MispSystem> system_;
     std::unique_ptr<rt::ShredRuntime> shredRt_;
     std::unique_ptr<rt::OsApiRuntime> osRt_;
 };
+
+/** Free-function form of Experiment::totalInstsRetired, for callers
+ *  holding a bare system (e.g. BareMachine users). */
+std::uint64_t totalInstsRetired(arch::MispSystem &sys);
+
+/**
+ * Table-1 event snapshot of one MISP processor — the single
+ * harvesting point shared by the figure benches (bench_common's
+ * RunResult) and the scenario runner (driver::PointResult), so a new
+ * counter can never silently diverge between the two.
+ */
+struct EventSnapshot {
+    std::uint64_t omsSyscalls = 0;
+    std::uint64_t omsPageFaults = 0;
+    std::uint64_t timer = 0;
+    std::uint64_t interrupts = 0;
+    std::uint64_t amsSyscalls = 0;
+    std::uint64_t amsPageFaults = 0;
+    std::uint64_t serializations = 0;
+    double serializeCycles = 0;
+    double privCycles = 0;
+    double proxySignalCycles = 0;
+    std::uint64_t proxyRequests = 0;
+};
+
+EventSnapshot snapshotEvents(arch::MispProcessor &mp);
+
+/** Emit the uniform per-run HOST throughput line on stderr — the one
+ *  format shared by the figure benches and the scenario runner so
+ *  perf trajectories stay comparable across harnesses and PRs.
+ *  @return MIPS. */
+double reportHost(const std::string &name, std::uint64_t instsRetired,
+                  double hostSeconds, bool decodeCache);
 
 } // namespace misp::harness
 

@@ -1,5 +1,6 @@
 #include "stats.hh"
 
+#include <cstdio>
 #include <ostream>
 
 namespace misp::stats {
@@ -97,6 +98,93 @@ StatGroup::dumpCsv(std::ostream &os) const
     }
     for (const StatGroup *g : children_)
         g->dumpCsv(os);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void
+jsonKey(std::ostream &os, const std::string &indent, const std::string &key)
+{
+    os << indent << "\"" << jsonEscape(key) << "\": ";
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    // NaN/inf are not valid JSON; a Formula over an empty run can
+    // produce them.
+    if (v != v || v > 1.7e308 || v < -1.7e308) {
+        os << "null";
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os << buf;
+}
+
+} // namespace
+
+void
+StatGroup::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string in(static_cast<std::size_t>(indent) * 2, ' ');
+    const std::string in1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+    os << "{";
+    bool first = true;
+    for (const StatBase *s : stats_) {
+        auto rows = s->rows();
+        os << (first ? "\n" : ",\n");
+        first = false;
+        jsonKey(os, in1, s->name());
+        if (rows.size() == 1 && rows.front().first.empty()) {
+            jsonNumber(os, rows.front().second);
+            continue;
+        }
+        os << "{";
+        bool firstRow = true;
+        for (const auto &[suffix, value] : rows) {
+            os << (firstRow ? "\n" : ",\n");
+            firstRow = false;
+            jsonKey(os, in1 + "  ", suffix);
+            jsonNumber(os, value);
+        }
+        os << "\n" << in1 << "}";
+    }
+    for (const StatGroup *g : children_) {
+        os << (first ? "\n" : ",\n");
+        first = false;
+        jsonKey(os, in1, g->groupName());
+        g->dumpJson(os, indent + 1);
+    }
+    os << "\n" << in << "}";
 }
 
 void

@@ -26,6 +26,10 @@ namespace misp::stats {
 
 class StatGroup;
 
+/** JSON-escape @p s (quotes, backslashes, all control characters) —
+ *  the one escaper shared by every JSON emitter in the tree. */
+std::string jsonEscape(const std::string &s);
+
 /** Base for all statistics; handles registration and naming. */
 class StatBase
 {
@@ -236,6 +240,16 @@ class StatGroup
 
     /** Dump "path,value" CSV rows, recursively. */
     void dumpCsv(std::ostream &os) const;
+
+    /**
+     * Dump as a JSON object, recursively: one member per stat (scalar
+     * stats become numbers, multi-row stats an object of suffix ->
+     * value) and one nested object per child group. @p indent is the
+     * current indentation depth. Values use full double precision so
+     * machine consumers (the mispsim driver, CI trend tooling) can
+     * round-trip them.
+     */
+    void dumpJson(std::ostream &os, int indent = 0) const;
 
     /** Reset all stats in this group and children. */
     void resetAll();

@@ -1,5 +1,7 @@
 #include "workload.hh"
 
+#include "sim/parse.hh"
+
 namespace misp::wl {
 
 const std::vector<WorkloadInfo> &
@@ -26,6 +28,15 @@ allWorkloads()
     return kAll;
 }
 
+const std::vector<WorkloadInfo> &
+utilWorkloads()
+{
+    static const std::vector<WorkloadInfo> kUtil = {
+        {"spinner", "util", buildSpinner},
+    };
+    return kUtil;
+}
+
 const WorkloadInfo *
 findWorkload(const std::string &name)
 {
@@ -33,7 +44,87 @@ findWorkload(const std::string &name)
         if (info.name == name)
             return &info;
     }
+    for (const WorkloadInfo &info : utilWorkloads()) {
+        if (info.name == name)
+            return &info;
+    }
     return nullptr;
+}
+
+std::vector<const WorkloadInfo *>
+selectWorkloads(const std::string &selector, std::string *err)
+{
+    std::vector<const WorkloadInfo *> out;
+    if (selector == "all") {
+        for (const WorkloadInfo &info : allWorkloads())
+            out.push_back(&info);
+        return out;
+    }
+    if (selector.rfind("suite:", 0) == 0) {
+        const std::string suite = selector.substr(6);
+        for (const WorkloadInfo &info : allWorkloads()) {
+            if (info.suite == suite)
+                out.push_back(&info);
+        }
+        if (out.empty() && err)
+            *err = "unknown workload suite '" + suite + "'";
+        return out;
+    }
+    if (const WorkloadInfo *info = findWorkload(selector)) {
+        out.push_back(info);
+        return out;
+    }
+    if (err)
+        *err = "unknown workload '" + selector + "'";
+    return out;
+}
+
+bool
+setWorkloadParam(WorkloadParams &params, const std::string &key,
+                 const std::string &value, std::string *err)
+{
+    std::uint64_t u = 0;
+    bool b = false;
+    if (key == "workers") {
+        unsigned w = 0;
+        if (!parse::u32(value, &w)) {
+            if (err)
+                *err = "workers: expected an integer, got '" + value + "'";
+            return false;
+        }
+        params.workers = w;
+        return true;
+    }
+    if (key == "scale") {
+        if (!parse::u64(value, &u)) {
+            if (err)
+                *err = "scale: expected an integer, got '" + value + "'";
+            return false;
+        }
+        params.scale = u;
+        return true;
+    }
+    if (key == "seed") {
+        if (!parse::u64(value, &u)) {
+            if (err)
+                *err = "seed: expected an integer, got '" + value + "'";
+            return false;
+        }
+        params.seed = u;
+        return true;
+    }
+    if (key == "prefault") {
+        if (!parse::boolean(value, &b)) {
+            if (err)
+                *err = "prefault: expected a boolean, got '" + value + "'";
+            return false;
+        }
+        params.prefault = b;
+        return true;
+    }
+    if (err)
+        *err = "unknown workload parameter '" + key + "'";
+    return false;
 }
 
 } // namespace misp::wl

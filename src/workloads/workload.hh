@@ -59,8 +59,33 @@ struct WorkloadInfo {
 /** All registered workloads, in the paper's Figure-4 order. */
 const std::vector<WorkloadInfo> &allWorkloads();
 
-/** Lookup by name; nullptr if unknown. */
+/** Utility workloads (suite "util", e.g. the spinner): loadable through
+ *  findWorkload()/selectWorkloads() but never part of allWorkloads(),
+ *  so figure suites and sweeps over "all" are unchanged. */
+const std::vector<WorkloadInfo> &utilWorkloads();
+
+/** Lookup by name across the figure suite and the utility workloads;
+ *  nullptr if unknown. */
 const WorkloadInfo *findWorkload(const std::string &name);
+
+/**
+ * Expand a workload selector into registry entries:
+ *  - "all"        -> every figure workload (allWorkloads order),
+ *  - "suite:<s>"  -> the figure workloads whose suite is <s>,
+ *  - otherwise    -> the single named workload.
+ * Returns an empty vector (and sets @p err when non-null) if nothing
+ * matches.
+ */
+std::vector<const WorkloadInfo *>
+selectWorkloads(const std::string &selector, std::string *err = nullptr);
+
+/**
+ * Set one WorkloadParams field from its scenario-spec key/value form:
+ * "workers", "scale", "prefault", "seed". Returns false (and sets
+ * @p err when non-null) on an unknown key or unparseable value.
+ */
+bool setWorkloadParam(WorkloadParams &params, const std::string &key,
+                      const std::string &value, std::string *err = nullptr);
 
 // Individual builders (also reachable through the registry).
 Workload buildAdat(const WorkloadParams &p);

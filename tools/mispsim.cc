@@ -1,0 +1,207 @@
+/**
+ * @file
+ * `mispsim` — the scenario driver CLI.
+ *
+ * Runs a declarative `.scn` scenario (machine topology x workload x
+ * sweep axes) through the shared ScenarioRunner and emits a human
+ * table plus optional machine-readable JSON. Every paper figure and
+ * any new experiment is a spec file, not a C++ program:
+ *
+ *   $ ./build/mispsim scenarios/fig4.scn -o fig4.json
+ *   $ ./build/mispsim scenarios/fig7.scn --quick --md
+ *   $ ./build/mispsim scenarios/smoke.scn --dry-run
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+
+#include "driver/runner.hh"
+#include "sim/logging.hh"
+
+using namespace misp;
+using namespace misp::driver;
+
+namespace {
+
+int
+usage(const char *argv0, int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: %s <scenario.scn> [options]\n"
+        "\n"
+        "Runs a declarative scenario: machines x workloads x sweep axes.\n"
+        "Spec format: see docs/ARCHITECTURE.md (Scenario driver) and the\n"
+        "checked-in examples under scenarios/.\n"
+        "\n"
+        "options:\n"
+        "  -o FILE            write results as JSON to FILE\n"
+        "  --quick            apply the scenario's [quick] overrides\n"
+        "  --no-decode-cache  reference fetch+decode path (also honored\n"
+        "                     from MISP_NO_DECODE_CACHE=1)\n"
+        "  --md               print the results table as markdown\n"
+        "  --points           print canonical point lines only (the\n"
+        "                     bench-equivalence diff format)\n"
+        "  --dry-run          expand and print the grid without running\n"
+        "  --full-stats       include a full stats dump per point in the\n"
+        "                     JSON output\n"
+        "  --verbose          keep the simulator's event log on stderr\n"
+        "  --list-workloads   print the workload registry and exit\n"
+        "  -h, --help         this message\n",
+        argv0);
+    return code;
+}
+
+void
+listWorkloads()
+{
+    std::printf("%-18s %s\n", "name", "suite");
+    for (const wl::WorkloadInfo &info : wl::allWorkloads())
+        std::printf("%-18s %s\n", info.name.c_str(), info.suite.c_str());
+    for (const wl::WorkloadInfo &info : wl::utilWorkloads())
+        std::printf("%-18s %s\n", info.name.c_str(), info.suite.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string scnArg;
+    std::string jsonPath;
+    bool quick = false;
+    bool markdown = false;
+    bool pointsOnly = false;
+    bool dryRun = false;
+    bool fullStats = false;
+    bool verbose = false;
+    bool noDecodeCache = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "-h") == 0 || std::strcmp(arg, "--help") == 0)
+            return usage(argv[0], 0);
+        if (std::strcmp(arg, "--list-workloads") == 0) {
+            listWorkloads();
+            return 0;
+        }
+        if (std::strcmp(arg, "-o") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr, "mispsim: -o needs a file argument\n");
+                return 2;
+            }
+            jsonPath = argv[i];
+        } else if (std::strcmp(arg, "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(arg, "--no-decode-cache") == 0) {
+            noDecodeCache = true;
+        } else if (std::strcmp(arg, "--md") == 0) {
+            markdown = true;
+        } else if (std::strcmp(arg, "--points") == 0) {
+            pointsOnly = true;
+        } else if (std::strcmp(arg, "--dry-run") == 0) {
+            dryRun = true;
+        } else if (std::strcmp(arg, "--full-stats") == 0) {
+            fullStats = true;
+        } else if (std::strcmp(arg, "--verbose") == 0) {
+            verbose = true;
+        } else if (arg[0] == '-') {
+            std::fprintf(stderr, "mispsim: unknown option '%s'\n", arg);
+            return usage(argv[0], 2);
+        } else if (scnArg.empty()) {
+            scnArg = arg;
+        } else {
+            std::fprintf(stderr, "mispsim: more than one scenario file\n");
+            return usage(argv[0], 2);
+        }
+    }
+    if (scnArg.empty())
+        return usage(argv[0], 2);
+
+    const char *env = std::getenv("MISP_NO_DECODE_CACHE");
+    if (env && env[0] == '1')
+        noDecodeCache = true;
+
+    setQuietLogging(!verbose);
+
+    std::string path = findScenarioFile(scnArg, argv[0]);
+    if (path.empty()) {
+        std::fprintf(stderr, "mispsim: scenario '%s' not found\n",
+                     scnArg.c_str());
+        return 1;
+    }
+
+    SpecFile spec;
+    std::string err;
+    if (!SpecFile::parseFile(path, &spec, &err)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+    Scenario sc;
+    if (!Scenario::fromSpec(spec, &sc, &err)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+    std::vector<ScenarioPoint> points;
+    if (!sc.expandPoints(quick, &points, &err)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (dryRun) {
+        std::printf("scenario %s: %zu point(s)\n", sc.name.c_str(),
+                    points.size());
+        for (const ScenarioPoint &pt : points) {
+            std::printf("  %-10s %-18s competitors=%u",
+                        pt.machine.name.c_str(),
+                        pt.workload.name.c_str(), pt.competitors);
+            std::string coords = pt.coordString();
+            if (!coords.empty())
+                std::printf("  [%s]", coords.c_str());
+            std::printf("\n");
+        }
+        return 0;
+    }
+
+    ScenarioRunner::Options opts;
+    opts.noDecodeCache = noDecodeCache;
+    opts.fullStats = fullStats;
+    ScenarioRunner runner(opts);
+    std::vector<PointResult> results =
+        runner.runAll(sc, points, pointsOnly ? nullptr : &std::cerr);
+
+    if (pointsOnly) {
+        writePoints(std::cout, results);
+    } else {
+        writeTable(std::cout, sc, results, markdown);
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream os(jsonPath);
+        if (!os) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        writeJson(os, sc, quick, results);
+        std::fprintf(stderr, "mispsim: wrote %s\n", jsonPath.c_str());
+    }
+
+    int rc = 0;
+    for (const PointResult &r : results) {
+        if (r.valid && r.ticks != 0)
+            continue;
+        std::fprintf(stderr,
+                     "mispsim: point machine=%s workload=%s "
+                     "competitors=%u %s\n",
+                     r.machine.c_str(), r.workload.c_str(),
+                     r.competitors,
+                     r.ticks == 0 ? "never finished (hit max_ticks)"
+                                  : "failed result validation");
+        rc = 1;
+    }
+    return rc;
+}
