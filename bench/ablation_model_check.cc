@@ -50,13 +50,13 @@ main(int argc, char **argv)
                                        params);
 
         // Eq.1 check: serialize windows sum to 2*signal*N + priv.
-        double eq1 = 2.0 * signal * double(at5000.serializations) +
-                     at5000.privCycles;
-        bool eq1ok = std::abs(eq1 - at5000.serializeCycles) < 1.0;
+        double eq1 = 2.0 * signal * double(at5000.events.serializations) +
+                     at5000.events.privCycles;
+        bool eq1ok = std::abs(eq1 - at5000.events.serializeCycles) < 1.0;
 
         // Eq.2 check: egress overhead is 3*signal per proxy request.
-        double eq2 = 3.0 * signal * double(at5000.proxyRequests);
-        bool eq2ok = std::abs(eq2 - at5000.proxySignalCycles) < 1.0;
+        double eq2 = 3.0 * signal * double(at5000.events.proxyRequests);
+        bool eq2ok = std::abs(eq2 - at5000.events.proxySignalCycles) < 1.0;
 
         arch::SystemConfig ideal = cfg;
         ideal.misp.signalCycles = 0;
@@ -69,8 +69,8 @@ main(int argc, char **argv)
         // events do not overlap on one MISP processor, so the sum is a
         // wall-clock prediction.
         double predicted =
-            2.0 * signal * double(at5000.serializations) +
-            1.0 * signal * double(at5000.proxyRequests);
+            2.0 * signal * double(at5000.events.serializations) +
+            1.0 * signal * double(at5000.events.proxyRequests);
         double measured = double(at5000.ticks) - double(at0.ticks);
 
         std::printf("%-18s %12s %12s %11.2fM %13.2fM\n", name.c_str(),

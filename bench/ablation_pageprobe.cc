@@ -6,9 +6,16 @@
  * of code that precedes parallel execution, the number of proxy
  * execution events for page faults can be significantly reduced."
  *
- * WorkloadParams::prefault makes main touch one byte per data page
- * before creating shreds (real guest loads through the prefault stub),
- * converting AMS proxy faults into cheap serial-region OMS faults.
+ * Thin wrapper over the scenario driver: the workload x prefault grid
+ * lives in scenarios/ablation_pageprobe.scn and runs through the
+ * unified run layer (the same engine `mispsim` uses); this binary only
+ * derives the off -> on comparison. WorkloadParams::prefault makes
+ * main touch one byte per data page before creating shreds (real guest
+ * loads through the prefault stub), converting AMS proxy faults into
+ * cheap serial-region OMS faults.
+ *
+ * `--points` prints the canonical per-run lines, which CI diffs
+ * against `mispsim scenarios/ablation_pageprobe.scn --points`.
  */
 
 #include "bench_common.hh"
@@ -19,8 +26,13 @@ using namespace misp::bench;
 int
 main(int argc, char **argv)
 {
-    setQuietLogging(true);
-    bool quick = parseBenchFlags(argc, argv);
+    driver::Scenario sc;
+    std::vector<driver::PointResult> results;
+    int exitCode = 0;
+    if (scenarioBenchMain("ablation_pageprobe.scn",
+                          "ablation_pageprobe", argc, argv, &sc,
+                          &results, &exitCode))
+        return exitCode;
 
     printHeader("Ablation B: §5.3 page-probe pre-faulting "
                 "(prefault off -> on)");
@@ -28,27 +40,25 @@ main(int argc, char **argv)
                 "amsPF-off", "amsPF-on", "omsPF-on", "T-off(M)",
                 "T-on(M)");
 
-    std::vector<std::string> apps =
-        quick ? std::vector<std::string>{"dense_mvm"}
-              : std::vector<std::string>{"dense_mvm", "sparse_mvm",
-                                         "swim"};
-    for (const std::string &name : apps) {
-        const wl::WorkloadInfo *info = wl::findWorkload(name);
-        wl::WorkloadParams off = defaultParams(quick);
-        off.prefault = false;
-        wl::WorkloadParams on = defaultParams(quick);
-        on.prefault = true;
+    const std::vector<std::string> names = sweptWorkloads(results);
 
-        RunResult roff = runWorkload(mispUni(7), rt::Backend::Shred,
-                                     *info, off);
-        RunResult ron = runWorkload(mispUni(7), rt::Backend::Shred,
-                                    *info, on);
+    for (const std::string &name : names) {
+        const driver::PointResult *off = driver::findResultCoords(
+            results, "misp",
+            {{"workload.name", name}, {"workload.prefault", "false"}});
+        const driver::PointResult *on = driver::findResultCoords(
+            results, "misp",
+            {{"workload.name", name}, {"workload.prefault", "true"}});
+        if (!off || !on) {
+            std::printf("!! missing grid point for %s\n", name.c_str());
+            continue;
+        }
         std::printf("%-18s %10llu %10llu %10llu %10.1f %10.1f\n",
                     name.c_str(),
-                    (unsigned long long)roff.amsPageFaults,
-                    (unsigned long long)ron.amsPageFaults,
-                    (unsigned long long)ron.omsPageFaults,
-                    roff.ticks / 1e6, ron.ticks / 1e6);
+                    (unsigned long long)off->run.events.amsPageFaults,
+                    (unsigned long long)on->run.events.amsPageFaults,
+                    (unsigned long long)on->run.events.omsPageFaults,
+                    off->run.ticks / 1e6, on->run.ticks / 1e6);
     }
 
     std::printf("\nReading: probing moves compulsory faults from the "

@@ -7,8 +7,14 @@
  * alternative where AMSs continue speculatively while hardware monitors
  * the control registers, squashing only if CR3 actually changed.
  *
- * This ablation quantifies what that extra hardware would buy on our
- * workloads: runtime and total AMS suspension cycles under each policy.
+ * Thin wrapper over the scenario driver: the workload x policy grid
+ * lives in scenarios/ablation_serialization.scn and runs through the
+ * unified run layer (the same engine `mispsim` uses); this binary only
+ * derives the presentation — runtime and total AMS suspension cycles
+ * under each policy, quantifying what the extra hardware would buy.
+ *
+ * `--points` prints the canonical per-run lines, which CI diffs
+ * against `mispsim scenarios/ablation_serialization.scn --points`.
  */
 
 #include "bench_common.hh"
@@ -16,64 +22,48 @@
 using namespace misp;
 using namespace misp::bench;
 
-namespace {
-
-struct PolicyResult {
-    Tick ticks;
-    double suspended;
-};
-
-PolicyResult
-runWithPolicy(const wl::WorkloadInfo &info,
-              const wl::WorkloadParams &params,
-              arch::SerializationPolicy policy)
-{
-    arch::SystemConfig cfg = mispUni(7);
-    cfg.misp.serialization = policy;
-    wl::Workload w = info.build(params);
-    harness::Experiment exp(cfg, rt::Backend::Shred);
-    auto proc = exp.load(w.app);
-    PolicyResult out;
-    out.ticks = exp.run(proc.process);
-    out.suspended = 0;
-    arch::MispProcessor &mp = exp.system().processor(0);
-    for (unsigned i = 0; i < mp.numAms(); ++i)
-        out.suspended += double(mp.amsAt(i).suspendedCycles());
-    if (w.validate && !w.validate(proc.process->addressSpace()))
-        std::printf("!! validation failed for %s\n", info.name.c_str());
-    return out;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
-    setQuietLogging(true);
-    bool quick = parseBenchFlags(argc, argv);
-    wl::WorkloadParams params = defaultParams(quick);
+    driver::Scenario sc;
+    std::vector<driver::PointResult> results;
+    int exitCode = 0;
+    if (scenarioBenchMain("ablation_serialization.scn",
+                          "ablation_serialization", argc, argv, &sc,
+                          &results, &exitCode))
+        return exitCode;
 
     printHeader("Ablation A: suspend-all vs speculative control-register "
                 "monitoring (§2.3)");
     std::printf("%-18s %14s %14s %10s %16s\n", "application",
                 "suspend-all", "speculative", "gain", "susp-cyc(M)");
 
-    std::vector<std::string> apps =
-        quick ? std::vector<std::string>{"gauss", "swim"}
-              : std::vector<std::string>{"gauss", "kmeans", "swim",
-                                         "dense_mvm", "Raytracer"};
-    for (const std::string &name : apps) {
-        const wl::WorkloadInfo *info = wl::findWorkload(name);
-        PolicyResult base = runWithPolicy(
-            *info, params, arch::SerializationPolicy::SuspendAll);
-        PolicyResult spec = runWithPolicy(
-            *info, params,
-            arch::SerializationPolicy::SpeculativeMonitor);
+    const std::vector<std::string> names = sweptWorkloads(results);
+
+    for (const std::string &name : names) {
+        const driver::PointResult *base = driver::findResultCoords(
+            results, "misp",
+            {{"workload.name", name},
+             {"machine.serialization", "suspend_all"}});
+        const driver::PointResult *spec = driver::findResultCoords(
+            results, "misp",
+            {{"workload.name", name},
+             {"machine.serialization", "speculative_monitor"}});
+        if (!base || !spec) {
+            std::printf("!! missing grid point for %s\n", name.c_str());
+            continue;
+        }
+        if (!base->run.valid)
+            std::printf("!! validation failed for %s\n", name.c_str());
+        if (!spec->run.valid)
+            std::printf("!! validation failed for %s\n", name.c_str());
         std::printf("%-18s %12.1fM %12.1fM %+9.2f%% %15.1f\n",
-                    name.c_str(), base.ticks / 1e6, spec.ticks / 1e6,
-                    (double(base.ticks) / double(spec.ticks) - 1.0) *
+                    name.c_str(), base->run.ticks / 1e6,
+                    spec->run.ticks / 1e6,
+                    (double(base->run.ticks) / double(spec->run.ticks) -
+                     1.0) *
                         100.0,
-                    base.suspended / 1e6);
+                    base->run.events.suspendedCycles / 1e6);
     }
 
     std::printf("\nReading: the speculative policy removes all AMS "

@@ -11,41 +11,23 @@
 #ifndef MISP_BENCH_BENCH_COMMON_HH
 #define MISP_BENCH_BENCH_COMMON_HH
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
-#include "harness/experiment.hh"
+#include "driver/runner.hh"
+#include "harness/run_record.hh"
 #include "workloads/workload.hh"
 
 namespace misp::bench {
 
-/** Outcome of one measured run. */
-struct RunResult {
-    Tick ticks = 0;
-    bool valid = false;
-    /** Host-side performance of the run: retired guest instructions
-     *  (all sequencers, all processors), wall-clock seconds, and their
-     *  ratio in millions of instructions per host second. */
-    std::uint64_t instsRetired = 0;
-    double hostSeconds = 0.0;
-    double hostMips = 0.0;
-    /** Table-1 event counts of processor 0. */
-    std::uint64_t omsSyscalls = 0;
-    std::uint64_t omsPageFaults = 0;
-    std::uint64_t timer = 0;
-    std::uint64_t interrupts = 0;
-    std::uint64_t amsSyscalls = 0;
-    std::uint64_t amsPageFaults = 0;
-    std::uint64_t serializations = 0;
-    double serializeCycles = 0;
-    double privCycles = 0;
-    double proxySignalCycles = 0;
-    std::uint64_t proxyRequests = 0;
-};
+/** Outcome of one measured run — the unified record of the run layer
+ *  (status enum, ticks, validation, EventSnapshot under `.events`,
+ *  host throughput, derived metrics). */
+using RunResult = harness::RunRecord;
 
 inline bool
 quickMode(int argc, char **argv)
@@ -137,67 +119,21 @@ reportHost(const std::string &name, std::uint64_t instsRetired,
                                decodeCache);
 }
 
-/** Outcome of one wall-clock-timed simulation run. */
-struct TimedRun {
-    Tick ticks = 0;
-    std::uint64_t instsRetired = 0;
-    double hostSeconds = 0.0;
-    double hostMips = 0.0;
-};
-
-/** Run @p target to completion under the wall clock and emit the
- *  uniform HOST line — the one place measured runs are timed, shared
- *  by runWorkload() and the benches that build their machines by
- *  hand (e.g. fig7). */
-inline TimedRun
-runTimed(harness::Experiment &exp, os::Process *target,
-         const std::string &name, bool decodeCache,
-         Tick maxTicks = 2'000'000'000'000ull)
-{
-    TimedRun out;
-    auto t0 = std::chrono::steady_clock::now();
-    out.ticks = exp.run(target, maxTicks);
-    auto t1 = std::chrono::steady_clock::now();
-    out.instsRetired = totalInstsRetired(exp.system());
-    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
-    out.hostMips = reportHost(name, out.instsRetired, out.hostSeconds,
-                              decodeCache);
-    return out;
-}
-
-/** Build + load + run one workload to completion; harvest stats. Every
- *  bench reports host-side throughput uniformly via reportHost(), so
- *  perf trajectories are comparable across figures. */
+/** Build + load + run one workload to completion; harvest stats —
+ *  a thin adapter over the unified run layer (harness::runOne), so
+ *  bench runs can never diverge from `mispsim` scenario runs. The
+ *  uniform HOST throughput line keeps perf trajectories comparable
+ *  across figures. */
 inline RunResult
 runWorkload(const arch::SystemConfig &sys, rt::Backend backend,
             const wl::WorkloadInfo &info, const wl::WorkloadParams &params)
 {
-    wl::Workload w = info.build(params);
-    harness::Experiment exp(sys, backend);
-    harness::LoadedProcess proc = exp.load(w.app);
-    TimedRun timed = runTimed(exp, proc.process, info.name,
-                              sys.misp.decodeCache);
-    RunResult out;
-    out.ticks = timed.ticks;
-    out.valid = !w.validate || w.validate(proc.process->addressSpace());
-    out.instsRetired = timed.instsRetired;
-    out.hostSeconds = timed.hostSeconds;
-    out.hostMips = timed.hostMips;
-
-    harness::EventSnapshot ev =
-        harness::snapshotEvents(exp.system().processor(0));
-    out.omsSyscalls = ev.omsSyscalls;
-    out.omsPageFaults = ev.omsPageFaults;
-    out.timer = ev.timer;
-    out.interrupts = ev.interrupts;
-    out.amsSyscalls = ev.amsSyscalls;
-    out.amsPageFaults = ev.amsPageFaults;
-    out.serializations = ev.serializations;
-    out.serializeCycles = ev.serializeCycles;
-    out.privCycles = ev.privCycles;
-    out.proxySignalCycles = ev.proxySignalCycles;
-    out.proxyRequests = ev.proxyRequests;
-    return out;
+    harness::RunRequest req;
+    req.label = info.name;
+    req.config = sys;
+    req.backend = backend;
+    req.target = {info.name, params};
+    return harness::runOne(req);
 }
 
 /** Default parameters matching the paper's 1 OMS + 7 AMS setup. */
@@ -224,6 +160,59 @@ benchSuite(bool quick)
         out.push_back(&info);
     }
     return out;
+}
+
+/**
+ * The shared scaffolding of every scenario-wrapper bench: quiet
+ * logging, the common flags (--quick / --no-decode-cache / --points),
+ * and the run of @p scn through the scenario runner. Returns true
+ * when the caller should exit immediately with *exitCode — on a
+ * failed run (1), or after `--points` printed the canonical
+ * equivalence lines (0). Otherwise @p results holds the grid for the
+ * bench's presentation code.
+ */
+inline bool
+scenarioBenchMain(const char *scn, const char *tool, int argc,
+                  char **argv, driver::Scenario *sc,
+                  std::vector<driver::PointResult> *results,
+                  int *exitCode)
+{
+    setQuietLogging(true);
+    bool quick = parseBenchFlags(argc, argv);
+    bool points = false;
+    for (int i = 1; i < argc; ++i)
+        points = points || std::strcmp(argv[i], "--points") == 0;
+
+    driver::RunnerOptions opts;
+    opts.noDecodeCache = decodeCacheDisabled(argc, argv);
+    if (!driver::runScenarioByName(scn, argv[0], quick, opts, tool, sc,
+                                   results)) {
+        *exitCode = 1;
+        return true;
+    }
+    if (points) {
+        driver::writePoints(std::cout, *results);
+        *exitCode = 0;
+        return true;
+    }
+    return false;
+}
+
+/** The swept workload names, deduplicated in first-seen grid order —
+ *  one entry per workload regardless of how the spec orders its
+ *  sweep axes. */
+inline std::vector<std::string>
+sweptWorkloads(const std::vector<driver::PointResult> &results)
+{
+    std::vector<std::string> names;
+    for (const driver::PointResult &r : results) {
+        bool seen = false;
+        for (const std::string &n : names)
+            seen = seen || n == r.workload;
+        if (!seen)
+            names.push_back(r.workload);
+    }
+    return names;
 }
 
 inline void

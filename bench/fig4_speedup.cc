@@ -17,10 +17,7 @@
  * AMSs during privileged execution has little practical effect.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
-#include "driver/runner.hh"
 
 using namespace misp;
 using namespace misp::bench;
@@ -28,24 +25,12 @@ using namespace misp::bench;
 int
 main(int argc, char **argv)
 {
-    setQuietLogging(true);
-    bool quick = parseBenchFlags(argc, argv);
-    bool points = false;
-    for (int i = 1; i < argc; ++i)
-        points = points || std::string(argv[i]) == "--points";
-
-    driver::RunnerOptions opts;
-    opts.noDecodeCache = decodeCacheDisabled(argc, argv);
     driver::Scenario sc;
     std::vector<driver::PointResult> results;
-    if (!driver::runScenarioByName("fig4.scn", argv[0], quick, opts,
-                                   "fig4_speedup", &sc, &results))
-        return 1;
-
-    if (points) {
-        driver::writePoints(std::cout, results);
-        return 0;
-    }
+    int exitCode = 0;
+    if (scenarioBenchMain("fig4.scn", "fig4_speedup", argc, argv,
+                          &sc, &results, &exitCode))
+        return exitCode;
 
     printHeader("Figure 4: MISP (1 OMS + 7 AMS) vs SMP (8 cores), "
                 "speedup over 1P");
@@ -72,15 +57,15 @@ main(int argc, char **argv)
             std::printf("!! missing grid point for %s\n", name.c_str());
             continue;
         }
-        if (!oneP->valid || !misp->valid || !smp->valid)
+        if (!oneP->run.valid || !misp->run.valid || !smp->run.valid)
             std::printf("!! validation failed for %s\n", name.c_str());
 
-        double sMisp = double(oneP->ticks) / double(misp->ticks);
-        double sSmp = double(oneP->ticks) / double(smp->ticks);
+        double sMisp = double(oneP->run.ticks) / double(misp->run.ticks);
+        double sSmp = double(oneP->run.ticks) / double(smp->run.ticks);
         double delta =
-            (double(smp->ticks) / double(misp->ticks) - 1.0) * 100.0;
+            (double(smp->run.ticks) / double(misp->run.ticks) - 1.0) * 100.0;
         std::printf("%-18s %10.1f %9.2fx %9.2fx %+11.2f%%\n", name.c_str(),
-                    oneP->ticks / 1e6, sMisp, sSmp, delta);
+                    oneP->run.ticks / 1e6, sMisp, sSmp, delta);
         const wl::WorkloadInfo *info = wl::findWorkload(name);
         if (info && info->suite == "rms") {
             rmsSum += delta;

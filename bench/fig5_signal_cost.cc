@@ -2,10 +2,17 @@
  * @file
  * Figure 5 — "Sensitivity to Signal Cost".
  *
- * Overhead of the inter-sequencer signaling cost relative to an ideal
- * zero-cost hardware implementation, for signal ∈ {500, 1000, 5000}
- * cycles. The paper reports ≤0.65% worst case (kmeans) and 0.15%
- * average at 5000 cycles: throughput is insensitive to signal cost.
+ * Thin wrapper over the scenario driver: the signal ∈ {0, 500, 1000,
+ * 5000} x workload grid lives in scenarios/fig5_signal.scn and runs
+ * through the unified run layer (the same engine
+ * `mispsim scenarios/fig5_signal.scn` uses); this binary only derives
+ * the figure's presentation — overhead of each signal cost relative to
+ * the ideal zero-cost run of the same application. The paper reports
+ * ≤0.65% worst case (kmeans) and 0.15% average at 5000 cycles:
+ * throughput is insensitive to signal cost.
+ *
+ * `--points` prints the canonical per-run lines, which CI diffs
+ * against `mispsim scenarios/fig5_signal.scn --points`.
  *
  * We measure directly (four simulations per application) rather than
  * reconstructing from event counts; bench/ablation_model_check.cc
@@ -20,44 +27,56 @@ using namespace misp::bench;
 int
 main(int argc, char **argv)
 {
-    setQuietLogging(true);
-    bool quick = parseBenchFlags(argc, argv);
-    wl::WorkloadParams params = defaultParams(quick);
+    driver::Scenario sc;
+    std::vector<driver::PointResult> results;
+    int exitCode = 0;
+    if (scenarioBenchMain("fig5_signal.scn", "fig5_signal_cost",
+                          argc, argv, &sc, &results, &exitCode))
+        return exitCode;
 
-    const Cycles costs[] = {500, 1000, 5000};
+    const char *costs[] = {"500", "1000", "5000"};
 
     printHeader("Figure 5: sensitivity to inter-sequencer signal cost "
                 "(overhead vs signal=0)");
     std::printf("%-18s %10s %10s %10s\n", "application", "500cyc",
                 "1000cyc", "5000cyc");
 
+    const std::vector<std::string> names = sweptWorkloads(results);
+
     double worst = 0;
     const char *worstApp = "";
     double sum5000 = 0;
     int n = 0;
 
-    for (const wl::WorkloadInfo *info : benchSuite(quick)) {
-        arch::SystemConfig base = mispUni(7);
-        base.misp.signalCycles = 0;
-        RunResult ideal = runWorkload(base, rt::Backend::Shred, *info,
-                                      params);
-
-        std::printf("%-18s", info->name.c_str());
-        for (Cycles cost : costs) {
-            arch::SystemConfig cfg = mispUni(7);
-            cfg.misp.signalCycles = cost;
-            RunResult r = runWorkload(cfg, rt::Backend::Shred, *info,
-                                      params);
-            double overhead = (double(r.ticks) / double(ideal.ticks) -
+    for (const std::string &name : names) {
+        const driver::PointResult *ideal = driver::findResultCoords(
+            results, "misp",
+            {{"workload.name", name}, {"machine.signal_cycles", "0"}});
+        if (!ideal) {
+            std::printf("!! missing grid point for %s\n", name.c_str());
+            continue;
+        }
+        std::printf("%-18s", name.c_str());
+        for (const char *cost : costs) {
+            const driver::PointResult *r = driver::findResultCoords(
+                results, "misp",
+                {{"workload.name", name},
+                 {"machine.signal_cycles", cost}});
+            if (!r) {
+                std::printf(" %10s", "-");
+                continue;
+            }
+            double overhead = (double(r->run.ticks) /
+                                   double(ideal->run.ticks) -
                                1.0) *
                               100.0;
             std::printf(" %+9.3f%%", overhead);
-            if (cost == 5000) {
+            if (std::string(cost) == "5000") {
                 sum5000 += overhead;
                 ++n;
                 if (overhead > worst) {
                     worst = overhead;
-                    worstApp = info->name.c_str();
+                    worstApp = name.c_str();
                 }
             }
         }

@@ -20,10 +20,7 @@
  * AMS-less processors.
  */
 
-#include <iostream>
-
 #include "bench_common.hh"
-#include "driver/runner.hh"
 
 using namespace misp;
 using namespace misp::bench;
@@ -31,24 +28,12 @@ using namespace misp::bench;
 int
 main(int argc, char **argv)
 {
-    setQuietLogging(true);
-    bool quick = parseBenchFlags(argc, argv);
-    bool points = false;
-    for (int i = 1; i < argc; ++i)
-        points = points || std::string(argv[i]) == "--points";
-
-    driver::RunnerOptions opts;
-    opts.noDecodeCache = decodeCacheDisabled(argc, argv);
     driver::Scenario sc;
     std::vector<driver::PointResult> results;
-    if (!driver::runScenarioByName("fig7.scn", argv[0], quick, opts,
-                                   "fig7_mp_throughput", &sc, &results))
-        return 1;
-
-    if (points) {
-        driver::writePoints(std::cout, results);
-        return 0;
-    }
+    int exitCode = 0;
+    if (scenarioBenchMain("fig7.scn", "fig7_mp_throughput", argc,
+                          argv, &sc, &results, &exitCode))
+        return exitCode;
 
     printHeader("Figure 6: MISP MP configurations (8 sequencers total)");
     for (const driver::MachineSpec &m : sc.machines) {
@@ -80,8 +65,8 @@ main(int argc, char **argv)
             const driver::PointResult *r =
                 driver::findResult(results, m.name, sc.workload.name, load);
             double speedup =
-                (r && r->ticks && unloaded)
-                    ? double(unloaded->ticks) / double(r->ticks)
+                (r && r->run.ticks && unloaded)
+                    ? double(unloaded->run.ticks) / double(r->run.ticks)
                     : 0.0;
             std::printf(" %8.3f", speedup);
         }

@@ -126,7 +126,7 @@ BM_SignalRoundTripSimCycles(benchmark::State &state)
         cfg.kernel.deviceIrqMeanPeriod = 0;
         harness::Experiment exp(cfg, rt::Backend::Shred);
         auto proc = exp.load(app);
-        exp.run(proc.process, 1'000'000'000);
+        exp.runToCompletion(proc.process, 1'000'000'000);
         simCycles +=
             proc.process->addressSpace().peekWord(0x0800'0008, 8);
     }
@@ -149,7 +149,7 @@ BM_ShredCreateJoinSimCycles(benchmark::State &state)
         harness::Experiment exp(arch::SystemConfig::uniprocessor(7),
                                 rt::Backend::Shred);
         auto proc = exp.load(w.app);
-        total += exp.run(proc.process);
+        total += exp.runToCompletion(proc.process).ticks;
     }
     state.counters["sim_cycles"] =
         benchmark::Counter(double(total) / double(state.iterations()));
@@ -183,7 +183,7 @@ BM_FullMispRunDenseMvm(benchmark::State &state)
         harness::Experiment exp(arch::SystemConfig::uniprocessor(7),
                                 rt::Backend::Shred);
         auto proc = exp.load(w.app);
-        Tick t = exp.run(proc.process);
+        Tick t = exp.runToCompletion(proc.process).ticks;
         benchmark::DoNotOptimize(t);
     }
 }

@@ -2,10 +2,15 @@
  * @file
  * Table 1 — "Serializing Events".
  *
- * Counts, per application on the MISP uniprocessor (1 OMS + 7 AMS), of
- * every event class that serializes the machine:
- *   OMS: SysCall, PF (page faults), Timer, Interrupt
- *   AMS: SysCall, PF   (each AMS event is a proxy-execution request)
+ * Thin wrapper over the scenario driver: the machine and workload
+ * sweep live in scenarios/table1.scn, the runs go through the unified
+ * run layer (the same engine `mispsim scenarios/table1.scn` uses), and
+ * this binary only renders the paper's raw-count table. `mispsim`
+ * renders the [report] events mode instead (the same classes
+ * normalized per 10^6 retired instructions).
+ *
+ * `--points` prints the canonical per-run lines, which CI diffs
+ * against `mispsim scenarios/table1.scn --points`.
  *
  * Paper observations to reproduce (shape, not magnitude — our inputs
  * are scaled):
@@ -24,9 +29,12 @@ using namespace misp::bench;
 int
 main(int argc, char **argv)
 {
-    setQuietLogging(true);
-    bool quick = parseBenchFlags(argc, argv);
-    wl::WorkloadParams params = defaultParams(quick);
+    driver::Scenario sc;
+    std::vector<driver::PointResult> results;
+    int exitCode = 0;
+    if (scenarioBenchMain("table1.scn", "table1_events", argc, argv, &sc,
+                          &results, &exitCode))
+        return exitCode;
 
     printHeader("Table 1: Serializing Events (MISP, 1 OMS + 7 AMS)");
     std::printf("%-18s | %8s %8s %8s %9s | %8s %8s\n", "application",
@@ -36,20 +44,19 @@ main(int argc, char **argv)
     std::printf("-------------------+---------------------------------"
                 "----+------------------\n");
 
-    for (const wl::WorkloadInfo *info : benchSuite(quick)) {
-        RunResult r = runWorkload(mispUni(7), rt::Backend::Shred, *info,
-                                  params);
-        if (!r.valid)
+    for (const driver::PointResult &r : results) {
+        if (!r.run.valid)
             std::printf("!! validation failed for %s\n",
-                        info->name.c_str());
+                        r.workload.c_str());
+        const harness::EventSnapshot &ev = r.run.events;
         std::printf("%-18s | %8llu %8llu %8llu %9llu | %8llu %8llu\n",
-                    info->name.c_str(),
-                    (unsigned long long)r.omsSyscalls,
-                    (unsigned long long)r.omsPageFaults,
-                    (unsigned long long)r.timer,
-                    (unsigned long long)r.interrupts,
-                    (unsigned long long)r.amsSyscalls,
-                    (unsigned long long)r.amsPageFaults);
+                    r.workload.c_str(),
+                    (unsigned long long)ev.omsSyscalls,
+                    (unsigned long long)ev.omsPageFaults,
+                    (unsigned long long)ev.timer,
+                    (unsigned long long)ev.interrupts,
+                    (unsigned long long)ev.amsSyscalls,
+                    (unsigned long long)ev.amsPageFaults);
     }
 
     std::printf("\nShape checks vs the paper:\n");

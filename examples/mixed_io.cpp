@@ -75,7 +75,7 @@ runNaive()
     harness::Experiment exp(arch::SystemConfig::uniprocessor(3),
                             rt::Backend::Shred);
     auto proc = exp.load(app);
-    return exp.run(proc.process);
+    return exp.runToCompletion(proc.process).ticks;
 }
 
 Tick
@@ -129,7 +129,7 @@ runRestructured()
     harness::Experiment exp(arch::SystemConfig::uniprocessor(3),
                             rt::Backend::Shred);
     auto proc = exp.load(app);
-    return exp.run(proc.process);
+    return exp.runToCompletion(proc.process).ticks;
 }
 
 } // namespace

@@ -52,7 +52,7 @@ runMix(const std::vector<unsigned> &amsPerProc, bool idealPlacement,
     }
 
     Outcome out;
-    out.ticks = exp.run(proc.process, 2'000'000'000'000ull);
+    out.ticks = exp.runToCompletion(proc.process, 2'000'000'000'000ull).ticks;
     arch::MispProcessor &mp = exp.system().processor(0);
     double busy = 0;
     for (unsigned i = 0; i < mp.numAms(); ++i)

@@ -146,7 +146,7 @@ main(int argc, char **argv)
     sys.misp.decodeCache = decodeCache;
     harness::Experiment exp(sys, rt::Backend::Shred);
     harness::LoadedProcess proc = exp.load(app);
-    Tick ticks = exp.run(proc.process);
+    Tick ticks = exp.runToCompletion(proc.process).ticks;
 
     Word total = proc.process->addressSpace().peekWord(0x0800'0208, 8);
     std::printf("quickstart: sum(1..1024) computed by 7 shreds = %llu "

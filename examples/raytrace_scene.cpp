@@ -29,7 +29,7 @@ render(const arch::SystemConfig &cfg, rt::Backend backend,
     wl::Workload w = wl::buildRaytracer(params);
     harness::Experiment exp(cfg, backend);
     harness::LoadedProcess proc = exp.load(w.app);
-    Tick t = exp.run(proc.process);
+    Tick t = exp.runToCompletion(proc.process).ticks;
     if (!w.validate(proc.process->addressSpace())) {
         std::fprintf(stderr, "raytrace_scene: image mismatch!\n");
         std::exit(1);

@@ -60,15 +60,16 @@ main()
 
     writeTable(std::cout, sc, results, /*markdown=*/false);
 
-    // Results are plain structs: derive whatever the experiment needs.
+    // Results are plain structs: each point carries the coordinates
+    // plus the harness::RunRecord its run measured.
     for (const PointResult &r : results) {
         if (r.workload != "dense_mvm")
             continue;
         for (const auto &[key, value] : r.coords) {
             if (key == "machine.ams" && value == "7") {
                 std::cout << "\ndense_mvm on 1 OMS + 7 AMS: "
-                          << r.ticks / 1e6 << " Mcycles, "
-                          << r.events.serializations
+                          << r.run.megaCycles() << " Mcycles, "
+                          << r.run.events.serializations
                           << " serializations\n";
             }
         }

@@ -1,0 +1,429 @@
+#include "report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace misp::driver {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Metric resolution
+// ---------------------------------------------------------------------
+
+/** Results sharing one sweep-coordinate combination. */
+struct CoordGroup {
+    std::vector<std::pair<std::string, std::string>> coords;
+    std::vector<const PointResult *> results;
+
+    const PointResult *byMachine(const std::string &machine) const
+    {
+        for (const PointResult *r : results) {
+            if (r->machine == machine)
+                return r;
+        }
+        return nullptr;
+    }
+
+    std::string label() const
+    {
+        std::string out;
+        for (const auto &[key, value] : coords) {
+            if (!out.empty())
+                out += " ";
+            out += key + "=" + value;
+        }
+        return out.empty() ? "-" : out;
+    }
+};
+
+std::vector<CoordGroup>
+groupByCoords(const std::vector<PointResult> &results)
+{
+    std::vector<CoordGroup> groups;
+    for (const PointResult &r : results) {
+        CoordGroup *group = nullptr;
+        for (CoordGroup &g : groups) {
+            if (g.coords == r.coords)
+                group = &g;
+        }
+        if (!group) {
+            groups.push_back({r.coords, {}});
+            group = &groups.back();
+        }
+        group->results.push_back(&r);
+    }
+    return groups;
+}
+
+/** Resolve a counter name against the authoritative field list shared
+ *  with the JSON emitter (harness::eventFields), so an assert can
+ *  reference exactly the names the JSON carries. */
+bool
+eventCounter(const harness::EventSnapshot &ev, const std::string &name,
+             double *out)
+{
+    for (const harness::EventField &f : harness::eventFields()) {
+        if (name == f.name) {
+            *out = f.get(ev);
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Resolve `<machine>.<metric>` against one coordinate group. */
+bool
+resolveRef(const Scenario &sc, const CoordGroup &group,
+           const std::string &ref, double *out, std::string *why)
+{
+    // The machine name is the longest [machine] name that prefixes the
+    // reference followed by '.' (names may contain '.', so longest
+    // match wins).
+    const MachineSpec *machine = nullptr;
+    for (const MachineSpec &m : sc.machines) {
+        if (ref.size() > m.name.size() + 1 &&
+            ref.compare(0, m.name.size(), m.name) == 0 &&
+            ref[m.name.size()] == '.' &&
+            (!machine || m.name.size() > machine->name.size()))
+            machine = &m;
+    }
+    if (!machine) {
+        *why = "'" + ref + "' names no [machine] section";
+        return false;
+    }
+    const std::string metric = ref.substr(machine->name.size() + 1);
+
+    const PointResult *r = group.byMachine(machine->name);
+    if (!r) {
+        *why = "no result for machine '" + machine->name + "' at " +
+               group.label();
+        return false;
+    }
+
+    if (metric == "ticks") {
+        *out = double(r->run.ticks);
+        return true;
+    }
+    if (metric == "mcycles") {
+        *out = r->run.megaCycles();
+        return true;
+    }
+    if (metric == "insts") {
+        *out = double(r->run.instsRetired);
+        return true;
+    }
+    if (metric == "valid") {
+        *out = r->run.valid ? 1.0 : 0.0;
+        return true;
+    }
+    if (metric == "completed") {
+        *out = r->run.status == harness::RunStatus::Completed ? 1.0 : 0.0;
+        return true;
+    }
+    if (metric == "speedup") {
+        if (sc.report.baselineMachine.empty()) {
+            *why = "'" + ref +
+                   "': speedup needs a [report] baseline_machine";
+            return false;
+        }
+        const PointResult *base =
+            group.byMachine(sc.report.baselineMachine);
+        if (!base) {
+            *why = "no baseline result for machine '" +
+                   sc.report.baselineMachine + "' at " + group.label();
+            return false;
+        }
+        *out = r->run.speedupOver(base->run);
+        return true;
+    }
+    if (metric.rfind("events.", 0) == 0) {
+        if (eventCounter(r->run.events, metric.substr(7), out))
+            return true;
+        *why = "'" + ref + "': unknown event counter";
+        return false;
+    }
+    if (metric.rfind("events_per_mi.", 0) == 0) {
+        double count = 0;
+        if (!eventCounter(r->run.events, metric.substr(14), &count)) {
+            *why = "'" + ref + "': unknown event counter";
+            return false;
+        }
+        *out = r->run.perMegaInsts(count);
+        return true;
+    }
+    *why = "'" + ref + "': unknown metric '" + metric + "'";
+    return false;
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+struct Tokenizer {
+    std::vector<std::string> tokens;
+    std::size_t pos = 0;
+
+    explicit Tokenizer(const std::string &text)
+    {
+        std::istringstream is(text);
+        std::string tok;
+        while (is >> tok)
+            tokens.push_back(tok);
+    }
+
+    const std::string *peek() const
+    {
+        return pos < tokens.size() ? &tokens[pos] : nullptr;
+    }
+    const std::string *take()
+    {
+        return pos < tokens.size() ? &tokens[pos++] : nullptr;
+    }
+};
+
+bool
+isComparison(const std::string &tok)
+{
+    return tok == "<" || tok == "<=" || tok == ">" || tok == ">=" ||
+           tok == "==" || tok == "!=";
+}
+
+bool
+parseValue(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
+           double *out, std::string *why)
+{
+    const std::string *tok = tz.take();
+    if (!tok) {
+        *why = "expected a number or <machine>.<metric>, got end of "
+               "expression";
+        return false;
+    }
+    char *end = nullptr;
+    double num = std::strtod(tok->c_str(), &end);
+    if (end && *end == '\0' && end != tok->c_str()) {
+        *out = num;
+        return true;
+    }
+    return resolveRef(sc, group, *tok, out, why);
+}
+
+bool
+parseProduct(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
+             double *out, std::string *why)
+{
+    if (!parseValue(tz, sc, group, out, why))
+        return false;
+    while (const std::string *tok = tz.peek()) {
+        if (*tok != "*" && *tok != "/")
+            break;
+        tz.take();
+        double rhs = 0;
+        if (!parseValue(tz, sc, group, &rhs, why))
+            return false;
+        if (*tok == "/" && rhs == 0.0) {
+            // Fail closed: a guard must not silently pass because the
+            // run it divides by never finished (ticks == 0).
+            *why = "division by zero";
+            return false;
+        }
+        *out = *tok == "*" ? *out * rhs : *out / rhs;
+    }
+    return true;
+}
+
+bool
+parseSide(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
+          double *out, std::string *why)
+{
+    if (!parseProduct(tz, sc, group, out, why))
+        return false;
+    while (const std::string *tok = tz.peek()) {
+        if (*tok != "+" && *tok != "-")
+            break;
+        tz.take();
+        double rhs = 0;
+        if (!parseProduct(tz, sc, group, &rhs, why))
+            return false;
+        *out = *tok == "+" ? *out + rhs : *out - rhs;
+    }
+    return true;
+}
+
+bool
+compare(double lhs, const std::string &op, double rhs)
+{
+    if (op == "<")
+        return lhs < rhs;
+    if (op == "<=")
+        return lhs <= rhs;
+    if (op == ">")
+        return lhs > rhs;
+    if (op == ">=")
+        return lhs >= rhs;
+    if (op == "==")
+        return lhs == rhs;
+    return lhs != rhs; // "!="
+}
+
+/** Evaluate one assert against one coordinate group. Returns false +
+ *  @p why on a malformed expression; otherwise sets @p holds and the
+ *  evaluated sides. */
+bool
+evaluateOne(const std::string &text, const Scenario &sc,
+            const CoordGroup &group, bool *holds, double *lhs,
+            double *rhs, std::string *why)
+{
+    Tokenizer tz(text);
+    if (!parseSide(tz, sc, group, lhs, why))
+        return false;
+    const std::string *op = tz.take();
+    if (!op || !isComparison(*op)) {
+        *why = "expected a comparison (<, <=, >, >=, ==, !=), got " +
+               (op ? "'" + *op + "'" : std::string("end of expression"));
+        return false;
+    }
+    const std::string cmp = *op;
+    if (!parseSide(tz, sc, group, rhs, why))
+        return false;
+    if (const std::string *extra = tz.peek()) {
+        *why = "unexpected trailing token '" + *extra + "'";
+        return false;
+    }
+    *holds = compare(*lhs, cmp, *rhs);
+    return true;
+}
+
+} // namespace
+
+bool
+evaluateAsserts(const Scenario &sc,
+                const std::vector<PointResult> &results,
+                std::vector<AssertFailure> *failures, std::string *err)
+{
+    if (sc.report.asserts.empty())
+        return true;
+    const std::vector<CoordGroup> groups = groupByCoords(results);
+    for (const ReportAssert &a : sc.report.asserts) {
+        for (const CoordGroup &group : groups) {
+            bool holds = false;
+            double lhs = 0, rhs = 0;
+            std::string why;
+            if (!evaluateOne(a.text, sc, group, &holds, &lhs, &rhs,
+                             &why)) {
+                if (err)
+                    *err = specError(sc.specPath, a.line,
+                                     "assert '" + a.text + "': " + why);
+                return false;
+            }
+            if (holds)
+                continue;
+            char buf[96];
+            std::snprintf(buf, sizeof(buf), "lhs=%g rhs=%g at ", lhs,
+                          rhs);
+            failures->push_back({a.text, a.line, buf + group.label()});
+        }
+    }
+    return true;
+}
+
+void
+writeEventsTable(std::ostream &os, const Scenario &sc,
+                 const std::vector<PointResult> &results, bool markdown)
+{
+    if (results.empty()) {
+        os << "(no points)\n";
+        return;
+    }
+
+    std::vector<std::string> coordKeys;
+    for (const auto &[key, value] : results.front().coords) {
+        (void)value;
+        if (key != "workload.name")
+            coordKeys.push_back(key);
+    }
+
+    std::vector<std::string> header = {"machine", "workload"};
+    for (const std::string &k : coordKeys)
+        header.push_back(k);
+    for (const char *k :
+         {"insts(M)", "oms_sys", "oms_pf", "timer", "intr", "ams_sys",
+          "ams_pf", "serial"})
+        header.push_back(k);
+
+    std::vector<std::vector<std::string>> rows;
+    for (const PointResult &r : results) {
+        std::vector<std::string> row = {r.machine, r.workload};
+        for (const std::string &k : coordKeys) {
+            std::string v;
+            for (const auto &[ck, cv] : r.coords) {
+                if (ck == k)
+                    v = cv;
+            }
+            row.push_back(v);
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.2f",
+                      double(r.run.instsRetired) / 1e6);
+        row.push_back(buf);
+        const harness::EventSnapshot &ev = r.run.events;
+        for (double count :
+             {double(ev.omsSyscalls), double(ev.omsPageFaults),
+              double(ev.timer), double(ev.interrupts),
+              double(ev.amsSyscalls), double(ev.amsPageFaults),
+              double(ev.serializations)}) {
+            std::snprintf(buf, sizeof(buf), "%.3f",
+                          r.run.perMegaInsts(count));
+            row.push_back(buf);
+        }
+        rows.push_back(std::move(row));
+    }
+
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c) {
+        widths[c] = header[c].size();
+        for (const auto &row : rows)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        if (markdown) {
+            os << "|";
+            for (std::size_t c = 0; c < row.size(); ++c)
+                os << " " << row[c] << " |";
+            os << "\n";
+        } else {
+            for (std::size_t c = 0; c < row.size(); ++c) {
+                os << (c ? "  " : "");
+                os << row[c]
+                   << std::string(widths[c] - row[c].size(), ' ');
+            }
+            os << "\n";
+        }
+    };
+
+    if (!sc.title.empty())
+        os << (markdown ? "### " : "") << sc.title << "\n\n";
+    os << "Serializing events per 10^6 retired instructions\n";
+    if (markdown)
+        os << "\n";
+    emitRow(header);
+    if (markdown) {
+        os << "|";
+        for (std::size_t c = 0; c < header.size(); ++c)
+            os << " --- |";
+        os << "\n";
+    } else {
+        std::size_t total = 0;
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            total += widths[c] + (c ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &row : rows)
+        emitRow(row);
+}
+
+} // namespace misp::driver

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Report layer: the `[report] mode = events` emitter (Table-1 event
+ * classes normalized per 10^6 retired instructions) and the
+ * `assert = <expr>` evaluator that guards paper claims from the
+ * scenario file itself.
+ *
+ * Assert grammar (tokens are whitespace-separated, so machine names
+ * like `1x4+4` never collide with operators):
+ *
+ *   assert      := side CMP side
+ *   side        := product (('+' | '-') product)*
+ *   product     := value (('*' | '/') value)*
+ *   value       := NUMBER | REF
+ *   CMP         := '<' | '<=' | '>' | '>=' | '==' | '!='
+ *   REF         := <machine>.<metric>
+ *   metric      := ticks | mcycles | speedup | insts | valid
+ *                | completed | events.<counter>
+ *                | events_per_mi.<counter>
+ *
+ * `<machine>` names a [machine] section; `speedup` is relative to the
+ * [report] baseline_machine. `<counter>` uses the JSON event keys
+ * (oms_syscalls, oms_page_faults, timer, interrupts, ams_syscalls,
+ * ams_page_faults, serializations, serialize_cycles, priv_cycles,
+ * proxy_signal_cycles, proxy_requests, suspended_cycles);
+ * `events_per_mi` normalizes per 10^6 retired instructions.
+ *
+ * An assert is evaluated once per sweep-coordinate combination and
+ * must hold at every one of them (e.g. for every workload of a
+ * Figure-4 grid). Example:
+ *
+ *   assert = misp.speedup >= 0.9 * smp8.speedup
+ */
+
+#ifndef MISP_DRIVER_REPORT_HH
+#define MISP_DRIVER_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/runner.hh"
+
+namespace misp::driver {
+
+/** One failed (but well-formed) assert at one coordinate combination. */
+struct AssertFailure {
+    std::string text; ///< the assert expression as written
+    int line = 0;     ///< spec line of the assert
+    std::string detail; ///< "lhs=... rhs=... at <coords>"
+};
+
+/**
+ * Evaluate every [report] assert against the grid results. Returns
+ * false (and sets @p err to a "path:line: message" diagnostic) on a
+ * malformed expression or an unresolvable reference; well-formed
+ * asserts that do not hold are appended to @p failures.
+ */
+bool evaluateAsserts(const Scenario &sc,
+                     const std::vector<PointResult> &results,
+                     std::vector<AssertFailure> *failures,
+                     std::string *err);
+
+/** The `[report] mode = events` table: one row per grid point, Table-1
+ *  event classes normalized per 10^6 retired instructions.
+ *  GitHub-flavoured markdown when @p markdown. */
+void writeEventsTable(std::ostream &os, const Scenario &sc,
+                      const std::vector<PointResult> &results,
+                      bool markdown);
+
+} // namespace misp::driver
+
+#endif // MISP_DRIVER_REPORT_HH

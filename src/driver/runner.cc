@@ -1,13 +1,13 @@
 #include "runner.hh"
 
 #include <algorithm>
-#include <chrono>
+#include <atomic>
 #include <cstdio>
+#include <exception>
 #include <filesystem>
+#include <mutex>
 #include <ostream>
-#include <sstream>
-
-#include "harness/experiment.hh"
+#include <thread>
 
 namespace misp::driver {
 
@@ -60,82 +60,55 @@ machineBaseline(const std::vector<PointResult> &results,
     return nullptr;
 }
 
+void
+progressLine(std::ostream &os, std::size_t done, std::size_t total,
+             const ScenarioPoint &pt, const PointResult &r)
+{
+    os << "[" << done << "/" << total << "] " << r.machine << " "
+       << r.workload;
+    if (!pt.coords.empty())
+        os << " " << pt.coordString();
+    os << " ticks=" << r.run.ticks << (r.run.valid ? "" : " INVALID")
+       << "\n";
+    os.flush();
+}
+
 } // namespace
+
+harness::RunRequest
+makeRunRequest(const Scenario &sc, const ScenarioPoint &pt,
+               const RunnerOptions &opts)
+{
+    harness::RunRequest req;
+    req.label = sc.name + "_" + pt.machine.name + "_" + pt.workload.name;
+    if (pt.competitors)
+        req.label += "_+" + std::to_string(pt.competitors);
+    req.config = pt.machine.toSystemConfig();
+    if (opts.noDecodeCache)
+        req.config.misp.decodeCache = false;
+    req.backend = pt.machine.backend;
+    req.target = {pt.workload.name, pt.workload.params};
+    for (const WorkloadSpec &bg : pt.background)
+        req.background.push_back({bg.name, bg.params});
+    req.competitors = pt.competitors;
+    req.competitor = pt.competitor;
+    req.pinMinAms = pt.machine.pinMinAms;
+    req.idealPlacement = pt.machine.idealPlacement;
+    req.maxTicks = sc.maxTicks;
+    req.hostLine = opts.hostLines;
+    req.fullStats = opts.fullStats;
+    return req;
+}
 
 PointResult
 ScenarioRunner::runPoint(const Scenario &sc, const ScenarioPoint &pt)
 {
-    const wl::WorkloadInfo *info = wl::findWorkload(pt.workload.name);
-    MISP_ASSERT(info != nullptr); // expandPoints validated the name
-
-    wl::Workload w = info->build(pt.workload.params);
-
-    arch::SystemConfig sys = pt.machine.toSystemConfig();
-    if (opts_.noDecodeCache)
-        sys.misp.decodeCache = false;
-    harness::Experiment exp(sys, pt.machine.backend);
-
-    // Placement policy (Figure 7, §5.4): pin the target to processors
-    // with enough AMSs; optionally keep competitors off those CPUs.
-    std::vector<int> targetAffinity;
-    std::vector<int> otherCpus;
-    if (pt.machine.pinMinAms > 0) {
-        for (unsigned i = 0; i < exp.system().numProcessors(); ++i) {
-            int cpu = exp.system().processor(i).cpuId();
-            if (exp.system().processor(i).numAms() >= pt.machine.pinMinAms)
-                targetAffinity.push_back(cpu);
-            else
-                otherCpus.push_back(cpu);
-        }
-    }
-    harness::LoadedProcess proc = exp.load(w.app, targetAffinity);
-
-    for (const WorkloadSpec &bg : pt.background) {
-        const wl::WorkloadInfo *bgInfo = wl::findWorkload(bg.name);
-        MISP_ASSERT(bgInfo != nullptr);
-        exp.load(bgInfo->build(bg.params).app);
-    }
-
-    const wl::WorkloadInfo *comp = wl::findWorkload(pt.competitor);
-    for (unsigned c = 0; c < pt.competitors; ++c) {
-        std::vector<int> affinity;
-        if (pt.machine.idealPlacement && !otherCpus.empty())
-            affinity = otherCpus;
-        wl::WorkloadParams compParams;
-        exp.load(comp->build(compParams).app, affinity);
-    }
-
     PointResult out;
     out.machine = pt.machine.name;
     out.workload = pt.workload.name;
     out.competitors = pt.competitors;
     out.coords = pt.coords;
-
-    auto t0 = std::chrono::steady_clock::now();
-    out.ticks = exp.run(proc.process, sc.maxTicks);
-    auto t1 = std::chrono::steady_clock::now();
-    out.instsRetired = exp.totalInstsRetired();
-    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
-    out.hostMips = out.hostSeconds > 0.0
-                       ? out.instsRetired / out.hostSeconds / 1e6
-                       : 0.0;
-    if (opts_.hostLines) {
-        std::string name = sc.name + "_" + out.machine + "_" + out.workload;
-        if (out.competitors)
-            name += "_+" + std::to_string(out.competitors);
-        harness::reportHost(name, out.instsRetired, out.hostSeconds,
-                            sys.misp.decodeCache);
-    }
-
-    out.valid = !w.validate || w.validate(proc.process->addressSpace());
-
-    out.events = harness::snapshotEvents(exp.system().processor(0));
-
-    if (opts_.fullStats) {
-        std::ostringstream ss;
-        exp.system().rootStats().dumpJson(ss);
-        out.statsJson = ss.str();
-    }
+    out.run = harness::runOne(makeRunRequest(sc, pt, opts_));
     return out;
 }
 
@@ -144,20 +117,70 @@ ScenarioRunner::runAll(const Scenario &sc,
                        const std::vector<ScenarioPoint> &pts,
                        std::ostream *progress)
 {
-    std::vector<PointResult> results;
-    results.reserve(pts.size());
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-        PointResult r = runPoint(sc, pts[i]);
-        if (progress) {
-            *progress << "[" << (i + 1) << "/" << pts.size() << "] "
-                      << r.machine << " " << r.workload;
-            if (!pts[i].coords.empty())
-                *progress << " " << pts[i].coordString();
-            *progress << " ticks=" << r.ticks
-                      << (r.valid ? "" : " INVALID") << "\n";
-            progress->flush();
+    std::vector<PointResult> results(pts.size());
+    std::size_t jobs = std::max(1u, opts_.jobs);
+    jobs = std::min(jobs, pts.size());
+
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            results[i] = runPoint(sc, pts[i]);
+            if (progress)
+                progressLine(*progress, i + 1, pts.size(), pts[i],
+                             results[i]);
         }
-        results.push_back(std::move(r));
+        return results;
+    }
+
+    // Fan the grid out over a worker pool. Each point is an
+    // independent deterministic simulation; results land at their
+    // submission index, so emitter output is byte-identical to the
+    // serial path. Only the progress lines (stderr) reflect completion
+    // order.
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<bool> failed{false};
+    std::mutex progressMutex;
+    std::vector<std::exception_ptr> errors(pts.size());
+
+    auto worker = [&] {
+        for (;;) {
+            // Stop claiming new points once any point has failed —
+            // in-flight simulations finish, queued ones are abandoned
+            // (the serial path would not have started them either).
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            std::size_t i = next.fetch_add(1);
+            if (i >= pts.size())
+                return;
+            try {
+                results[i] = runPoint(sc, pts[i]);
+            } catch (...) {
+                errors[i] = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                done.fetch_add(1);
+                continue;
+            }
+            std::size_t completed = done.fetch_add(1) + 1;
+            if (progress) {
+                std::lock_guard<std::mutex> lock(progressMutex);
+                progressLine(*progress, completed, pts.size(), pts[i],
+                             results[i]);
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    // Surface the first failure in submission order, as the serial
+    // path would have.
+    for (std::exception_ptr &e : errors) {
+        if (e)
+            std::rethrow_exception(e);
     }
     return results;
 }
@@ -170,6 +193,28 @@ findResult(const std::vector<PointResult> &results,
     for (const PointResult &r : results) {
         if (r.machine == machine && r.workload == workload &&
             r.competitors == competitors)
+            return &r;
+    }
+    return nullptr;
+}
+
+const PointResult *
+findResultCoords(const std::vector<PointResult> &results,
+                 const std::string &machine,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &coords)
+{
+    for (const PointResult &r : results) {
+        if (r.machine != machine)
+            continue;
+        bool match = true;
+        for (const auto &want : coords) {
+            bool found = false;
+            for (const auto &have : r.coords)
+                found = found || have == want;
+            match = match && found;
+        }
+        if (match)
             return &r;
     }
     return nullptr;
@@ -197,36 +242,31 @@ writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
                << jsonString(r.coords[c].second);
         }
         os << "},\n";
-        os << "      \"ticks\": " << r.ticks << ",\n";
-        os << "      \"valid\": " << (r.valid ? "true" : "false") << ",\n";
-        os << "      \"insts_retired\": " << r.instsRetired << ",\n";
-        char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.6f", r.hostSeconds);
-        os << "      \"host_seconds\": " << buf << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.3f", r.hostMips);
-        os << "      \"host_mips\": " << buf << ",\n";
-        const harness::EventSnapshot &ev = r.events;
+        os << "      \"status\": "
+           << jsonString(harness::runStatusName(r.run.status)) << ",\n";
+        os << "      \"ticks\": " << r.run.ticks << ",\n";
+        os << "      \"valid\": " << (r.run.valid ? "true" : "false")
+           << ",\n";
+        os << "      \"insts_retired\": " << r.run.instsRetired << ",\n";
+        const harness::EventSnapshot &ev = r.run.events;
+        const std::vector<harness::EventField> &fields =
+            harness::eventFields();
         os << "      \"events\": {\n";
-        os << "        \"oms_syscalls\": " << ev.omsSyscalls << ",\n";
-        os << "        \"oms_page_faults\": " << ev.omsPageFaults
-           << ",\n";
-        os << "        \"timer\": " << ev.timer << ",\n";
-        os << "        \"interrupts\": " << ev.interrupts << ",\n";
-        os << "        \"ams_syscalls\": " << ev.amsSyscalls << ",\n";
-        os << "        \"ams_page_faults\": " << ev.amsPageFaults
-           << ",\n";
-        os << "        \"serializations\": " << ev.serializations
-           << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.0f", ev.serializeCycles);
-        os << "        \"serialize_cycles\": " << buf << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.0f", ev.privCycles);
-        os << "        \"priv_cycles\": " << buf << ",\n";
-        std::snprintf(buf, sizeof(buf), "%.0f", ev.proxySignalCycles);
-        os << "        \"proxy_signal_cycles\": " << buf << ",\n";
-        os << "        \"proxy_requests\": " << ev.proxyRequests << "\n";
+        for (std::size_t f = 0; f < fields.size(); ++f) {
+            os << "        \"" << fields[f].name << "\": ";
+            double v = fields[f].get(ev);
+            if (fields[f].cycles) {
+                char buf[64];
+                std::snprintf(buf, sizeof(buf), "%.0f", v);
+                os << buf;
+            } else {
+                os << static_cast<std::uint64_t>(v);
+            }
+            os << (f + 1 < fields.size() ? ",\n" : "\n");
+        }
         os << "      }";
-        if (!r.statsJson.empty())
-            os << ",\n      \"stats\": " << r.statsJson;
+        if (!r.run.statsJson.empty())
+            os << ",\n      \"stats\": " << r.run.statsJson;
         os << "\n    }";
     }
     os << "\n  ]\n}\n";
@@ -253,7 +293,7 @@ writeTable(std::ostream &os, const Scenario &sc,
     const bool vsAxis = !sc.report.baselineAxis.empty();
     bool anyInvalid = false;
     for (const PointResult &r : results)
-        anyInvalid = anyInvalid || !r.valid;
+        anyInvalid = anyInvalid || !r.run.valid;
 
     std::vector<std::string> header = {"machine", "workload"};
     for (const std::string &k : coordKeys)
@@ -278,14 +318,14 @@ writeTable(std::ostream &os, const Scenario &sc,
             row.push_back(v);
         }
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.3f", r.ticks / 1e6);
+        std::snprintf(buf, sizeof(buf), "%.3f", r.run.megaCycles());
         row.push_back(buf);
         if (vsMachine) {
             const PointResult *base =
                 machineBaseline(results, r, sc.report.baselineMachine);
-            if (base && r.ticks)
+            if (base && r.run.ticks)
                 std::snprintf(buf, sizeof(buf), "%.3f",
-                              double(base->ticks) / double(r.ticks));
+                              r.run.speedupOver(base->run));
             else
                 std::snprintf(buf, sizeof(buf), "-");
             row.push_back(buf);
@@ -293,15 +333,15 @@ writeTable(std::ostream &os, const Scenario &sc,
         if (vsAxis) {
             const PointResult *base =
                 axisBaseline(results, r, sc.report.baselineAxis);
-            if (base && r.ticks)
+            if (base && r.run.ticks)
                 std::snprintf(buf, sizeof(buf), "%.3f",
-                              double(base->ticks) / double(r.ticks));
+                              r.run.speedupOver(base->run));
             else
                 std::snprintf(buf, sizeof(buf), "-");
             row.push_back(buf);
         }
         if (anyInvalid)
-            row.push_back(r.valid ? "yes" : "NO");
+            row.push_back(r.run.valid ? "yes" : "NO");
         rows.push_back(std::move(row));
     }
 
@@ -361,8 +401,8 @@ writePoints(std::ostream &os, const std::vector<PointResult> &results)
         }
         os << "machine=" << r.machine << " workload=" << r.workload
            << " competitors=" << r.competitors << " coords="
-           << (coords.empty() ? "-" : coords) << " ticks=" << r.ticks
-           << " valid=" << (r.valid ? 1 : 0) << "\n";
+           << (coords.empty() ? "-" : coords) << " ticks=" << r.run.ticks
+           << " valid=" << (r.run.valid ? 1 : 0) << "\n";
     }
 }
 

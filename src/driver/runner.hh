@@ -1,18 +1,20 @@
 /**
  * @file
- * ScenarioRunner: executes an expanded scenario grid point-by-point on
- * harness::Experiment, and the result emitters every consumer shares —
- * JSON (machine-readable, CI artifacts), text and markdown tables
- * (humans, $GITHUB_STEP_SUMMARY), and canonical point lines (the
- * equivalence diff between `mispsim` and the wrapper bench binaries).
+ * ScenarioRunner: executes an expanded scenario grid on the unified
+ * run layer (harness::runOne), plus the result emitters every consumer
+ * shares — JSON (machine-readable, CI artifacts), text and markdown
+ * tables (humans, $GITHUB_STEP_SUMMARY), and canonical point lines
+ * (the equivalence diff between `mispsim` and the wrapper benches).
  *
- * One grid point is exactly the run the hand-rolled figure benches
- * performed: build the workload, instantiate the machine + runtime
- * backend, load the target (pinned per the machine's placement
- * policy), load background workloads and competitor processes, run to
- * target completion under the wall clock, harvest Table-1 events from
- * processor 0. Simulated results are deterministic, so the same spec
- * always reproduces the same numbers.
+ * One grid point is exactly one harness::RunRequest: build the
+ * workload, instantiate the machine + runtime backend, load the target
+ * (pinned per the machine's placement policy), load background
+ * workloads and competitor processes, run to target completion under
+ * the wall clock, harvest Table-1 events from processor 0. The
+ * resulting harness::RunRecord is self-contained and deterministic in
+ * its simulated fields, so grid points can fan out across a worker
+ * pool (RunnerOptions::jobs) with submission-order output that is
+ * byte-identical to a serial run.
  */
 
 #ifndef MISP_DRIVER_RUNNER_HH
@@ -23,11 +25,11 @@
 #include <vector>
 
 #include "driver/scenario.hh"
-#include "harness/experiment.hh"
+#include "harness/run_record.hh"
 
 namespace misp::driver {
 
-/** Everything measured at one grid point. */
+/** One grid point's coordinates plus everything its run measured. */
 struct PointResult {
     // Coordinates.
     std::string machine;
@@ -35,18 +37,9 @@ struct PointResult {
     unsigned competitors = 0;
     std::vector<std::pair<std::string, std::string>> coords;
 
-    // Simulated outcome (deterministic).
-    Tick ticks = 0;   ///< target completion tick (0 = never finished)
-    bool valid = true; ///< host-side result validation
-    harness::EventSnapshot events; ///< Table-1 events of processor 0
-
-    // Host-side throughput (informational; varies run to run).
-    std::uint64_t instsRetired = 0;
-    double hostSeconds = 0.0;
-    double hostMips = 0.0;
-
-    /** Full root-stats dump (JSON), when Options::fullStats is set. */
-    std::string statsJson;
+    /** The measured record (status, ticks, validation, Table-1 events,
+     *  derived metrics) — see harness/run_record.hh. */
+    harness::RunRecord run;
 };
 
 struct RunnerOptions {
@@ -57,7 +50,18 @@ struct RunnerOptions {
     bool fullStats = false;
     /** Emit the uniform HOST throughput line per run on stderr. */
     bool hostLines = true;
+    /** Worker threads for the grid (--jobs N). Grid points are
+     *  independent deterministic runs; results are stored in
+     *  submission order, so every emitter's output is byte-identical
+     *  to a serial run. 0 and 1 both mean serial. */
+    unsigned jobs = 1;
 };
+
+/** The RunRequest a grid point denotes — the single translation from
+ *  scenario model to the unified run layer (shared with tests). */
+harness::RunRequest makeRunRequest(const Scenario &sc,
+                                   const ScenarioPoint &pt,
+                                   const RunnerOptions &opts);
 
 class ScenarioRunner
 {
@@ -72,8 +76,10 @@ class ScenarioRunner
     /** Run one grid point. */
     PointResult runPoint(const Scenario &sc, const ScenarioPoint &pt);
 
-    /** Run the whole grid in order; one progress line per point on
-     *  @p progress when non-null. */
+    /** Run the whole grid — serially in order, or on Options::jobs
+     *  worker threads — and return results in submission order. One
+     *  progress line per completed point on @p progress when non-null
+     *  (completion order under a worker pool). */
     std::vector<PointResult> runAll(const Scenario &sc,
                                     const std::vector<ScenarioPoint> &pts,
                                     std::ostream *progress = nullptr);
@@ -88,7 +94,18 @@ const PointResult *findResult(const std::vector<PointResult> &results,
                               const std::string &workload,
                               unsigned competitors);
 
-/** Machine-readable results: scenario header + one object per point. */
+/** Result on @p machine whose coords contain every (key, value) pair
+ *  of @p coords; nullptr if absent. The wrapper benches use this to
+ *  address multi-axis grids (e.g. workload x signal_cycles). */
+const PointResult *
+findResultCoords(const std::vector<PointResult> &results,
+                 const std::string &machine,
+                 const std::vector<std::pair<std::string, std::string>>
+                     &coords);
+
+/** Machine-readable results: scenario header + one object per point.
+ *  Fully deterministic (host timing stays on the stderr HOST lines),
+ *  so reruns and `--jobs N` runs are byte-identical. */
 void writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
                const std::vector<PointResult> &results);
 

@@ -302,7 +302,22 @@ Scenario::fromSpec(const SpecFile &spec, Scenario *out, std::string *err)
                     out->report.baselineMachine = e.value;
                 else if (e.key == "baseline_axis")
                     out->report.baselineAxis = e.value;
-                else {
+                else if (e.key == "mode") {
+                    if (e.value == "table")
+                        out->report.mode = ReportMode::Table;
+                    else if (e.value == "events")
+                        out->report.mode = ReportMode::Events;
+                    else {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "mode: expected 'table' or "
+                                             "'events', got '" + e.value +
+                                             "'");
+                        return false;
+                    }
+                } else if (e.key == "assert") {
+                    out->report.asserts.push_back({e.value, e.line});
+                } else {
                     if (err)
                         *err = specError(spec.path, e.line,
                                          "unknown [report] key '" + e.key +

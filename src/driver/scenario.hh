@@ -15,7 +15,11 @@
  *   [run]                 max_ticks, competitors, competitor
  *   [sweep]               axes: key = value-list (commas, `lo..hi`)
  *   [quick]               axis/knob overrides applied in --quick mode
- *   [report]              baseline_machine and/or baseline_axis
+ *   [report]              baseline_machine, baseline_axis,
+ *                         mode = table|events (events renders Table-1
+ *                         counts per 10^6 retired instructions), and
+ *                         repeatable `assert = <expr>` paper-claim
+ *                         guards (grammar: driver/report.hh)
  *
  * Machine knobs: `processors` (comma list of per-processor AMS counts)
  * or `ams` (uniprocessor shorthand), `backend` (shred|os),
@@ -27,9 +31,15 @@
  * processors).
  *
  * Sweep axis keys: `workload.<param>` (name/workers/scale/prefault/
- * seed; `workload.name` accepts the selectors of wl::selectWorkloads,
- * e.g. `all` or `suite:rms`), `machine.<knob>` (overrides the knob on
- * every machine), and `competitors`.
+ * seed, or a per-workload knob `workload.param.<key>`; `workload.name`
+ * accepts the selectors of wl::selectWorkloads, e.g. `all` or
+ * `suite:rms`), `machine.<knob>` (overrides the knob on every
+ * machine), and `competitors`.
+ *
+ * [workload] sections take the same keys without the prefix, including
+ * `param.<key> = <value>` per-workload knobs (routed through
+ * wl::setWorkloadParam into WorkloadParams::extra — e.g. the
+ * RayTracer's `param.rows` scene size).
  */
 
 #ifndef MISP_DRIVER_SCENARIO_HH
@@ -94,6 +104,19 @@ struct SweepAxis {
     int line = 0; ///< spec line, for expansion-time diagnostics
 };
 
+/** How the results table is rendered. */
+enum class ReportMode {
+    Table,  ///< runtime table with [report]-requested speedup columns
+    Events, ///< Table-1 events, normalized per 10^6 retired instructions
+};
+
+/** One `assert = <expr>` guard from a [report] section, evaluated
+ *  against RunRecord-derived metrics after the grid runs. */
+struct ReportAssert {
+    std::string text;
+    int line = 0; ///< spec line, for failure diagnostics
+};
+
 /** Derived-column requests for tables and wrapper figures. */
 struct ReportSpec {
     /** Speedup column: ticks on this machine / ticks, per coordinate. */
@@ -102,6 +125,10 @@ struct ReportSpec {
      *  first value, same machine / other coordinates ("competitors"
      *  gives Figure 7's vs-unloaded curve). */
     std::string baselineAxis;
+    /** `mode = table|events` (default table). */
+    ReportMode mode = ReportMode::Table;
+    /** Paper-claim guards; see driver/report.hh for the grammar. */
+    std::vector<ReportAssert> asserts;
 };
 
 /** A fully-resolved grid point, ready to run. */

@@ -159,7 +159,9 @@ SpecFile::parse(const std::string &text, const std::string &path,
             return false;
         }
         SpecSection &sec = out->sections.back();
-        if (sec.find(entry.key)) {
+        // Keys name one axis or knob each, so duplicates are rejected —
+        // except `assert`, which is a repeatable statement, not a knob.
+        if (entry.key != "assert" && sec.find(entry.key)) {
             if (err)
                 *err = specError(path, lineNo,
                                  "duplicate key '" + entry.key +

@@ -27,8 +27,20 @@ Experiment::load(const GuestApp &app, const std::vector<int> &affinity)
     return loadApp(*system_, app, backend_, affinity);
 }
 
-Tick
-Experiment::run(os::Process *target, Tick maxTicks)
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+    case RunStatus::Completed:
+        return "completed";
+    case RunStatus::MaxTicksReached:
+        return "max_ticks";
+    }
+    return "unknown";
+}
+
+RunOutcome
+Experiment::runToCompletion(os::Process *target, Tick maxTicks)
 {
     Tick finished = 0;
     arch::MispSystem *sys = system_.get();
@@ -47,11 +59,23 @@ Experiment::run(os::Process *target, Tick maxTicks)
         });
     system_->start();
     system_->run(maxTicks);
-    if (finished == 0)
+    RunOutcome out;
+    if (finished == 0) {
         warn("experiment: target process '%s' did not finish within "
              "%llu ticks",
              target->name().c_str(), (unsigned long long)maxTicks);
-    return finished;
+        out.status = RunStatus::MaxTicksReached;
+    } else {
+        out.status = RunStatus::Completed;
+        out.ticks = finished;
+    }
+    return out;
+}
+
+Tick
+Experiment::run(os::Process *target, Tick maxTicks)
+{
+    return runToCompletion(target, maxTicks).ticks;
 }
 
 std::uint64_t
@@ -96,6 +120,37 @@ reportHost(const std::string &name, std::uint64_t instsRetired,
     return mips;
 }
 
+const std::vector<EventField> &
+eventFields()
+{
+    using ES = EventSnapshot;
+    static const std::vector<EventField> kFields = {
+        {"oms_syscalls", false,
+         [](const ES &e) { return double(e.omsSyscalls); }},
+        {"oms_page_faults", false,
+         [](const ES &e) { return double(e.omsPageFaults); }},
+        {"timer", false, [](const ES &e) { return double(e.timer); }},
+        {"interrupts", false,
+         [](const ES &e) { return double(e.interrupts); }},
+        {"ams_syscalls", false,
+         [](const ES &e) { return double(e.amsSyscalls); }},
+        {"ams_page_faults", false,
+         [](const ES &e) { return double(e.amsPageFaults); }},
+        {"serializations", false,
+         [](const ES &e) { return double(e.serializations); }},
+        {"serialize_cycles", true,
+         [](const ES &e) { return e.serializeCycles; }},
+        {"priv_cycles", true, [](const ES &e) { return e.privCycles; }},
+        {"proxy_signal_cycles", true,
+         [](const ES &e) { return e.proxySignalCycles; }},
+        {"proxy_requests", false,
+         [](const ES &e) { return double(e.proxyRequests); }},
+        {"suspended_cycles", true,
+         [](const ES &e) { return e.suspendedCycles; }},
+    };
+    return kFields;
+}
+
 EventSnapshot
 snapshotEvents(arch::MispProcessor &mp)
 {
@@ -114,6 +169,8 @@ snapshotEvents(arch::MispProcessor &mp)
         mp.statGroup().lookupValue("proxySignalCycles");
     out.proxyRequests = static_cast<std::uint64_t>(
         mp.statGroup().lookupValue("proxyRequests"));
+    for (unsigned i = 0; i < mp.numAms(); ++i)
+        out.suspendedCycles += double(mp.amsAt(i).suspendedCycles());
     return out;
 }
 

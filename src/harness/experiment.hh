@@ -18,6 +18,23 @@
 
 namespace misp::harness {
 
+/** How a measured run ended. */
+enum class RunStatus {
+    Completed,       ///< the target process exited
+    MaxTicksReached, ///< the target never finished within the budget
+};
+
+const char *runStatusName(RunStatus status);
+
+/** Typed outcome of running a target process to completion. */
+struct RunOutcome {
+    RunStatus status = RunStatus::MaxTicksReached;
+    /** Completion tick of the target; 0 unless status == Completed. */
+    Tick ticks = 0;
+
+    bool completed() const { return status == RunStatus::Completed; }
+};
+
 /** One machine + runtime instantiation. */
 class Experiment
 {
@@ -36,8 +53,17 @@ class Experiment
      * Start the machine and run until @p target exits (or @p maxTicks).
      * Background processes (e.g. Figure 7's competing load) may still be
      * running when this returns.
-     * @return completion tick of the target, or 0 if it never finished.
      */
+    RunOutcome runToCompletion(os::Process *target,
+                               Tick maxTicks = 2'000'000'000'000ull);
+
+    /**
+     * @deprecated Raw-tick form of runToCompletion(): the 0 it returns
+     * when the target never finishes is indistinguishable from a tick.
+     * Kept for out-of-tree callers; every in-tree caller uses
+     * runToCompletion().
+     */
+    [[deprecated("ambiguous Tick-0 return; use runToCompletion()")]]
     Tick run(os::Process *target, Tick maxTicks = 2'000'000'000'000ull);
 
     /** Shortcut: Table-1 event count on processor @p proc. */
@@ -76,9 +102,28 @@ struct EventSnapshot {
     double privCycles = 0;
     double proxySignalCycles = 0;
     std::uint64_t proxyRequests = 0;
+    /** Total cycles the AMSs spent suspended (summed over AMSs) — the
+     *  cost the serialization-policy ablation quantifies. */
+    double suspendedCycles = 0;
 };
 
 EventSnapshot snapshotEvents(arch::MispProcessor &mp);
+
+/** One Table-1 counter: its canonical name (the JSON key and the
+ *  assert-grammar `events.<name>` reference) plus an accessor.
+ *  `cycles` fields are cycle sums (rendered %.0f); the rest are event
+ *  counts (rendered as integers). */
+struct EventField {
+    const char *name;
+    bool cycles;
+    double (*get)(const EventSnapshot &);
+};
+
+/** The authoritative counter list, in emission order — the single
+ *  place the JSON emitter and the [report] assert evaluator agree on
+ *  names, so a new counter can never be reachable from one but not
+ *  the other. */
+const std::vector<EventField> &eventFields();
 
 /** Emit the uniform per-run HOST throughput line on stderr — the one
  *  format shared by the figure benches and the scenario runner so

@@ -1,0 +1,101 @@
+#include "run_record.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace misp::harness {
+
+double
+RunRecord::speedupOver(const RunRecord &baseline) const
+{
+    if (status != RunStatus::Completed ||
+        baseline.status != RunStatus::Completed || ticks == 0)
+        return 0.0;
+    return double(baseline.ticks) / double(ticks);
+}
+
+double
+RunRecord::perMegaInsts(double count) const
+{
+    if (instsRetired == 0)
+        return 0.0;
+    return count / (double(instsRetired) / 1e6);
+}
+
+RunRecord
+runOne(const RunRequest &req)
+{
+    const wl::WorkloadInfo *info = wl::findWorkload(req.target.name);
+    if (!info)
+        fatal("runOne: unknown workload '%s'", req.target.name.c_str());
+
+    wl::Workload w = info->build(req.target.params);
+
+    Experiment exp(req.config, req.backend);
+
+    // Placement policy (Figure 7, §5.4): pin the target to processors
+    // with enough AMSs; optionally keep competitors off those CPUs.
+    std::vector<int> targetAffinity;
+    std::vector<int> otherCpus;
+    if (req.pinMinAms > 0) {
+        for (unsigned i = 0; i < exp.system().numProcessors(); ++i) {
+            int cpu = exp.system().processor(i).cpuId();
+            if (exp.system().processor(i).numAms() >= req.pinMinAms)
+                targetAffinity.push_back(cpu);
+            else
+                otherCpus.push_back(cpu);
+        }
+    }
+    LoadedProcess proc = exp.load(w.app, targetAffinity);
+
+    for (const RunWorkload &bg : req.background) {
+        const wl::WorkloadInfo *bgInfo = wl::findWorkload(bg.name);
+        if (!bgInfo)
+            fatal("runOne: unknown background workload '%s'",
+                  bg.name.c_str());
+        exp.load(bgInfo->build(bg.params).app);
+    }
+
+    const wl::WorkloadInfo *comp = wl::findWorkload(req.competitor);
+    if (req.competitors > 0 && !comp)
+        fatal("runOne: unknown competitor workload '%s'",
+              req.competitor.c_str());
+    for (unsigned c = 0; c < req.competitors; ++c) {
+        std::vector<int> affinity;
+        if (req.idealPlacement && !otherCpus.empty())
+            affinity = otherCpus;
+        wl::WorkloadParams compParams;
+        exp.load(comp->build(compParams).app, affinity);
+    }
+
+    RunRecord out;
+    auto t0 = std::chrono::steady_clock::now();
+    RunOutcome outcome = exp.runToCompletion(proc.process, req.maxTicks);
+    auto t1 = std::chrono::steady_clock::now();
+    out.status = outcome.status;
+    out.ticks = outcome.ticks;
+    out.instsRetired = exp.totalInstsRetired();
+    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
+    out.hostMips = out.hostSeconds > 0.0
+                       ? out.instsRetired / out.hostSeconds / 1e6
+                       : 0.0;
+    if (req.hostLine) {
+        reportHost(req.label, out.instsRetired, out.hostSeconds,
+                   req.config.misp.decodeCache);
+    }
+
+    out.valid = !w.validate || w.validate(proc.process->addressSpace());
+
+    out.events = snapshotEvents(exp.system().processor(0));
+
+    if (req.fullStats) {
+        std::ostringstream ss;
+        exp.system().rootStats().dumpJson(ss);
+        out.statsJson = ss.str();
+    }
+    return out;
+}
+
+} // namespace misp::harness

@@ -32,8 +32,11 @@ pixelValue(std::uint64_t x, std::uint64_t y)
 Workload
 buildRaytracer(const WorkloadParams &p)
 {
+    // Scene size: width follows the shared `scale` knob; the row count
+    // is a per-workload knob (`param.rows` in scenario specs) so sweeps
+    // can grow the scene without touching every other workload.
     const std::uint64_t width = 192 * p.scale;
-    const std::uint64_t height = 144;
+    const std::uint64_t height = p.extraU64("rows", 144);
     const Cycles basePixelCost = 2000;
     const Cycles pixelBaseBurst = 14000;
 

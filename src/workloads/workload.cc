@@ -1,8 +1,29 @@
 #include "workload.hh"
 
+#include "sim/logging.hh"
 #include "sim/parse.hh"
 
 namespace misp::wl {
+
+std::uint64_t
+WorkloadParams::extraU64(const std::string &key,
+                         std::uint64_t fallback) const
+{
+    for (const auto &[k, v] : extra) {
+        if (k != key)
+            continue;
+        std::uint64_t out = 0;
+        // Fail closed: a knob that is present but unparseable must not
+        // silently run the default (the grid point's coords would
+        // claim otherwise). setWorkloadParam cannot type-check param.*
+        // values (their meaning is per-builder), so the consumer does.
+        if (!parse::u64(v, &out))
+            fatal("workload param '%s': expected an integer, got '%s'",
+                  key.c_str(), v.c_str());
+        return out;
+    }
+    return fallback;
+}
 
 const std::vector<WorkloadInfo> &
 allWorkloads()
@@ -120,6 +141,22 @@ setWorkloadParam(WorkloadParams &params, const std::string &key,
             return false;
         }
         params.prefault = b;
+        return true;
+    }
+    if (key.rfind("param.", 0) == 0) {
+        const std::string knob = key.substr(6);
+        if (knob.empty()) {
+            if (err)
+                *err = "param.: missing a knob name";
+            return false;
+        }
+        for (auto &[k, v] : params.extra) {
+            if (k == knob) {
+                v = value;
+                return true;
+            }
+        }
+        params.extra.emplace_back(knob, value);
         return true;
     }
     if (err)

@@ -35,6 +35,17 @@ struct WorkloadParams {
     std::uint64_t scale = 1;    ///< problem-size multiplier
     bool prefault = false;      ///< §5.3 page-probe optimization
     std::uint64_t seed = 42;    ///< deterministic input generation
+
+    /** Per-workload knobs, set via `param.<key> = <value>` in scenario
+     *  specs (setWorkloadParam strips the prefix). Interpretation is up
+     *  to the builder (e.g. the RayTracer's `rows` scene size);
+     *  builders ignore keys they do not consume. */
+    std::vector<std::pair<std::string, std::string>> extra;
+
+    /** Value of per-workload knob @p key parsed as an integer, or
+     *  @p fallback when the knob is absent or unparseable. */
+    std::uint64_t extraU64(const std::string &key,
+                           std::uint64_t fallback) const;
 };
 
 /** A built workload instance. */
@@ -81,8 +92,9 @@ selectWorkloads(const std::string &selector, std::string *err = nullptr);
 
 /**
  * Set one WorkloadParams field from its scenario-spec key/value form:
- * "workers", "scale", "prefault", "seed". Returns false (and sets
- * @p err when non-null) on an unknown key or unparseable value.
+ * "workers", "scale", "prefault", "seed", or a per-workload knob
+ * "param.<key>" (stored in WorkloadParams::extra). Returns false (and
+ * sets @p err when non-null) on an unknown key or unparseable value.
  */
 bool setWorkloadParam(WorkloadParams &params, const std::string &key,
                       const std::string &value, std::string *err = nullptr);

@@ -171,7 +171,7 @@ TEST(DecodeCacheCoherence, FullSystemIdenticalUnderSpeculativeMonitor)
         sys.misp.decodeCache = decodeCache;
         harness::Experiment exp(sys, rt::Backend::Shred);
         harness::LoadedProcess proc = exp.load(w.app);
-        Tick t = exp.run(proc.process);
+        Tick t = exp.runToCompletion(proc.process).ticks;
         EXPECT_TRUE(!w.validate ||
                     w.validate(proc.process->addressSpace()));
         return t;

@@ -64,7 +64,7 @@ TEST(MispArch, SignalStartsShredOnAms)
     harness::Experiment exp(SystemConfig::uniprocessor(3),
                             rt::Backend::Shred);
     auto proc = exp.load(app);
-    Tick t = exp.run(proc.process, 500'000'000);
+    Tick t = exp.runToCompletion(proc.process, 500'000'000).ticks;
     EXPECT_GT(t, 0u);
     EXPECT_EQ(proc.process->addressSpace().peekWord(0x0800'0000, 8), 77u);
     // The continuation started after one signal latency at least.
@@ -106,7 +106,7 @@ TEST(MispArch, AmsPageFaultTriggersProxyExecution)
     harness::Experiment exp(SystemConfig::uniprocessor(3),
                             rt::Backend::Shred);
     auto proc = exp.load(app);
-    Tick t = exp.run(proc.process, 500'000'000);
+    Tick t = exp.runToCompletion(proc.process, 500'000'000).ticks;
     ASSERT_GT(t, 0u);
     EXPECT_EQ(proc.process->addressSpace().peekWord(0x0800'1000, 8), 42u);
     MispProcessor &mp = exp.system().processor(0);
@@ -143,7 +143,7 @@ TEST(MispArch, AmsSyscallProxiesWithReturnValue)
     harness::Experiment exp(SystemConfig::uniprocessor(2),
                             rt::Backend::Shred);
     auto proc = exp.load(app);
-    Tick t = exp.run(proc.process, 500'000'000);
+    Tick t = exp.runToCompletion(proc.process, 500'000'000).ticks;
     ASSERT_GT(t, 0u);
     EXPECT_EQ(proc.process->addressSpace().peekWord(0x0800'0000, 8),
               proc.mainThread->tid());
@@ -181,7 +181,7 @@ TEST(MispArch, SerializationSuspendsRunningAms)
     harness::Experiment exp(SystemConfig::uniprocessor(1),
                             rt::Backend::Shred);
     auto proc = exp.load(app);
-    Tick t = exp.run(proc.process, 500'000'000);
+    Tick t = exp.runToCompletion(proc.process, 500'000'000).ticks;
     ASSERT_GT(t, 0u);
     MispProcessor &mp = exp.system().processor(0);
     EXPECT_GE(mp.eventCount(Ring0Cause::OmsSyscall), 5u);
@@ -218,7 +218,8 @@ TEST(MispArch, SpeculativeMonitorAvoidsSuspension)
     spec.misp.serialization = SerializationPolicy::SpeculativeMonitor;
     harness::Experiment specExp(spec, rt::Backend::Shred);
     auto specProc = specExp.load(asmApp("spec", src));
-    Tick specT = specExp.run(specProc.process, 500'000'000);
+    Tick specT =
+        specExp.runToCompletion(specProc.process, 500'000'000).ticks;
     ASSERT_GT(specT, 0u);
     EXPECT_EQ(specExp.system().processor(0).amsAt(0).suspendedCycles(),
               0u);
@@ -226,7 +227,8 @@ TEST(MispArch, SpeculativeMonitorAvoidsSuspension)
     harness::Experiment baseExp(SystemConfig::uniprocessor(1),
                                 rt::Backend::Shred);
     auto baseProc = baseExp.load(asmApp("base", src));
-    Tick baseT = baseExp.run(baseProc.process, 500'000'000);
+    Tick baseT =
+        baseExp.runToCompletion(baseProc.process, 500'000'000).ticks;
     ASSERT_GT(baseT, 0u);
     EXPECT_GT(baseExp.system().processor(0).amsAt(0).suspendedCycles(),
               0u);
@@ -246,7 +248,7 @@ TEST(MispArch, SerializeWindowMatchesEquationOne)
     cfg.kernel.deviceIrqMeanPeriod = 0; // quiet
     harness::Experiment exp(cfg, rt::Backend::Shred);
     auto proc = exp.load(app);
-    Tick t = exp.run(proc.process, 500'000'000);
+    Tick t = exp.runToCompletion(proc.process, 500'000'000).ticks;
     ASSERT_GT(t, 0u);
 
     MispProcessor &mp = exp.system().processor(0);
@@ -298,7 +300,7 @@ TEST(MispArch, ProxySignalAccountingMatchesEquationTwo)
     cfg.kernel.deviceIrqMeanPeriod = 0;
     harness::Experiment exp(cfg, rt::Backend::Shred);
     auto proc = exp.load(app);
-    Tick t = exp.run(proc.process, 500'000'000);
+    Tick t = exp.runToCompletion(proc.process, 500'000'000).ticks;
     ASSERT_GT(t, 0u);
 
     MispProcessor &mp = exp.system().processor(0);
@@ -350,7 +352,7 @@ TEST(MispArch, TwoProcessesShareOneOmsByTimeSlicing)
                             rt::Backend::Shred);
     auto a = exp.load(asmApp("a", src));
     auto b = exp.load(asmApp("b", src));
-    Tick ta = exp.run(a.process, 100'000'000'000ull);
+    Tick ta = exp.runToCompletion(a.process, 100'000'000'000ull).ticks;
     ASSERT_GT(ta, 0u);
     // Both processes interleaved on one OMS: the first to finish needed
     // roughly twice its solo time.
@@ -372,7 +374,7 @@ TEST(MispArch, ShreddedThreadSurvivesContextSwitch)
     auto rt = exp.load(w.app);
     auto spin = exp.load(wl::buildSpinner(params).app);
     (void)spin;
-    Tick t = exp.run(rt.process, 100'000'000'000ull);
+    Tick t = exp.runToCompletion(rt.process, 100'000'000'000ull).ticks;
     ASSERT_GT(t, 0u);
     EXPECT_TRUE(w.validate(rt.process->addressSpace()));
     EXPECT_GT(exp.system().processor(0).statGroup().lookupValue(
@@ -389,7 +391,7 @@ TEST(MispArch, SignalCostZeroStillCorrect)
     cfg.misp.signalCycles = 0;
     harness::Experiment exp(cfg, rt::Backend::Shred);
     auto proc = exp.load(w.app);
-    Tick t = exp.run(proc.process);
+    Tick t = exp.runToCompletion(proc.process).ticks;
     ASSERT_GT(t, 0u);
     EXPECT_TRUE(w.validate(proc.process->addressSpace()));
 }
@@ -406,7 +408,7 @@ TEST(MispArch, HigherSignalCostNeverFaster)
         cfg.kernel.deviceIrqMeanPeriod = 0;
         harness::Experiment exp(cfg, rt::Backend::Shred);
         auto proc = exp.load(w.app);
-        Tick t = exp.run(proc.process);
+        Tick t = exp.runToCompletion(proc.process).ticks;
         ASSERT_GT(t, 0u);
         EXPECT_GE(t + 1000, prev) << "signal=" << cost; // small tolerance
         prev = t;
@@ -421,7 +423,7 @@ TEST(MispArch, Table1EventClassesAllExercised)
     harness::Experiment exp(SystemConfig::uniprocessor(7),
                             rt::Backend::Shred);
     auto proc = exp.load(w.app);
-    Tick t = exp.run(proc.process);
+    Tick t = exp.runToCompletion(proc.process).ticks;
     ASSERT_GT(t, 0u);
     MispProcessor &mp = exp.system().processor(0);
     EXPECT_GT(mp.eventCount(Ring0Cause::OmsSyscall), 0u);

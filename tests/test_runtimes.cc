@@ -84,7 +84,7 @@ runOn(rt::Backend backend, const harness::GuestApp &app,
     r.exp = std::make_unique<harness::Experiment>(cfg, backend);
     auto loaded = r.exp->load(app);
     r.process = loaded.process;
-    r.ticks = r.exp->run(loaded.process, 50'000'000'000ull);
+    r.ticks = r.exp->runToCompletion(loaded.process, 50'000'000'000ull).ticks;
     return r;
 }
 

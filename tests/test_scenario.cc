@@ -390,7 +390,7 @@ handRolledFig4Run(const arch::SystemConfig &sys, rt::Backend backend,
     wl::Workload w = info.build(params);
     harness::Experiment exp(sys, backend);
     harness::LoadedProcess proc = exp.load(w.app);
-    return exp.run(proc.process);
+    return exp.runToCompletion(proc.process).ticks;
 }
 
 /** The pre-driver fig7 runRaytracerUnder: pin the shredded target to
@@ -422,7 +422,7 @@ handRolledFig7Run(const std::vector<unsigned> &ams, unsigned shredProcAms,
             affinity = otherCpus;
         exp.load(wl::buildSpinner(spinParams).app, affinity);
     }
-    return exp.run(rtProc.process);
+    return exp.runToCompletion(rtProc.process).ticks;
 }
 
 std::vector<PointResult>
@@ -461,12 +461,12 @@ TEST(RunnerEquivalence, Fig4StyleMachinesMatchHandRolledRuns)
     ASSERT_NE(r1p, nullptr);
     ASSERT_NE(rMisp, nullptr);
 
-    EXPECT_EQ(r1p->ticks, oneP);
-    EXPECT_EQ(rMisp->ticks, misp);
-    EXPECT_TRUE(r1p->valid);
-    EXPECT_TRUE(rMisp->valid);
+    EXPECT_EQ(r1p->run.ticks, oneP);
+    EXPECT_EQ(rMisp->run.ticks, misp);
+    EXPECT_TRUE(r1p->run.valid);
+    EXPECT_TRUE(rMisp->run.valid);
     // The MISP machine multi-shreds; the speedup must be real.
-    EXPECT_LT(rMisp->ticks, r1p->ticks);
+    EXPECT_LT(rMisp->run.ticks, r1p->run.ticks);
 }
 
 TEST(RunnerEquivalence, Fig7StylePinnedRunMatchesHandRolled)
@@ -484,12 +484,12 @@ TEST(RunnerEquivalence, Fig7StylePinnedRunMatchesHandRolled)
         "[sweep]\ncompetitors = 0..1\n");
     ASSERT_EQ(results.size(), 2u);
     EXPECT_EQ(results[0].competitors, 0u);
-    EXPECT_EQ(results[0].ticks, unloaded);
+    EXPECT_EQ(results[0].run.ticks, unloaded);
     EXPECT_EQ(results[1].competitors, 1u);
-    EXPECT_EQ(results[1].ticks, loaded);
+    EXPECT_EQ(results[1].run.ticks, loaded);
     // Ideal placement keeps the competitor off the MISP CPU: the
     // loaded run cannot be much slower than the unloaded one.
-    EXPECT_LT(results[1].ticks, unloaded + unloaded / 4);
+    EXPECT_LT(results[1].run.ticks, unloaded + unloaded / 4);
 }
 
 TEST(RunnerEquivalence, DecodeCacheOffIsBitIdentical)
@@ -509,9 +509,9 @@ TEST(RunnerEquivalence, DecodeCacheOffIsBitIdentical)
     std::vector<PointResult> off = ScenarioRunner(opts).runAll(sc, pts);
 
     ASSERT_EQ(on.size(), off.size());
-    EXPECT_EQ(on[0].ticks, off[0].ticks);
-    EXPECT_EQ(on[0].events.omsSyscalls, off[0].events.omsSyscalls);
-    EXPECT_EQ(on[0].events.serializations, off[0].events.serializations);
+    EXPECT_EQ(on[0].run.ticks, off[0].run.ticks);
+    EXPECT_EQ(on[0].run.events.omsSyscalls, off[0].run.events.omsSyscalls);
+    EXPECT_EQ(on[0].run.events.serializations, off[0].run.events.serializations);
 }
 
 // ---------------------------------------------------------------------

@@ -25,7 +25,7 @@ runOnce(const arch::SystemConfig &sys, rt::Backend backend,
     harness::Experiment exp(sys, backend);
     harness::LoadedProcess proc = exp.load(workload.app);
     RunOutcome out;
-    out.ticks = exp.run(proc.process);
+    out.ticks = exp.runToCompletion(proc.process).ticks;
     out.valid = !workload.validate ||
                 workload.validate(proc.process->addressSpace());
     return out;

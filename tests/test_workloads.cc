@@ -28,7 +28,7 @@ runWorkload(const wl::WorkloadInfo &info, const arch::SystemConfig &cfg,
     harness::Experiment exp(cfg, backend);
     auto proc = exp.load(w.app);
     RunOut out;
-    out.ticks = exp.run(proc.process);
+    out.ticks = exp.runToCompletion(proc.process).ticks;
     out.valid =
         !w.validate || w.validate(proc.process->addressSpace());
     out.proxies = static_cast<std::uint64_t>(

@@ -18,6 +18,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "driver/report.hh"
 #include "driver/runner.hh"
 #include "sim/logging.hh"
 
@@ -40,6 +41,9 @@ usage(const char *argv0, int code)
         "options:\n"
         "  -o FILE            write results as JSON to FILE\n"
         "  --quick            apply the scenario's [quick] overrides\n"
+        "  --jobs N           run grid points on N worker threads; all\n"
+        "                     outputs (JSON, tables, --points) stay\n"
+        "                     byte-identical to a serial run\n"
         "  --no-decode-cache  reference fetch+decode path (also honored\n"
         "                     from MISP_NO_DECODE_CACHE=1)\n"
         "  --md               print the results table as markdown\n"
@@ -79,6 +83,7 @@ main(int argc, char **argv)
     bool fullStats = false;
     bool verbose = false;
     bool noDecodeCache = false;
+    unsigned jobs = 1;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -96,6 +101,13 @@ main(int argc, char **argv)
             jsonPath = argv[i];
         } else if (std::strcmp(arg, "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(arg, "--jobs") == 0) {
+            if (++i >= argc || !parseUnsigned(argv[i], &jobs) ||
+                jobs == 0) {
+                std::fprintf(stderr,
+                             "mispsim: --jobs needs a positive integer\n");
+                return 2;
+            }
         } else if (std::strcmp(arg, "--no-decode-cache") == 0) {
             noDecodeCache = true;
         } else if (std::strcmp(arg, "--md") == 0) {
@@ -169,12 +181,15 @@ main(int argc, char **argv)
     ScenarioRunner::Options opts;
     opts.noDecodeCache = noDecodeCache;
     opts.fullStats = fullStats;
+    opts.jobs = jobs;
     ScenarioRunner runner(opts);
     std::vector<PointResult> results =
         runner.runAll(sc, points, pointsOnly ? nullptr : &std::cerr);
 
     if (pointsOnly) {
         writePoints(std::cout, results);
+    } else if (sc.report.mode == ReportMode::Events) {
+        writeEventsTable(std::cout, sc, results, markdown);
     } else {
         writeTable(std::cout, sc, results, markdown);
     }
@@ -192,16 +207,34 @@ main(int argc, char **argv)
 
     int rc = 0;
     for (const PointResult &r : results) {
-        if (r.valid && r.ticks != 0)
+        if (r.run.ok())
             continue;
         std::fprintf(stderr,
                      "mispsim: point machine=%s workload=%s "
                      "competitors=%u %s\n",
                      r.machine.c_str(), r.workload.c_str(),
                      r.competitors,
-                     r.ticks == 0 ? "never finished (hit max_ticks)"
-                                  : "failed result validation");
+                     !r.run.completed()
+                         ? "never finished (hit max_ticks)"
+                         : "failed result validation");
         rc = 1;
     }
+
+    // [report] asserts guard paper claims from the spec itself; any
+    // failing (or malformed) assert makes the run exit non-zero.
+    std::vector<AssertFailure> failures;
+    if (!evaluateAsserts(sc, results, &failures, &err)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+    for (const AssertFailure &f : failures) {
+        std::fprintf(stderr, "mispsim: %s:%d: assert FAILED: %s (%s)\n",
+                     sc.specPath.c_str(), f.line, f.text.c_str(),
+                     f.detail.c_str());
+        rc = 1;
+    }
+    if (!sc.report.asserts.empty() && failures.empty())
+        std::fprintf(stderr, "mispsim: %zu assert(s) passed\n",
+                     sc.report.asserts.size());
     return rc;
 }
