@@ -172,31 +172,35 @@ main(int argc, char **argv)
     results.push_back(
         compareKernel("mem_loop", memLoopSrc(30'000 * scale), reps));
 
-    // Full-system check: one Figure-4 workload end to end, both ways.
-    const wl::WorkloadInfo *mvm = nullptr;
-    for (const wl::WorkloadInfo &info : wl::allWorkloads()) {
-        if (info.name == "dense_mvm")
-            mvm = &info;
-    }
-    bool fullIdentical = true;
-    if (mvm) {
-        wl::WorkloadParams params = defaultParams(quick);
-        arch::SystemConfig on = mispUni();
-        on.misp.decodeCache = true;
-        arch::SystemConfig off = mispUni();
-        off.misp.decodeCache = false;
-        RunResult rOn = runWorkload(on, rt::Backend::Shred, *mvm, params);
-        RunResult rOff =
-            runWorkload(off, rt::Backend::Shred, *mvm, params);
-        fullIdentical = rOn.ticks == rOff.ticks && rOn.valid &&
-                        rOff.valid &&
-                        rOn.instsRetired == rOff.instsRetired;
+    // Full-system check: one Figure-4 workload end to end, both ways —
+    // the paired on/off machines live in the spec, whose [report]
+    // asserts also pin the bit-identity contract.
+    driver::Scenario sc;
+    std::vector<driver::PointResult> grid;
+    driver::RunnerOptions opts;
+    // Deliberately NOT honoring --no-decode-cache here: the spec's
+    // machine pair pins decode_cache on/off per leg, and the global
+    // override would silently turn the A/B into off-vs-off.
+    if (!driver::runScenarioByName("ablation_decode_cache.scn", argv[0],
+                                   quick, opts, "ablation_decode_cache",
+                                   &sc, &grid))
+        return 1;
+    bool fullIdentical = false;
+    {
+        const driver::PointResult *rOn =
+            driver::findResult(grid, "dc_on", "dense_mvm", 0);
+        const driver::PointResult *rOff =
+            driver::findResult(grid, "dc_off", "dense_mvm", 0);
+        MISP_ASSERT(rOn && rOff);
+        fullIdentical = rOn->run.ticks == rOff->run.ticks &&
+                        rOn->run.valid && rOff->run.valid &&
+                        rOn->run.instsRetired == rOff->run.instsRetired;
         std::printf("\nfull-system dense_mvm: on=%llu off=%llu ticks "
                     "(%s), host %.2f vs %.2f MIPS\n",
-                    (unsigned long long)rOn.ticks,
-                    (unsigned long long)rOff.ticks,
+                    (unsigned long long)rOn->run.ticks,
+                    (unsigned long long)rOff->run.ticks,
                     fullIdentical ? "identical" : "DIVERGED",
-                    rOn.hostMips, rOff.hostMips);
+                    rOn->run.hostMips, rOff->run.hostMips);
     }
 
     std::printf("\n%-14s %12s %12s %9s %9s %8s  %s\n", "kernel",

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snapshot/state_io.hh"
+
 namespace misp::cpu {
 
 using isa::Opcode;
@@ -866,6 +868,45 @@ Sequencer::executeDecoded(const isa::Instruction &inst, Cycles cycles,
     if (advance)
         ctx_.eip += isa::kInstBytes;
     return cycles;
+}
+
+void
+Sequencer::snapSave(snap::Serializer &s) const
+{
+    snap::putContext(s, ctx_);
+    s.u8(static_cast<std::uint8_t>(state_));
+    s.u8(static_cast<std::uint8_t>(preSuspendState_));
+    s.b(suspendRequested_);
+    s.u64(pendingSignals_.size());
+    for (const SignalPayload &p : pendingSignals_)
+        snap::putPayload(s, p);
+    s.u64(pendingProxy_.size());
+    for (const SignalPayload &p : pendingProxy_)
+        snap::putPayload(s, p);
+    s.u64(waitSince_);
+    s.u64(kernelResumeFloor_);
+    mmu_.snapSave(s);
+    snap::putEventSchedule(s, &runEvent_);
+}
+
+void
+Sequencer::snapRestore(snap::Deserializer &d)
+{
+    ctx_ = snap::getContext(d);
+    state_ = static_cast<SeqState>(d.u8());
+    preSuspendState_ = static_cast<SeqState>(d.u8());
+    suspendRequested_ = d.b();
+    pendingSignals_.resize(d.u64());
+    for (SignalPayload &p : pendingSignals_)
+        p = snap::getPayload(d);
+    pendingProxy_.resize(d.u64());
+    for (SignalPayload &p : pendingProxy_)
+        p = snap::getPayload(d);
+    waitSince_ = d.u64();
+    kernelResumeFloor_ = d.u64();
+    mmu_.snapRestore(d);
+    block_ = BlockRef{};
+    snap::getEventSchedule(d, eq_, &runEvent_);
 }
 
 double

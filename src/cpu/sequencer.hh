@@ -141,7 +141,7 @@ class SequencerEnv
  *   r13 = payload ESP.
  * On a startAt() continuation the payload arg arrives in r2.
  */
-class Sequencer
+class Sequencer : public snap::Saveable
 {
   public:
     /** Registers used to pass async-transfer payloads to handlers. */
@@ -370,6 +370,18 @@ class Sequencer
     double utilization(Tick elapsed) const;
 
     stats::StatGroup &statGroup() { return statGroup_; }
+
+    // ---- snapshot -------------------------------------------------------
+    /** Snapshot the architectural and scheduling state, including the
+     *  pending run-slice event (with its queue insertion sequence, so
+     *  same-tick event ordering survives restore). The decoded-block
+     *  reference is derived state and resets cold. */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
+
+    /** Identity of the run-slice event, for the snapshot layer's
+     *  every-pending-event-is-claimed audit. */
+    const Event *snapRunEvent() const { return &runEvent_; }
 
   private:
     class RunEvent : public Event

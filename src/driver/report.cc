@@ -171,8 +171,21 @@ struct Tokenizer {
     {
         std::istringstream is(text);
         std::string tok;
-        while (is >> tok)
-            tokens.push_back(tok);
+        while (is >> tok) {
+            // Parentheses are their own tokens regardless of spacing
+            // ("(a + b)" and "( a + b )" parse alike); machine names
+            // never contain them, so this cannot split a REF.
+            std::size_t start = 0;
+            while (start < tok.size() && tok[start] == '(')
+                tokens.emplace_back(1, tok[start++]);
+            std::size_t end = tok.size();
+            while (end > start && tok[end - 1] == ')')
+                --end;
+            if (end > start)
+                tokens.push_back(tok.substr(start, end - start));
+            for (std::size_t i = end; i < tok.size(); ++i)
+                tokens.emplace_back(1, ')');
+        }
     }
 
     const std::string *peek() const
@@ -192,15 +205,30 @@ isComparison(const std::string &tok)
            tok == "==" || tok == "!=";
 }
 
+bool parseSide(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
+               double *out, std::string *why);
+
 bool
 parseValue(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
            double *out, std::string *why)
 {
     const std::string *tok = tz.take();
     if (!tok) {
-        *why = "expected a number or <machine>.<metric>, got end of "
-               "expression";
+        *why = "expected a number, <machine>.<metric>, or '(', got end "
+               "of expression";
         return false;
+    }
+    if (*tok == "(") {
+        if (!parseSide(tz, sc, group, out, why))
+            return false;
+        const std::string *close = tz.take();
+        if (!close || *close != ")") {
+            *why = "expected ')', got " +
+                   (close ? "'" + *close + "'"
+                          : std::string("end of expression"));
+            return false;
+        }
+        return true;
     }
     char *end = nullptr;
     double num = std::strtod(tok->c_str(), &end);

@@ -6,12 +6,13 @@
  * scenario file itself.
  *
  * Assert grammar (tokens are whitespace-separated, so machine names
- * like `1x4+4` never collide with operators):
+ * like `1x4+4` never collide with operators; parentheses are
+ * self-delimiting and may hug their operands):
  *
  *   assert      := side CMP side
  *   side        := product (('+' | '-') product)*
  *   product     := value (('*' | '/') value)*
- *   value       := NUMBER | REF
+ *   value       := NUMBER | REF | '(' side ')'
  *   CMP         := '<' | '<=' | '>' | '>=' | '==' | '!='
  *   REF         := <machine>.<metric>
  *   metric      := ticks | mcycles | speedup | insts | valid
@@ -27,9 +28,16 @@
  *
  * An assert is evaluated once per sweep-coordinate combination and
  * must hold at every one of them (e.g. for every workload of a
- * Figure-4 grid). Example:
+ * Figure-4 grid). Examples:
  *
  *   assert = misp.speedup >= 0.9 * smp8.speedup
+ *   assert = ( s5000.ticks - s0.ticks ) / s0.ticks <= 0.02
+ *
+ * The second is the Figure-5-style "overhead <= X% at cost Y" shape:
+ * parentheses group the relative-overhead reconstruction against two
+ * machines of one coordinate group (see
+ * scenarios/ablation_model_check.scn for asserts that rebuild Eq.1 and
+ * Eq.2 the same way).
  */
 
 #ifndef MISP_DRIVER_REPORT_HH

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <filesystem>
 #include <mutex>
 #include <ostream>
 #include <thread>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "snapshot/snapshot.hh"
 
 namespace misp::driver {
 
@@ -16,7 +25,12 @@ namespace {
 std::string
 jsonString(const std::string &s)
 {
-    return "\"" + stats::jsonEscape(s) + "\"";
+    // Built up in steps: GCC 12's -Wrestrict false-positives on the
+    // `"\"" + escape + "\""` temporary chain once inlined.
+    std::string out = "\"";
+    out += stats::jsonEscape(s);
+    out += "\"";
+    return out;
 }
 
 bool
@@ -75,9 +89,15 @@ progressLine(std::ostream &os, std::size_t done, std::size_t total,
 
 } // namespace
 
+std::string
+snapshotPointPath(const std::string &dir, std::size_t index)
+{
+    return dir + "/point_" + std::to_string(index) + ".misnap";
+}
+
 harness::RunRequest
 makeRunRequest(const Scenario &sc, const ScenarioPoint &pt,
-               const RunnerOptions &opts)
+               const RunnerOptions &opts, std::size_t pointIndex)
 {
     harness::RunRequest req;
     req.label = sc.name + "_" + pt.machine.name + "_" + pt.workload.name;
@@ -97,18 +117,28 @@ makeRunRequest(const Scenario &sc, const ScenarioPoint &pt,
     req.maxTicks = sc.maxTicks;
     req.hostLine = opts.hostLines;
     req.fullStats = opts.fullStats;
+    if (!opts.snapshotSaveDir.empty()) {
+        req.snapshotOut =
+            snapshotPointPath(opts.snapshotSaveDir, pointIndex);
+        req.warmupTicks = sc.snapshotWarmupTicks;
+    }
+    if (!opts.snapshotLoadDir.empty()) {
+        req.snapshotIn =
+            snapshotPointPath(opts.snapshotLoadDir, pointIndex);
+    }
     return req;
 }
 
 PointResult
-ScenarioRunner::runPoint(const Scenario &sc, const ScenarioPoint &pt)
+ScenarioRunner::runPoint(const Scenario &sc, const ScenarioPoint &pt,
+                         std::size_t pointIndex)
 {
     PointResult out;
     out.machine = pt.machine.name;
     out.workload = pt.workload.name;
     out.competitors = pt.competitors;
     out.coords = pt.coords;
-    out.run = harness::runOne(makeRunRequest(sc, pt, opts_));
+    out.run = harness::runOne(makeRunRequest(sc, pt, opts_, pointIndex));
     return out;
 }
 
@@ -117,13 +147,16 @@ ScenarioRunner::runAll(const Scenario &sc,
                        const std::vector<ScenarioPoint> &pts,
                        std::ostream *progress)
 {
+    if (opts_.isolate)
+        return runIsolated(sc, pts, progress);
+
     std::vector<PointResult> results(pts.size());
     std::size_t jobs = std::max(1u, opts_.jobs);
     jobs = std::min(jobs, pts.size());
 
     if (jobs <= 1) {
         for (std::size_t i = 0; i < pts.size(); ++i) {
-            results[i] = runPoint(sc, pts[i]);
+            results[i] = runPoint(sc, pts[i], i);
             if (progress)
                 progressLine(*progress, i + 1, pts.size(), pts[i],
                              results[i]);
@@ -153,7 +186,7 @@ ScenarioRunner::runAll(const Scenario &sc,
             if (i >= pts.size())
                 return;
             try {
-                results[i] = runPoint(sc, pts[i]);
+                results[i] = runPoint(sc, pts[i], i);
             } catch (...) {
                 errors[i] = std::current_exception();
                 failed.store(true, std::memory_order_relaxed);
@@ -181,6 +214,190 @@ ScenarioRunner::runAll(const Scenario &sc,
     for (std::exception_ptr &e : errors) {
         if (e)
             std::rethrow_exception(e);
+    }
+    return results;
+}
+
+// ---------------------------------------------------------------------
+// Crash-isolated worker backend (--jobs N --isolate)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** One live worker child: its pid, the read end of its result pipe,
+ *  the grid point it owns, and the bytes received so far. */
+struct IsolatedWorker {
+    pid_t pid = -1;
+    int fd = -1;
+    std::size_t index = 0;
+    std::string buf;
+};
+
+void
+writeAll(int fd, const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return; // parent gone; nothing sensible left to do
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+std::vector<PointResult>
+ScenarioRunner::runIsolated(const Scenario &sc,
+                            const std::vector<ScenarioPoint> &pts,
+                            std::ostream *progress)
+{
+    std::vector<PointResult> results(pts.size());
+    // Coordinates are parent-side facts; only the measured RunRecord
+    // crosses the process boundary.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        results[i].machine = pts[i].machine.name;
+        results[i].workload = pts[i].workload.name;
+        results[i].competitors = pts[i].competitors;
+        results[i].coords = pts[i].coords;
+    }
+
+    // Children inherit stdio buffers; empty them now so a child's
+    // exit can never replay parent output.
+    std::fflush(stdout);
+    std::fflush(stderr);
+
+    const std::size_t jobs =
+        std::min<std::size_t>(std::max(1u, opts_.jobs), pts.size());
+    std::vector<IsolatedWorker> live;
+    std::size_t next = 0;
+    std::size_t done = 0;
+
+    auto crash = [&](std::size_t index, const std::string &why) {
+        results[index].run = harness::RunRecord{};
+        results[index].run.status = harness::RunStatus::WorkerCrashed;
+        results[index].run.valid = false;
+        results[index].run.note = why;
+    };
+
+    auto launch = [&](std::size_t index) {
+        int fds[2];
+        if (::pipe(fds) != 0) {
+            crash(index, "pipe() failed");
+            ++done;
+            return;
+        }
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            crash(index, "fork() failed");
+            ++done;
+            return;
+        }
+        if (pid == 0) {
+            // Worker child: one point, result over the pipe, hard exit
+            // (no parent-side destructors or buffers to double-flush).
+            ::close(fds[0]);
+            // Crash-isolation contract test hook: die like a real
+            // worker bug would (tests/test_snapshot.cc).
+            if (const char *crashAt =
+                    std::getenv("MISP_ISOLATE_TEST_CRASH")) {
+                if (std::strtoull(crashAt, nullptr, 10) == index)
+                    ::abort();
+            }
+            int code = 0;
+            try {
+                PointResult r = runPoint(sc, pts[index], index);
+                writeAll(fds[1], snap::encodeRunRecord(r.run));
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "mispsim worker [%zu]: %s\n", index,
+                             e.what());
+                code = 3;
+            } catch (...) {
+                code = 3;
+            }
+            ::close(fds[1]);
+            // Flush only what this child wrote (HOST/diagnostic lines);
+            // inherited parent buffer content was flushed before the
+            // fork and must not be emitted a second time.
+            std::fflush(stderr);
+            ::_exit(code);
+        }
+        ::close(fds[1]);
+        live.push_back(IsolatedWorker{pid, fds[0], index, {}});
+    };
+
+    auto reap = [&](IsolatedWorker &w) {
+        // Drain whatever is left, then collect the exit status.
+        char chunk[65536];
+        for (;;) {
+            ssize_t n = ::read(w.fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                w.buf.append(chunk, static_cast<std::size_t>(n));
+                continue;
+            }
+            if (n < 0 && errno == EINTR)
+                continue;
+            break;
+        }
+        ::close(w.fd);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+
+        std::string err;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            crash(w.index,
+                  WIFSIGNALED(status)
+                      ? "worker killed by signal " +
+                            std::to_string(WTERMSIG(status))
+                      : "worker exited with status " +
+                            std::to_string(WIFEXITED(status)
+                                               ? WEXITSTATUS(status)
+                                               : -1));
+        } else if (!snap::decodeRunRecord(w.buf, &results[w.index].run,
+                                          &err)) {
+            crash(w.index, "worker result undecodable: " + err);
+        }
+        ++done;
+        if (progress) {
+            progressLine(*progress, done, pts.size(), pts[w.index],
+                         results[w.index]);
+        }
+    };
+
+    while (done < pts.size()) {
+        while (live.size() < jobs && next < pts.size())
+            launch(next++);
+        if (live.empty())
+            break; // every remaining point failed to launch
+
+        std::vector<pollfd> fds(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i)
+            fds[i] = pollfd{live[i].fd, POLLIN, 0};
+        if (::poll(fds.data(), fds.size(), -1) < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        // Read ready pipes; a closed write end (EOF) means the worker
+        // is finishing — reap it.
+        for (std::size_t i = live.size(); i-- > 0;) {
+            if (!(fds[i].revents & (POLLIN | POLLHUP | POLLERR)))
+                continue;
+            char chunk[65536];
+            ssize_t n = ::read(live[i].fd, chunk, sizeof(chunk));
+            if (n > 0) {
+                live[i].buf.append(chunk, static_cast<std::size_t>(n));
+            } else if (n == 0 || (n < 0 && errno != EINTR)) {
+                reap(live[i]);
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            }
+        }
     }
     return results;
 }

@@ -55,13 +55,41 @@ struct RunnerOptions {
      *  submission order, so every emitter's output is byte-identical
      *  to a serial run. 0 and 1 both mean serial. */
     unsigned jobs = 1;
+
+    /** Crash-isolated workers (--isolate): fork one child process per
+     *  grid point (up to `jobs` concurrently) and ship each point's
+     *  RunRecord back over a pipe. Submission-order results and
+     *  byte-identical artifacts, like the thread pool — but a point
+     *  that crashes its worker is recorded as
+     *  RunStatus::WorkerCrashed instead of taking the sweep down. */
+    bool isolate = false;
+
+    /** Directory to write one warmup image per grid point into
+     *  (--save-snapshot): each point warms up for the scenario's
+     *  [snapshot] warmup_ticks, archives point_<index>.misnap, and
+     *  runs on to completion (results unchanged). */
+    std::string snapshotSaveDir;
+    /** Directory to restore per-point warmup images from
+     *  (--from-snapshot); each image's config hash is validated
+     *  against the point's request (fail-closed per point). Restored
+     *  results are byte-identical to cold runs except the fullStats
+     *  decode-cache hit/miss counters, which restart cold (the decode
+     *  cache is derived state and stays out of images). */
+    std::string snapshotLoadDir;
 };
 
+/** The image file `--save-snapshot`/`--from-snapshot` use for grid
+ *  point @p index under @p dir. */
+std::string snapshotPointPath(const std::string &dir, std::size_t index);
+
 /** The RunRequest a grid point denotes — the single translation from
- *  scenario model to the unified run layer (shared with tests). */
+ *  scenario model to the unified run layer (shared with tests).
+ *  @p pointIndex keys the per-point snapshot image file when the
+ *  options ask for snapshot traffic. */
 harness::RunRequest makeRunRequest(const Scenario &sc,
                                    const ScenarioPoint &pt,
-                                   const RunnerOptions &opts);
+                                   const RunnerOptions &opts,
+                                   std::size_t pointIndex = 0);
 
 class ScenarioRunner
 {
@@ -73,18 +101,24 @@ class ScenarioRunner
     explicit ScenarioRunner(const Options &opts = Options()) : opts_(opts)
     {}
 
-    /** Run one grid point. */
-    PointResult runPoint(const Scenario &sc, const ScenarioPoint &pt);
+    /** Run one grid point (@p pointIndex keys its snapshot image). */
+    PointResult runPoint(const Scenario &sc, const ScenarioPoint &pt,
+                         std::size_t pointIndex = 0);
 
-    /** Run the whole grid — serially in order, or on Options::jobs
-     *  worker threads — and return results in submission order. One
-     *  progress line per completed point on @p progress when non-null
-     *  (completion order under a worker pool). */
+    /** Run the whole grid — serially in order, on Options::jobs worker
+     *  threads, or on forked worker processes (Options::isolate) — and
+     *  return results in submission order. One progress line per
+     *  completed point on @p progress when non-null (completion order
+     *  under a worker pool). */
     std::vector<PointResult> runAll(const Scenario &sc,
                                     const std::vector<ScenarioPoint> &pts,
                                     std::ostream *progress = nullptr);
 
   private:
+    std::vector<PointResult>
+    runIsolated(const Scenario &sc, const std::vector<ScenarioPoint> &pts,
+                std::ostream *progress);
+
     Options opts_;
 };
 

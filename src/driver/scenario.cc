@@ -16,6 +16,10 @@ MachineSpec::toSystemConfig() const
     sys.misp.sliceLimit = sliceLimit;
     sys.misp.serialization = serialization;
     sys.physFrames = physFrames;
+    sys.kernel.timerPeriod = timerPeriod;
+    sys.kernel.deviceIrqMeanPeriod = deviceIrqMeanPeriod;
+    sys.kernel.quantumTicks = quantumTicks;
+    sys.kernel.seed = kernelSeed;
     return sys;
 }
 
@@ -77,6 +81,15 @@ MachineSpec::apply(const std::string &key, const std::string &value,
     }
     if (key == "phys_frames")
         return parseU64(value, &physFrames) || bad("a frame count");
+    if (key == "timer_period")
+        return parseU64(value, &timerPeriod) || bad("a tick count");
+    if (key == "device_irq_mean_period")
+        return parseU64(value, &deviceIrqMeanPeriod) ||
+               bad("a tick count (0 disables device IRQs)");
+    if (key == "quantum_ticks")
+        return parseUnsigned(value, &quantumTicks) || bad("an integer");
+    if (key == "kernel_seed")
+        return parseU64(value, &kernelSeed) || bad("an integer seed");
     if (key == "pin_min_ams")
         return parseUnsigned(value, &pinMinAms) || bad("an AMS count");
     if (key == "ideal_placement")
@@ -287,6 +300,24 @@ Scenario::fromSpec(const SpecFile &spec, Scenario *out, std::string *err)
                         *err = specError(spec.path, e.line,
                                          "unknown [run] key '" + e.key +
                                          "'");
+                    return false;
+                }
+            }
+        } else if (sec.type == "snapshot") {
+            for (const SpecEntry &e : sec.entries) {
+                if (e.key == "warmup_ticks") {
+                    if (!parseU64(e.value, &out->snapshotWarmupTicks)) {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "warmup_ticks: expected a "
+                                             "tick count");
+                        return false;
+                    }
+                } else {
+                    if (err)
+                        *err = specError(spec.path, e.line,
+                                         "unknown [snapshot] key '" +
+                                         e.key + "'");
                     return false;
                 }
             }

@@ -20,15 +20,19 @@
  *                         counts per 10^6 retired instructions), and
  *                         repeatable `assert = <expr>` paper-claim
  *                         guards (grammar: driver/report.hh)
+ *   [snapshot]            warmup_ticks: per-point warmup depth for
+ *                         `mispsim --save-snapshot` (snapshot/)
  *
  * Machine knobs: `processors` (comma list of per-processor AMS counts)
  * or `ams` (uniprocessor shorthand), `backend` (shred|os),
  * `decode_cache`, `signal_cycles`, `context_xfer_cycles`,
  * `slice_limit`, `serialization` (suspend_all|speculative_monitor),
- * `phys_frames`, and the Figure-7 placement policy: `pin_min_ams`
- * (pin the target to processors with at least that many AMSs; 0 = no
- * pinning) and `ideal_placement` (keep competitors off those
- * processors).
+ * `phys_frames`, the OS-model cadence knobs `timer_period`,
+ * `device_irq_mean_period` (0 disables device IRQs — a deterministic
+ * event mix), `quantum_ticks`, `kernel_seed`, and the Figure-7
+ * placement policy: `pin_min_ams` (pin the target to processors with
+ * at least that many AMSs; 0 = no pinning) and `ideal_placement`
+ * (keep competitors off those processors).
  *
  * Sweep axis keys: `workload.<param>` (name/workers/scale/prefault/
  * seed, or a per-workload knob `workload.param.<key>`; `workload.name`
@@ -68,6 +72,14 @@ struct MachineSpec {
     arch::SerializationPolicy serialization =
         arch::SerializationPolicy::SuspendAll;
     std::uint64_t physFrames = 1ull << 18;
+
+    // OS-model knobs (defaults match os::KernelConfig). Exposed so the
+    // event-mix ablations can pin the interrupt cadence from the spec
+    // (e.g. `device_irq_mean_period = 0` for a deterministic mix).
+    Tick timerPeriod = os::KernelConfig{}.timerPeriod;
+    Tick deviceIrqMeanPeriod = os::KernelConfig{}.deviceIrqMeanPeriod;
+    unsigned quantumTicks = os::KernelConfig{}.quantumTicks;
+    std::uint64_t kernelSeed = os::KernelConfig{}.seed;
 
     /** Pin the target to processors with >= this many AMSs (0 = load
      *  with no affinity, the kernel schedules freely). */
@@ -159,6 +171,12 @@ struct Scenario {
     std::vector<SweepAxis> sweep;
     std::vector<SweepAxis> quick;
     ReportSpec report;
+
+    /** `[snapshot] warmup_ticks`: how deep each grid point warms up
+     *  before `--save-snapshot` archives it (0 = save at the first
+     *  snapshot point). Inert unless the CLI/runner asks for snapshot
+     *  traffic. */
+    Tick snapshotWarmupTicks = 0;
 
     /**
      * Validate and type a parsed spec. All diagnostics carry

@@ -35,12 +35,29 @@ runStatusName(RunStatus status)
         return "completed";
     case RunStatus::MaxTicksReached:
         return "max_ticks";
+    case RunStatus::SnapshotError:
+        return "snapshot_error";
+    case RunStatus::WorkerCrashed:
+        return "worker_crashed";
     }
     return "unknown";
 }
 
 RunOutcome
 Experiment::runToCompletion(os::Process *target, Tick maxTicks)
+{
+    system_->start();
+    return finishRun(target, maxTicks);
+}
+
+RunOutcome
+Experiment::resumeToCompletion(os::Process *target, Tick maxTicks)
+{
+    return finishRun(target, maxTicks);
+}
+
+RunOutcome
+Experiment::finishRun(os::Process *target, Tick maxTicks)
 {
     Tick finished = 0;
     arch::MispSystem *sys = system_.get();
@@ -57,7 +74,6 @@ Experiment::runToCompletion(os::Process *target, Tick maxTicks)
                 sys->eventQueue().curTick() + 500'000, "experiment.stop",
                 [sys] { sys->eventQueue().requestStop(); });
         });
-    system_->start();
     system_->run(maxTicks);
     RunOutcome out;
     if (finished == 0) {
@@ -126,27 +142,39 @@ eventFields()
     using ES = EventSnapshot;
     static const std::vector<EventField> kFields = {
         {"oms_syscalls", false,
-         [](const ES &e) { return double(e.omsSyscalls); }},
+         [](const ES &e) { return double(e.omsSyscalls); },
+         [](ES &e, double v) { e.omsSyscalls = std::uint64_t(v); }},
         {"oms_page_faults", false,
-         [](const ES &e) { return double(e.omsPageFaults); }},
-        {"timer", false, [](const ES &e) { return double(e.timer); }},
+         [](const ES &e) { return double(e.omsPageFaults); },
+         [](ES &e, double v) { e.omsPageFaults = std::uint64_t(v); }},
+        {"timer", false, [](const ES &e) { return double(e.timer); },
+         [](ES &e, double v) { e.timer = std::uint64_t(v); }},
         {"interrupts", false,
-         [](const ES &e) { return double(e.interrupts); }},
+         [](const ES &e) { return double(e.interrupts); },
+         [](ES &e, double v) { e.interrupts = std::uint64_t(v); }},
         {"ams_syscalls", false,
-         [](const ES &e) { return double(e.amsSyscalls); }},
+         [](const ES &e) { return double(e.amsSyscalls); },
+         [](ES &e, double v) { e.amsSyscalls = std::uint64_t(v); }},
         {"ams_page_faults", false,
-         [](const ES &e) { return double(e.amsPageFaults); }},
+         [](const ES &e) { return double(e.amsPageFaults); },
+         [](ES &e, double v) { e.amsPageFaults = std::uint64_t(v); }},
         {"serializations", false,
-         [](const ES &e) { return double(e.serializations); }},
+         [](const ES &e) { return double(e.serializations); },
+         [](ES &e, double v) { e.serializations = std::uint64_t(v); }},
         {"serialize_cycles", true,
-         [](const ES &e) { return e.serializeCycles; }},
-        {"priv_cycles", true, [](const ES &e) { return e.privCycles; }},
+         [](const ES &e) { return e.serializeCycles; },
+         [](ES &e, double v) { e.serializeCycles = v; }},
+        {"priv_cycles", true, [](const ES &e) { return e.privCycles; },
+         [](ES &e, double v) { e.privCycles = v; }},
         {"proxy_signal_cycles", true,
-         [](const ES &e) { return e.proxySignalCycles; }},
+         [](const ES &e) { return e.proxySignalCycles; },
+         [](ES &e, double v) { e.proxySignalCycles = v; }},
         {"proxy_requests", false,
-         [](const ES &e) { return double(e.proxyRequests); }},
+         [](const ES &e) { return double(e.proxyRequests); },
+         [](ES &e, double v) { e.proxyRequests = std::uint64_t(v); }},
         {"suspended_cycles", true,
-         [](const ES &e) { return e.suspendedCycles; }},
+         [](const ES &e) { return e.suspendedCycles; },
+         [](ES &e, double v) { e.suspendedCycles = v; }},
     };
     return kFields;
 }

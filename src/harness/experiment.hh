@@ -22,6 +22,9 @@ namespace misp::harness {
 enum class RunStatus {
     Completed,       ///< the target process exited
     MaxTicksReached, ///< the target never finished within the budget
+    SnapshotError,   ///< snapshot save/restore failed (fail-closed:
+                     ///< corrupt image, config mismatch, I/O error)
+    WorkerCrashed,   ///< --isolate worker process died before reporting
 };
 
 const char *runStatusName(RunStatus status);
@@ -58,6 +61,15 @@ class Experiment
                                Tick maxTicks = 2'000'000'000'000ull);
 
     /**
+     * runToCompletion() for a machine that is already under way — a
+     * snapshot restore, or a continuation after a warmup leg. Skips
+     * start(): thread dispatch and interrupt arming are part of the
+     * restored state, and re-running them would double-arm timers.
+     */
+    RunOutcome resumeToCompletion(os::Process *target,
+                                  Tick maxTicks = 2'000'000'000'000ull);
+
+    /**
      * @deprecated Raw-tick form of runToCompletion(): the 0 it returns
      * when the target never finishes is indistinguishable from a tick.
      * Kept for out-of-tree callers; every in-tree caller uses
@@ -73,7 +85,14 @@ class Experiment
      *  every processor — the numerator of host-MIPS reporting. */
     std::uint64_t totalInstsRetired();
 
+    /** The concrete runtime backends, for the snapshot layer (exactly
+     *  one is non-null, matching backend()). */
+    rt::ShredRuntime *shredRuntime() { return shredRt_.get(); }
+    rt::OsApiRuntime *osRuntime() { return osRt_.get(); }
+
   private:
+    RunOutcome finishRun(os::Process *target, Tick maxTicks);
+
     rt::Backend backend_;
     std::unique_ptr<arch::MispSystem> system_;
     std::unique_ptr<rt::ShredRuntime> shredRt_;
@@ -110,13 +129,16 @@ struct EventSnapshot {
 EventSnapshot snapshotEvents(arch::MispProcessor &mp);
 
 /** One Table-1 counter: its canonical name (the JSON key and the
- *  assert-grammar `events.<name>` reference) plus an accessor.
- *  `cycles` fields are cycle sums (rendered %.0f); the rest are event
- *  counts (rendered as integers). */
+ *  assert-grammar `events.<name>` reference) plus paired accessors —
+ *  the setter exists so wire codecs (the --isolate RunRecord pipe)
+ *  can round-trip by iterating this registry instead of keeping a
+ *  parallel field list. `cycles` fields are cycle sums (rendered
+ *  %.0f); the rest are event counts (rendered as integers). */
 struct EventField {
     const char *name;
     bool cycles;
     double (*get)(const EventSnapshot &);
+    void (*set)(EventSnapshot &, double);
 };
 
 /** The authoritative counter list, in emission order — the single

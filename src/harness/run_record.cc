@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "snapshot/snapshot.hh"
 
 namespace misp::harness {
 
@@ -24,6 +25,98 @@ RunRecord::perMegaInsts(double count) const
     return count / (double(instsRetired) / 1e6);
 }
 
+namespace {
+
+/** Everything measured after the simulation stops — shared by the cold,
+ *  save-leg, and restored paths so a record can never depend on which
+ *  path produced it. @p instsAtStart is the retired count already in
+ *  the machine when this leg's wall clock started (nonzero only after
+ *  a snapshot restore): the record's instsRetired stays the run total
+ *  (byte-identical to a cold run), while host-throughput reporting
+ *  covers only the instructions this process actually executed. */
+void
+harvest(RunRecord *out, Experiment &exp, os::Process *target,
+        const wl::Workload &w, const RunRequest &req, RunOutcome outcome,
+        double hostSeconds, std::uint64_t instsAtStart = 0)
+{
+    out->status = outcome.status;
+    out->ticks = outcome.ticks;
+    out->instsRetired = exp.totalInstsRetired();
+    std::uint64_t legInsts = out->instsRetired - instsAtStart;
+    out->hostSeconds = hostSeconds;
+    out->hostMips =
+        hostSeconds > 0.0 ? legInsts / hostSeconds / 1e6 : 0.0;
+    if (req.hostLine) {
+        reportHost(req.label, legInsts, hostSeconds,
+                   req.config.misp.decodeCache);
+    }
+
+    out->valid = !w.validate || w.validate(target->addressSpace());
+
+    out->events = snapshotEvents(exp.system().processor(0));
+
+    if (req.fullStats) {
+        std::ostringstream ss;
+        exp.system().rootStats().dumpJson(ss);
+        out->statsJson = ss.str();
+    }
+}
+
+RunRecord
+snapshotFailure(const RunRequest &req, const std::string &what)
+{
+    warn("runOne[%s]: %s", req.label.c_str(), what.c_str());
+    RunRecord out;
+    out.status = RunStatus::SnapshotError;
+    out.valid = false;
+    out.note = what;
+    return out;
+}
+
+/** The --from-snapshot path: reconstitute the machine from
+ *  RunRequest::snapshotIn and continue to completion. The workload is
+ *  still built host-side (deterministically, from the same params) for
+ *  its result validator; nothing is loaded into the guest. */
+RunRecord
+runFromSnapshot(const RunRequest &req, const wl::Workload &w)
+{
+    std::string image, err;
+    if (!snap::readFileBytes(req.snapshotIn, &image, &err))
+        return snapshotFailure(req, err);
+
+    // Hash pre-flight from the META section alone: a stale image is
+    // rejected at header cost, not after a full machine rebuild.
+    snap::SnapshotMeta meta;
+    if (!snap::readSnapshotMeta(image, &meta, &err))
+        return snapshotFailure(req, err);
+    if (meta.cfgHash != snap::configHash(req)) {
+        return snapshotFailure(
+            req, "snapshot '" + req.snapshotIn + "' was produced by a "
+                 "different experiment configuration");
+    }
+
+    snap::RestoredExperiment restored;
+    if (!snap::restoreExperiment(image, &restored, &err))
+        return snapshotFailure(req, err);
+    if (!restored.target)
+        return snapshotFailure(
+            req, "snapshot '" + req.snapshotIn + "' has no target "
+                 "process");
+
+    RunRecord out;
+    std::uint64_t warmupInsts = restored.exp->totalInstsRetired();
+    auto t0 = std::chrono::steady_clock::now();
+    RunOutcome outcome =
+        restored.exp->resumeToCompletion(restored.target, req.maxTicks);
+    auto t1 = std::chrono::steady_clock::now();
+    harvest(&out, *restored.exp, restored.target, w, req, outcome,
+            std::chrono::duration<double>(t1 - t0).count(),
+            warmupInsts);
+    return out;
+}
+
+} // namespace
+
 RunRecord
 runOne(const RunRequest &req)
 {
@@ -32,6 +125,9 @@ runOne(const RunRequest &req)
         fatal("runOne: unknown workload '%s'", req.target.name.c_str());
 
     wl::Workload w = info->build(req.target.params);
+
+    if (!req.snapshotIn.empty())
+        return runFromSnapshot(req, w);
 
     Experiment exp(req.config, req.backend);
 
@@ -72,29 +168,47 @@ runOne(const RunRequest &req)
 
     RunRecord out;
     auto t0 = std::chrono::steady_clock::now();
-    RunOutcome outcome = exp.runToCompletion(proc.process, req.maxTicks);
+    RunOutcome outcome;
+    if (req.snapshotOut.empty()) {
+        outcome = exp.runToCompletion(proc.process, req.maxTicks);
+    } else {
+        // Warmup leg: run to the requested tick, step to the next
+        // snapshot point, archive, then continue to completion — the
+        // record (and every simulated number in it) stays identical to
+        // an uninterrupted run; only the image file is extra.
+        exp.system().start();
+        exp.system().run(std::min(req.warmupTicks, req.maxTicks));
+        if (!exp.system().kernel().processAlive(proc.process)) {
+            return snapshotFailure(
+                req, "warmup_ticks=" +
+                         std::to_string(req.warmupTicks) +
+                         " outlives the target; nothing to snapshot");
+        }
+        if (!snap::advanceToSnapshotPoint(exp)) {
+            return snapshotFailure(
+                req, "no snapshot point reached after warmup");
+        }
+        // The quiescence stepping may have run the last few events of
+        // the target's life; an exit hook is not installed yet, so a
+        // completion in that window must fail loudly here rather than
+        // spin to the tick budget below.
+        if (!exp.system().kernel().processAlive(proc.process)) {
+            return snapshotFailure(
+                req, "target completed while stepping to the snapshot "
+                     "point; lower warmup_ticks");
+        }
+        std::string image, err;
+        if (!snap::saveExperiment(exp, proc.process,
+                                  snap::configHash(req), req.label,
+                                  &image, &err) ||
+            !snap::writeFileBytes(req.snapshotOut, image, &err)) {
+            return snapshotFailure(req, err);
+        }
+        outcome = exp.resumeToCompletion(proc.process, req.maxTicks);
+    }
     auto t1 = std::chrono::steady_clock::now();
-    out.status = outcome.status;
-    out.ticks = outcome.ticks;
-    out.instsRetired = exp.totalInstsRetired();
-    out.hostSeconds = std::chrono::duration<double>(t1 - t0).count();
-    out.hostMips = out.hostSeconds > 0.0
-                       ? out.instsRetired / out.hostSeconds / 1e6
-                       : 0.0;
-    if (req.hostLine) {
-        reportHost(req.label, out.instsRetired, out.hostSeconds,
-                   req.config.misp.decodeCache);
-    }
-
-    out.valid = !w.validate || w.validate(proc.process->addressSpace());
-
-    out.events = snapshotEvents(exp.system().processor(0));
-
-    if (req.fullStats) {
-        std::ostringstream ss;
-        exp.system().rootStats().dumpJson(ss);
-        out.statsJson = ss.str();
-    }
+    harvest(&out, exp, proc.process, w, req, outcome,
+            std::chrono::duration<double>(t1 - t0).count());
     return out;
 }
 

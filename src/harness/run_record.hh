@@ -63,6 +63,21 @@ struct RunRequest {
     bool hostLine = true;
     /** Capture a full stats::StatGroup JSON dump into the record. */
     bool fullStats = false;
+
+    // Snapshot plumbing (src/snapshot/) -------------------------------
+
+    /** Restore the machine from this image instead of booting cold;
+     *  the run continues from the archived tick. The image's config
+     *  hash must match this request (fail-closed SnapshotError
+     *  otherwise). Empty = cold boot. */
+    std::string snapshotIn;
+    /** After warmupTicks, archive the machine here, then keep running
+     *  to completion — so a save leg's RunRecord stays byte-identical
+     *  to an uninterrupted run's. Empty = never save. */
+    std::string snapshotOut;
+    /** Simulated ticks to run before saving snapshotOut. The save
+     *  happens at the first snapshot point at or after this tick. */
+    Tick warmupTicks = 0;
 };
 
 /** Everything measured by one run. Simulated fields (status, ticks,
@@ -86,6 +101,10 @@ struct RunRecord {
 
     /** Full root-stats dump (JSON) when RunRequest::fullStats is set. */
     std::string statsJson;
+
+    /** Failure diagnostic (snapshot_error / worker_crashed); never part
+     *  of the deterministic JSON artifacts. */
+    std::string note;
 
     bool completed() const { return status == RunStatus::Completed; }
 

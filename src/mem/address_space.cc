@@ -208,4 +208,47 @@ AddressSpace::pokeWord(VAddr va, Word value, unsigned size)
     poke(va, &value, size);
 }
 
+void
+AddressSpace::snapSave(snap::Serializer &s) const
+{
+    s.u64(regions_.size());
+    for (const auto &[start, region] : regions_) {
+        (void)start;
+        s.u64(region.vma.start);
+        s.u64(region.vma.end);
+        s.b(region.vma.writable);
+        s.str(region.vma.label);
+        s.u64(region.image.size());
+        if (!region.image.empty())
+            s.bytes(region.image.data(), region.image.size());
+    }
+    s.u64(allocCursor_);
+    s.u64(resident_);
+    s.u64(faultsServiced_);
+    table_.snapSave(s);
+}
+
+void
+AddressSpace::snapRestore(snap::Deserializer &d)
+{
+    MISP_ASSERT(regions_.empty()); // restore onto a fresh space only
+    std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Region region;
+        region.vma.start = d.u64();
+        region.vma.end = d.u64();
+        region.vma.writable = d.b();
+        region.vma.label = d.str();
+        region.image.resize(d.u64());
+        if (!region.image.empty())
+            d.bytes(region.image.data(), region.image.size());
+        VAddr start = region.vma.start;
+        regions_.emplace(start, std::move(region));
+    }
+    allocCursor_ = d.u64();
+    resident_ = d.u64();
+    faultsServiced_ = d.u64();
+    table_.snapRestore(d);
+}
+
 } // namespace misp::mem

@@ -23,6 +23,7 @@
 #include "mem/paging.hh"
 #include "mem/physical_memory.hh"
 #include "sim/types.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::mem {
 
@@ -61,7 +62,7 @@ enum class FaultOutcome {
  * sequencers of a processor pointing their MMUs at this object's page
  * table root while the owning thread is scheduled.
  */
-class AddressSpace
+class AddressSpace : public snap::Saveable
 {
   public:
     AddressSpace(std::string name, PhysicalMemory &pmem);
@@ -127,6 +128,13 @@ class AddressSpace
 
     std::uint64_t residentPages() const { return resident_; }
     std::uint64_t faultsServiced() const { return faultsServiced_; }
+
+    /** Snapshot: VMAs with their backing images, the allocation
+     *  cursor, paging counters, and the page table. The decode cache
+     *  is derived state (predecoded guest memory) and stays out of the
+     *  image; it repopulates lazily and identically after restore. */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
 
   private:
     struct Region {

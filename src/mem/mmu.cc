@@ -36,6 +36,29 @@ Mmu::setAddressSpace(AddressSpace *as, bool preserveTlb)
         tlb_.flushAll();
 }
 
+void
+Mmu::snapSave(snap::Serializer &s) const
+{
+    s.u64(asGen_);
+    tlb_.snapSave(s);
+}
+
+void
+Mmu::snapRestore(snap::Deserializer &d)
+{
+    asGen_ = d.u64();
+    tlb_.snapRestore(d);
+    lastFetch_ = LastFetch{};
+}
+
+void
+Mmu::snapAttach(AddressSpace *as)
+{
+    as_ = as;
+    lastAsId_ = as ? as->id() : 0;
+    lastFetch_.tlbStamp = 0;
+}
+
 AccessResult
 Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
                PAddr *paOut, Tlb::EntryRef *refOut)

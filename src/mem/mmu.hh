@@ -57,7 +57,7 @@ struct FetchResult {
 };
 
 /** Per-sequencer MMU. */
-class Mmu
+class Mmu : public snap::Saveable
 {
   public:
     Mmu(std::string name, PhysicalMemory &pmem, stats::StatGroup *parent);
@@ -114,6 +114,19 @@ class Mmu
     {
         return static_cast<std::uint64_t>(walks_.value());
     }
+
+    /** Snapshot: the address-space generation and the TLB. The
+     *  one-entry last-fetch cache is derived (revalidated against the
+     *  TLB stamp) and resets cold on restore with identical modeled
+     *  cycles and counters. */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
+
+    /** Restore-path companion to snapRestore: point at the rebuilt
+     *  address space WITHOUT the architectural CR3-purge of
+     *  setAddressSpace() — the TLB content being restored belongs to
+     *  exactly this space. */
+    void snapAttach(AddressSpace *as);
 
   private:
     AddressSpace *as_ = nullptr;

@@ -44,6 +44,53 @@ PageTable::map(VAddr va, std::uint64_t frame, bool writable, bool user)
     pte.frame = frame;
 }
 
+void
+PageTable::snapSave(snap::Serializer &s) const
+{
+    s.u64(mapped_);
+    for (std::size_t dir = 0; dir < kDirEntries; ++dir) {
+        const auto &leaf = dir_[dir];
+        if (!leaf)
+            continue;
+        for (std::size_t tbl = 0; tbl < kTblEntries; ++tbl) {
+            const Pte &pte = (*leaf)[tbl];
+            if (!pte.present)
+                continue;
+            VAddr va = (static_cast<VAddr>(dir) << (kPageShift + kTblBits)) |
+                       (static_cast<VAddr>(tbl) << kPageShift);
+            s.u64(va);
+            s.b(pte.writable);
+            s.b(pte.user);
+            s.b(pte.accessed);
+            s.b(pte.dirty);
+            s.u64(pte.frame);
+        }
+    }
+}
+
+void
+PageTable::snapRestore(snap::Deserializer &d)
+{
+    std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        VAddr va = d.u64();
+        auto &leaf = dir_[dirIndex(va)];
+        if (!leaf)
+            leaf = std::make_unique<Leaf>();
+        Pte &pte = (*leaf)[tblIndex(va)];
+        if (pte.present)
+            throw snap::SnapError("page table: duplicate mapping in "
+                                  "image");
+        pte.present = true;
+        pte.writable = d.b();
+        pte.user = d.b();
+        pte.accessed = d.b();
+        pte.dirty = d.b();
+        pte.frame = d.u64();
+        ++mapped_;
+    }
+}
+
 Pte
 PageTable::unmap(VAddr va)
 {

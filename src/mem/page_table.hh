@@ -19,6 +19,7 @@
 
 #include "mem/paging.hh"
 #include "sim/logging.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::mem {
 
@@ -28,7 +29,7 @@ using PageTableRoot = std::uint64_t;
 constexpr PageTableRoot kNullRoot = 0;
 
 /** Classic two-level page table. */
-class PageTable
+class PageTable : public snap::Saveable
 {
   public:
     PageTable();
@@ -60,6 +61,13 @@ class PageTable
     /** Simulated cost of one hardware page walk, in cycles. Two levels
      *  at DRAM-ish latency each. */
     static constexpr Cycles kWalkCycles = 40;
+
+    /** Snapshot: present mappings with their accessed/dirty bits. The
+     *  root token is NOT archived — a restored table gets a fresh
+     *  unique token, which preserves every equality relation the model
+     *  compares (injective both before and after). */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
 
   private:
     static constexpr unsigned kDirBits = 10;

@@ -1,5 +1,7 @@
 #include "physical_memory.hh"
 
+#include <algorithm>
+
 namespace misp::mem {
 
 PhysicalMemory::PhysicalMemory(std::uint64_t frames,
@@ -116,6 +118,49 @@ PhysicalMemory::writeBytes(PAddr addr, const void *src, std::uint64_t len)
         addr += chunk;
         in += chunk;
         len -= chunk;
+    }
+}
+
+void
+PhysicalMemory::snapSave(snap::Serializer &s) const
+{
+    s.u64(frames_);
+    s.u64(used_);
+    s.u64(nextFresh_);
+    s.u64(freeList_.size());
+    for (std::uint64_t f : freeList_)
+        s.u64(f);
+    std::vector<std::uint64_t> frames;
+    frames.reserve(store_.size());
+    for (const auto &[frame, bytes] : store_) {
+        (void)bytes;
+        frames.push_back(frame);
+    }
+    std::sort(frames.begin(), frames.end());
+    s.u64(frames.size());
+    for (std::uint64_t f : frames) {
+        s.u64(f);
+        s.bytes(store_.at(f).data(), kPageSize);
+    }
+}
+
+void
+PhysicalMemory::snapRestore(snap::Deserializer &d)
+{
+    if (d.u64() != frames_)
+        throw snap::SnapError("physmem: capacity mismatch");
+    used_ = d.u64();
+    nextFresh_ = d.u64();
+    freeList_.resize(d.u64());
+    for (std::uint64_t &f : freeList_)
+        f = d.u64();
+    store_.clear();
+    std::uint64_t count = d.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+        std::uint64_t frame = d.u64();
+        std::vector<std::uint8_t> bytes(kPageSize);
+        d.bytes(bytes.data(), kPageSize);
+        store_.emplace(frame, std::move(bytes));
     }
 }
 

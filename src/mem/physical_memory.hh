@@ -20,11 +20,12 @@
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::mem {
 
 /** Byte-addressable sparse physical memory. */
-class PhysicalMemory
+class PhysicalMemory : public snap::Saveable
 {
   public:
     /**
@@ -53,6 +54,12 @@ class PhysicalMemory
     /** Bulk copy helpers for loaders and the proxy save/restore paths. */
     void readBytes(PAddr addr, void *dst, std::uint64_t len) const;
     void writeBytes(PAddr addr, const void *src, std::uint64_t len);
+
+    /** Snapshot the allocator state and every materialized frame
+     *  (frames are emitted in ascending order, so images of identical
+     *  machine states are byte-identical). */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
 
   private:
     const std::uint8_t *framePtr(std::uint64_t frame) const;

@@ -133,4 +133,48 @@ Tlb::size() const
     return n;
 }
 
+void
+Tlb::snapSave(snap::Serializer &s) const
+{
+    s.u64(slots_.size());
+    for (const Entry &e : slots_) {
+        s.u64(e.vpn);
+        s.b(e.pte.present);
+        s.b(e.pte.writable);
+        s.b(e.pte.user);
+        s.b(e.pte.accessed);
+        s.b(e.pte.dirty);
+        s.u64(e.pte.frame);
+        s.b(e.valid);
+        s.b(e.used);
+    }
+    s.u64(hand_.size());
+    for (std::uint8_t h : hand_)
+        s.u8(h);
+    s.u64(stamp_);
+}
+
+void
+Tlb::snapRestore(snap::Deserializer &d)
+{
+    if (d.u64() != slots_.size())
+        throw snap::SnapError("tlb: geometry mismatch");
+    for (Entry &e : slots_) {
+        e.vpn = d.u64();
+        e.pte.present = d.b();
+        e.pte.writable = d.b();
+        e.pte.user = d.b();
+        e.pte.accessed = d.b();
+        e.pte.dirty = d.b();
+        e.pte.frame = d.u64();
+        e.valid = d.b();
+        e.used = d.b();
+    }
+    if (d.u64() != hand_.size())
+        throw snap::SnapError("tlb: set-count mismatch");
+    for (std::uint8_t &h : hand_)
+        h = d.u8();
+    stamp_ = d.u64();
+}
+
 } // namespace misp::mem

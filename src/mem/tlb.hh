@@ -34,11 +34,12 @@
 #include "mem/paging.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::mem {
 
 /** Set-associative TLB with clock pseudo-LRU replacement. */
-class Tlb
+class Tlb : public snap::Saveable
 {
   public:
     struct Entry {
@@ -105,6 +106,12 @@ class Tlb
     }
 
     static constexpr std::size_t kWays = 4;
+
+    /** Snapshot the full replacement state (entries, reference bits,
+     *  clock hands, content stamp) — TLB residency decides future
+     *  hit/miss cycles, so it is architectural for determinism. */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
 
   private:
     std::size_t setIndex(std::uint64_t vpn) const

@@ -2,6 +2,8 @@
 
 #include <optional>
 
+#include "snapshot/state_io.hh"
+
 namespace misp::arch {
 
 using cpu::SeqState;
@@ -42,7 +44,7 @@ MispProcessor::MispProcessor(std::string name, const MispConfig &config,
       kernel_(kernel),
       cpuId_(kernel.addCpu()),
       statGroup_(name_, parent),
-      fabric_(eq, config.signalCycles, &statGroup_),
+      fabric_(eq, config.signalCycles, &statGroup_, cpuId_),
       events_(&statGroup_, "serializingEvents",
               "Table-1 event counts by cause",
               static_cast<std::size_t>(Ring0Cause::NumCauses)),
@@ -71,9 +73,22 @@ MispProcessor::MispProcessor(std::string name, const MispConfig &config,
         ams_.back()->setSliceLimit(config_.sliceLimit);
         ams_.back()->setDecodeCache(config_.decodeCache);
     }
+    timerEvent_ = std::make_unique<LambdaEvent>(name_ + ".timer",
+                                                [this] { onTimer(); });
+    deviceEvent_ = std::make_unique<LambdaEvent>(
+        name_ + ".deviceIrq", [this] { onDeviceIrq(); });
 }
 
-MispProcessor::~MispProcessor() = default;
+MispProcessor::~MispProcessor()
+{
+    // A run cut short (tick budget, snapshot save-and-exit) leaves the
+    // periodic interrupts armed; detach them before the queue sees a
+    // destroyed event.
+    if (timerEvent_->scheduled())
+        eq_.deschedule(timerEvent_.get());
+    if (deviceEvent_->scheduled())
+        eq_.deschedule(deviceEvent_.get());
+}
 
 cpu::Sequencer *
 MispProcessor::sequencer(SequencerId sid)
@@ -96,6 +111,55 @@ MispProcessor::eventCount(Ring0Cause cause) const
 {
     return static_cast<std::uint64_t>(
         events_.at(static_cast<std::size_t>(cause)));
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+void
+MispProcessor::snapSave(snap::Serializer &s) const
+{
+    // Ring-0 episode phases capture arbitrary closures; the snapshot
+    // layer steps the queue past them before calling us.
+    MISP_ASSERT(!inRing0_);
+    s.b(interruptsOn_);
+    s.u64(proxyQueue_.size());
+    for (const ProxyRequest &req : proxyQueue_) {
+        s.u64(req.ams->sid());
+        snap::putFault(s, req.fault);
+        snap::putContext(s, req.savedCtx);
+        s.u64(req.start);
+    }
+    snap::putEventSchedule(s, timerEvent_.get());
+    snap::putEventSchedule(s, deviceEvent_.get());
+    oms_->snapSave(s);
+    for (const auto &ams : ams_)
+        ams->snapSave(s);
+}
+
+void
+MispProcessor::snapRestore(snap::Deserializer &d)
+{
+    interruptsOn_ = d.b();
+    std::uint64_t pending = d.u64();
+    for (std::uint64_t i = 0; i < pending; ++i) {
+        ProxyRequest req;
+        SequencerId sid = static_cast<SequencerId>(d.u64());
+        req.ams = sequencer(sid);
+        if (!req.ams)
+            throw snap::SnapError("processor: proxy request names an "
+                                  "absent sequencer");
+        req.fault = snap::getFault(d);
+        req.savedCtx = snap::getContext(d);
+        req.start = d.u64();
+        proxyQueue_.push_back(std::move(req));
+    }
+    snap::getEventSchedule(d, eq_, timerEvent_.get());
+    snap::getEventSchedule(d, eq_, deviceEvent_.get());
+    oms_->snapRestore(d);
+    for (auto &ams : ams_)
+        ams->snapRestore(d);
 }
 
 // ---------------------------------------------------------------------
@@ -196,8 +260,7 @@ MispProcessor::startInterrupts()
     // Stagger timer phase per CPU slot so MP configurations do not
     // serialize all processors at the same instant.
     Tick phase = kc.timerPeriod / (1 + static_cast<Tick>(cpuId_) % 7);
-    eq_.scheduleLambda(eq_.curTick() + phase, name_ + ".timer",
-                       [this] { onTimer(); });
+    eq_.schedule(timerEvent_.get(), eq_.curTick() + phase);
     if (kc.deviceIrqMeanPeriod > 0)
         scheduleNextDeviceIrq();
 }
@@ -213,8 +276,8 @@ MispProcessor::onTimer()
 {
     if (!interruptsOn_)
         return;
-    eq_.scheduleLambda(eq_.curTick() + kernel_.config().timerPeriod,
-                       name_ + ".timer", [this] { onTimer(); });
+    eq_.schedule(timerEvent_.get(),
+                 eq_.curTick() + kernel_.config().timerPeriod);
     events_[static_cast<std::size_t>(Ring0Cause::Timer)] += 1;
     if (inRing0_) {
         // Coalesced: the OMS is already serialized in Ring 0. The tick
@@ -232,8 +295,7 @@ MispProcessor::scheduleNextDeviceIrq()
     Tick gap = kernel_.nextDeviceIrqGap();
     if (gap == 0)
         return;
-    eq_.scheduleLambda(eq_.curTick() + gap, name_ + ".deviceIrq",
-                       [this] { onDeviceIrq(); });
+    eq_.schedule(deviceEvent_.get(), eq_.curTick() + gap);
 }
 
 void

@@ -86,7 +86,7 @@ struct ProxyRequest {
  * One MISP processor (1 OMS + N AMS), acting as the SequencerEnv for all
  * of its sequencers and as the CPU driver for one kernel CPU slot.
  */
-class MispProcessor : public cpu::SequencerEnv
+class MispProcessor : public cpu::SequencerEnv, public snap::Saveable
 {
   public:
     MispProcessor(std::string name, const MispConfig &config,
@@ -172,6 +172,19 @@ class MispProcessor : public cpu::SequencerEnv
 
     stats::StatGroup &statGroup() { return statGroup_; }
 
+    // ---- snapshot -------------------------------------------------------
+    /** Snapshot interrupt arming, the proxy queue, the pending timer /
+     *  device-IRQ occurrences, and every sequencer. Must not be called
+     *  mid-Ring-0-episode (the in-flight episode phases capture
+     *  closures); snap::snapshotReady() guards this. */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
+
+    /** Identities of the periodic-interrupt events, for the snapshot
+     *  layer's every-pending-event-is-claimed audit. */
+    const Event *snapTimerEvent() const { return timerEvent_.get(); }
+    const Event *snapDeviceEvent() const { return deviceEvent_.get(); }
+
   private:
     friend class MispSystemTestPeer;
 
@@ -217,6 +230,9 @@ class MispProcessor : public cpu::SequencerEnv
     bool inRing0_ = false;
     bool interruptsOn_ = false;
     std::deque<ProxyRequest> proxyQueue_;
+    /** Owned periodic-interrupt events, rescheduled in place (rather
+     *  than freshly allocated per occurrence) so a pending occurrence
+     *  has a stable identity the snapshot layer can claim. */
     std::unique_ptr<LambdaEvent> timerEvent_;
     std::unique_ptr<LambdaEvent> deviceEvent_;
 

@@ -57,6 +57,7 @@ class MispSystem : public os::KernelClient
     mem::PhysicalMemory &physMem() { return *pmem_; }
     os::Kernel &kernel() { return *kernel_; }
     stats::StatGroup &rootStats() { return root_; }
+    const SystemConfig &config() const { return config_; }
 
     unsigned numProcessors() const
     {

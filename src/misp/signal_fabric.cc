@@ -1,14 +1,36 @@
 #include "signal_fabric.hh"
 
+#include "snapshot/tags.hh"
+
 namespace misp::arch {
 
 SignalFabric::SignalFabric(EventQueue &eq, Cycles signalCycles,
-                           stats::StatGroup *parent)
+                           stats::StatGroup *parent, int ownerCpu)
     : eq_(eq),
       signalCycles_(signalCycles),
+      ownerCpu_(ownerCpu),
       statGroup_("fabric", parent),
       deliveries_(&statGroup_, "deliveries", "signals delivered")
 {}
+
+namespace {
+
+/** Pending deliveries are snapshottable: the closure is rebuilt at
+ *  restore from (owner CPU, target SID, payload). */
+EventTag
+deliveryTag(std::uint32_t kind, int ownerCpu, SequencerId sid,
+            const cpu::SignalPayload &payload)
+{
+    EventTag tag;
+    if (ownerCpu < 0)
+        return tag; // untagged: bare-fabric tests, never snapshotted
+    tag.kind = kind;
+    tag.arg = {static_cast<std::uint64_t>(ownerCpu), sid, payload.eip,
+               payload.esp, payload.arg};
+    return tag;
+}
+
+} // namespace
 
 void
 SignalFabric::sendSignal(cpu::Sequencer &dst,
@@ -18,7 +40,9 @@ SignalFabric::sendSignal(cpu::Sequencer &dst,
     cpu::Sequencer *target = &dst;
     eq_.scheduleLambda(eq_.curTick() + signalCycles_, "fabric.signal",
                        [target, payload] { target->deliverSignal(payload); },
-                       Event::kPrioInterrupt);
+                       Event::kPrioInterrupt,
+                       deliveryTag(snap::tag::kFabricSignal, ownerCpu_,
+                                   dst.sid(), payload));
 }
 
 void
@@ -30,7 +54,9 @@ SignalFabric::sendProxyRequest(cpu::Sequencer &oms,
     eq_.scheduleLambda(
         eq_.curTick() + signalCycles_, "fabric.proxyReq",
         [target, payload] { target->deliverProxyRequest(payload); },
-        Event::kPrioInterrupt);
+        Event::kPrioInterrupt,
+        deliveryTag(snap::tag::kFabricProxyReq, ownerCpu_, oms.sid(),
+                    payload));
 }
 
 void

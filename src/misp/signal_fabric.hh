@@ -24,8 +24,12 @@ namespace misp::arch {
 class SignalFabric
 {
   public:
+    /** @p ownerCpu is the kernel CPU slot of the owning processor's
+     *  OMS; it keys the snapshot tags on signal-delivery events so a
+     *  pending delivery can be re-targeted after a machine-state
+     *  restore. -1 (tests driving a bare fabric) disables tagging. */
     SignalFabric(EventQueue &eq, Cycles signalCycles,
-                 stats::StatGroup *parent);
+                 stats::StatGroup *parent, int ownerCpu = -1);
 
     Cycles signalCycles() const { return signalCycles_; }
     void setSignalCycles(Cycles c) { signalCycles_ = c; }
@@ -50,6 +54,7 @@ class SignalFabric
   private:
     EventQueue &eq_;
     Cycles signalCycles_;
+    int ownerCpu_;
 
     stats::StatGroup statGroup_;
     stats::Scalar deliveries_;

@@ -2,6 +2,9 @@
 
 #include <cmath>
 
+#include "snapshot/state_io.hh"
+#include "snapshot/tags.hh"
+
 namespace misp::os {
 
 const char *
@@ -116,6 +119,193 @@ bool
 Kernel::processAlive(const Process *proc) const
 {
     return proc && !proc->allThreadsDone();
+}
+
+Process *
+Kernel::processByPid(Pid pid) const
+{
+    for (const auto &p : processes_) {
+        if (p->pid() == pid)
+            return p.get();
+    }
+    return nullptr;
+}
+
+OsThread *
+Kernel::threadByTid(Tid tid) const
+{
+    for (const auto &t : threads_) {
+        if (t->tid() == tid)
+            return t.get();
+    }
+    return nullptr;
+}
+
+void
+Kernel::snapSave(snap::Serializer &s) const
+{
+    s.u64(nextPid_);
+    s.u64(nextTid_);
+    for (std::uint64_t w : rng_.state())
+        s.u64(w);
+
+    s.u64(processes_.size());
+    for (const auto &p : processes_) {
+        s.u64(p->pid());
+        s.str(p->name());
+        s.b(p->exited);
+        s.u64(p->exitCode);
+        p->addressSpace().snapSave(s);
+    }
+
+    s.u64(threads_.size());
+    for (const auto &t : threads_) {
+        s.u64(t->tid());
+        s.u64(t->process()->pid());
+        s.u8(static_cast<std::uint8_t>(t->state()));
+        snap::putContext(s, t->context());
+        const auto &save = t->amsSaveArea();
+        s.u64(save.size());
+        for (const cpu::SequencerContext &ctx : save)
+            snap::putContext(s, ctx);
+        s.i64(t->cpu());
+        s.u32(t->quantumTicks);
+        s.u64(t->affinity.size());
+        for (int cpu : t->affinity)
+            s.i64(cpu);
+    }
+
+    s.u64(ready_.size());
+    for (const OsThread *t : ready_)
+        s.u64(t->tid());
+
+    s.u64(current_.size());
+    for (const OsThread *t : current_)
+        s.u64(t ? t->tid() : 0);
+
+    s.u64(futexQueues_.size());
+    for (const auto &[key, queue] : futexQueues_) {
+        s.u64(key.pid);
+        s.u64(key.addr);
+        s.u64(queue.size());
+        for (const OsThread *t : queue)
+            s.u64(t->tid());
+    }
+
+    s.u64(joiners_.size());
+    for (const auto &[target, waiters] : joiners_) {
+        s.u64(target);
+        s.u64(waiters.size());
+        for (const OsThread *t : waiters)
+            s.u64(t->tid());
+    }
+}
+
+void
+Kernel::snapRestore(snap::Deserializer &d)
+{
+    MISP_ASSERT(processes_.empty() && threads_.empty());
+    nextPid_ = static_cast<Pid>(d.u64());
+    nextTid_ = static_cast<Tid>(d.u64());
+    std::array<std::uint64_t, 4> rng;
+    for (std::uint64_t &w : rng)
+        w = d.u64();
+    rng_.setState(rng);
+
+    std::uint64_t nProcs = d.u64();
+    for (std::uint64_t i = 0; i < nProcs; ++i) {
+        Pid pid = static_cast<Pid>(d.u64());
+        std::string name = d.str();
+        processes_.push_back(
+            std::make_unique<Process>(pid, name, pmem_));
+        Process *p = processes_.back().get();
+        p->exited = d.b();
+        p->exitCode = d.u64();
+        p->addressSpace().snapRestore(d);
+    }
+
+    auto thread = [this](Tid tid) -> OsThread * {
+        OsThread *t = threadByTid(tid);
+        if (!t)
+            throw snap::SnapError("kernel: unknown tid in image");
+        return t;
+    };
+
+    std::uint64_t nThreads = d.u64();
+    for (std::uint64_t i = 0; i < nThreads; ++i) {
+        Tid tid = static_cast<Tid>(d.u64());
+        Process *proc = processByPid(static_cast<Pid>(d.u64()));
+        if (!proc)
+            throw snap::SnapError("kernel: thread names an unknown pid");
+        threads_.push_back(
+            std::make_unique<OsThread>(tid, proc, 0, 0, 0));
+        OsThread *t = threads_.back().get();
+        proc->addThread(t);
+        t->setState(static_cast<ThreadState>(d.u8()));
+        t->context() = snap::getContext(d);
+        auto &save = t->amsSaveArea();
+        save.resize(d.u64());
+        for (cpu::SequencerContext &ctx : save)
+            ctx = snap::getContext(d);
+        t->setCpu(static_cast<int>(d.i64()));
+        t->quantumTicks = d.u32();
+        t->affinity.resize(d.u64());
+        for (int &cpu : t->affinity)
+            cpu = static_cast<int>(d.i64());
+    }
+
+    std::uint64_t nReady = d.u64();
+    for (std::uint64_t i = 0; i < nReady; ++i)
+        ready_.push_back(thread(static_cast<Tid>(d.u64())));
+
+    std::uint64_t nCpus = d.u64();
+    if (nCpus != current_.size())
+        throw snap::SnapError("kernel: CPU count mismatch");
+    for (OsThread *&cur : current_) {
+        Tid tid = static_cast<Tid>(d.u64());
+        cur = tid ? thread(tid) : nullptr;
+    }
+
+    std::uint64_t nFutex = d.u64();
+    for (std::uint64_t i = 0; i < nFutex; ++i) {
+        FutexKey key;
+        key.pid = static_cast<Pid>(d.u64());
+        key.addr = d.u64();
+        std::deque<OsThread *> queue;
+        std::uint64_t n = d.u64();
+        for (std::uint64_t k = 0; k < n; ++k)
+            queue.push_back(thread(static_cast<Tid>(d.u64())));
+        futexQueues_.emplace(key, std::move(queue));
+    }
+
+    std::uint64_t nJoin = d.u64();
+    for (std::uint64_t i = 0; i < nJoin; ++i) {
+        Tid target = static_cast<Tid>(d.u64());
+        std::vector<OsThread *> waiters;
+        std::uint64_t n = d.u64();
+        for (std::uint64_t k = 0; k < n; ++k)
+            waiters.push_back(thread(static_cast<Tid>(d.u64())));
+        joiners_.emplace(target, std::move(waiters));
+    }
+}
+
+void
+Kernel::snapRestoreSleepWake(Tid tid, Tick when, std::uint64_t seq)
+{
+    OsThread *tp = threadByTid(tid);
+    if (!tp)
+        throw snap::SnapError("kernel: sleep wakeup names an unknown tid");
+    snap::checkEventSchedule(eq_, when, seq);
+    EventTag tag;
+    tag.kind = snap::tag::kKernelSleepWake;
+    tag.arg[0] = tid;
+    eq_.restoreLambda(
+        when, seq, "kernel.sleepWake",
+        [this, tp] {
+            if (tp->state() == ThreadState::Blocked)
+                makeReady(tp);
+        },
+        Event::kPrioDefault, tag);
 }
 
 void
@@ -239,10 +429,16 @@ Kernel::syscall(int cpu, OsThread &t, Word number,
         current_[cpu] = nullptr;
         t.setCpu(-1);
         OsThread *tp = &t;
-        eq_.scheduleLambda(wake, "kernel.sleepWake", [this, tp] {
-            if (tp->state() == ThreadState::Blocked)
-                makeReady(tp);
-        });
+        EventTag tag;
+        tag.kind = snap::tag::kKernelSleepWake;
+        tag.arg[0] = tp->tid();
+        eq_.scheduleLambda(
+            wake, "kernel.sleepWake",
+            [this, tp] {
+                if (tp->state() == ThreadState::Blocked)
+                    makeReady(tp);
+            },
+            Event::kPrioDefault, tag);
         res.reschedule = true;
         res.prev = tp;
         res.next = pickNext(cpu);

@@ -35,6 +35,7 @@
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/stats.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::os {
 
@@ -89,7 +90,7 @@ class KernelClient
 };
 
 /** The OS model. */
-class Kernel
+class Kernel : public snap::Saveable
 {
   public:
     Kernel(EventQueue &eq, mem::PhysicalMemory &pmem,
@@ -122,6 +123,10 @@ class Kernel
     /** True while any thread of @p proc has not exited. */
     bool processAlive(const Process *proc) const;
 
+    /** Lookup by stable identity (snapshot restore, harness targets). */
+    Process *processByPid(Pid pid) const;
+    OsThread *threadByTid(Tid tid) const;
+
     // ---- kernel entry points (driver calls these) ----------------------
     KernelResult syscall(int cpu, OsThread &t, Word number,
                          const std::array<Word, 4> &args);
@@ -146,6 +151,18 @@ class Kernel
     }
 
     stats::StatGroup &statGroup() { return statGroup_; }
+
+    // ---- snapshot -------------------------------------------------------
+    /** Snapshot processes (including their address spaces and page
+     *  tables), threads, the scheduler queues, futex/join wait queues,
+     *  and the device-IRQ RNG. Pending sleep wakeups are tagged events
+     *  restored by snapRestoreSleepWake(). */
+    void snapSave(snap::Serializer &s) const override;
+    void snapRestore(snap::Deserializer &d) override;
+
+    /** Re-create one pending Sys::Sleep wakeup with its original
+     *  delivery tick and queue insertion sequence. */
+    void snapRestoreSleepWake(Tid tid, Tick when, std::uint64_t seq);
 
   private:
     struct FutexKey {

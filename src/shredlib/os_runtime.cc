@@ -1,5 +1,7 @@
 #include "os_runtime.hh"
 
+#include <algorithm>
+
 namespace misp::rt {
 
 using cpu::Sequencer;
@@ -372,6 +374,95 @@ OsApiRuntime::rtcall(MispProcessor &proc, Sequencer &seq, Word service)
         warn("osrt: unexpected RTCALL %llu",
              (unsigned long long)service);
         return 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+void
+OsApiRuntime::snapSave(snap::Serializer &s) const
+{
+    std::vector<const Group *> ordered;
+    ordered.reserve(groups_.size());
+    for (const auto &[process, group] : groups_) {
+        (void)process;
+        ordered.push_back(group.get());
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Group *a, const Group *b) {
+                  return a->process->pid() < b->process->pid();
+              });
+
+    s.u64(ordered.size());
+    for (const Group *g : ordered) {
+        s.u64(g->process->pid());
+        s.u64(g->main->tid());
+        s.u64(g->waiters.size());
+        for (const auto &[addr, count] : g->waiters) {
+            s.u64(addr);
+            s.i64(count);
+        }
+        s.u64(g->barrierArrived.size());
+        for (const auto &[addr, arrived] : g->barrierArrived) {
+            s.u64(addr);
+            s.u32(arrived);
+        }
+        s.u64(g->mutexWaiting.size());
+        for (const auto &[tid, addr] : g->mutexWaiting) {
+            s.u64(tid);
+            s.u64(addr);
+        }
+        s.u64(g->condWaiting.size());
+        for (const auto &[tid, st] : g->condWaiting) {
+            s.u64(tid);
+            s.u8(static_cast<std::uint8_t>(st.phase));
+            s.u64(st.genAtWait);
+        }
+    }
+}
+
+void
+OsApiRuntime::snapRestore(snap::Deserializer &d, arch::MispSystem &sys)
+{
+    MISP_ASSERT(groups_.empty());
+    std::uint64_t nGroups = d.u64();
+    for (std::uint64_t i = 0; i < nGroups; ++i) {
+        auto group = std::make_unique<Group>();
+        group->process = sys.kernel().processByPid(static_cast<Pid>(d.u64()));
+        if (!group->process)
+            throw snap::SnapError("osrt: group names an unknown pid");
+        group->main = sys.kernel().threadByTid(static_cast<Tid>(d.u64()));
+        if (!group->main)
+            throw snap::SnapError("osrt: group names an unknown tid");
+
+        std::uint64_t nWaiters = d.u64();
+        for (std::uint64_t k = 0; k < nWaiters; ++k) {
+            VAddr addr = d.u64();
+            group->waiters[addr] = static_cast<int>(d.i64());
+        }
+        std::uint64_t nBar = d.u64();
+        for (std::uint64_t k = 0; k < nBar; ++k) {
+            VAddr addr = d.u64();
+            group->barrierArrived[addr] = d.u32();
+        }
+        std::uint64_t nMutex = d.u64();
+        for (std::uint64_t k = 0; k < nMutex; ++k) {
+            Tid tid = static_cast<Tid>(d.u64());
+            group->mutexWaiting[tid] = d.u64();
+        }
+        std::uint64_t nCond = d.u64();
+        for (std::uint64_t k = 0; k < nCond; ++k) {
+            Tid tid = static_cast<Tid>(d.u64());
+            CondState st;
+            st.phase = static_cast<CondPhase>(d.u8());
+            st.genAtWait = d.u64();
+            group->condWaiting.emplace(tid, st);
+        }
+
+        os::Process *p = group->process;
+        groups_.emplace(p, std::move(group));
     }
 }
 

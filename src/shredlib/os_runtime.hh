@@ -27,9 +27,11 @@
 #include <unordered_map>
 
 #include "misp/misp_processor.hh"
+#include "misp/misp_system.hh"
 #include "shredlib/rt_abi.hh"
 #include "shredlib/stub_library.hh"
 #include "sim/stats.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::rt {
 
@@ -52,6 +54,13 @@ class OsApiRuntime : public arch::RtHandler
     {
         return static_cast<std::uint64_t>(threadsSpawned_.value());
     }
+
+    // ---- snapshot ------------------------------------------------------
+    /** Snapshot the per-process groups: futex-waiter mirrors, barrier
+     *  arrival counts, and the mutex/cond blocking phase machines
+     *  (keyed by pid in the image, emitted in pid order). */
+    void snapSave(snap::Serializer &s) const;
+    void snapRestore(snap::Deserializer &d, arch::MispSystem &sys);
 
   private:
     /** Condition-wait phase machine state (per thread). */

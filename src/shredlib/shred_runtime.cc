@@ -1,5 +1,9 @@
 #include "shred_runtime.hh"
 
+#include <algorithm>
+
+#include "snapshot/state_io.hh"
+
 namespace misp::rt {
 
 using cpu::SeqState;
@@ -575,6 +579,207 @@ ShredRuntime::rtcall(MispProcessor &proc, Sequencer &seq, Word service)
         warn("shredlib: unknown RTCALL %llu",
              (unsigned long long)service);
         return 0;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+namespace {
+
+template <typename Seq>
+void
+putIds(snap::Serializer &s, const Seq &ids)
+{
+    s.u64(ids.size());
+    for (ShredId id : ids)
+        s.u64(id);
+}
+
+template <typename Seq>
+void
+getIds(snap::Deserializer &d, Seq *ids)
+{
+    ids->resize(d.u64());
+    for (ShredId &id : *ids)
+        id = static_cast<ShredId>(d.u64());
+}
+
+} // namespace
+
+void
+ShredRuntime::snapSave(snap::Serializer &s) const
+{
+    std::vector<const Gang *> ordered;
+    ordered.reserve(gangs_.size());
+    for (const auto &[thread, gang] : gangs_) {
+        (void)thread;
+        ordered.push_back(gang.get());
+    }
+    std::sort(ordered.begin(), ordered.end(),
+              [](const Gang *a, const Gang *b) {
+                  return a->thread->tid() < b->thread->tid();
+              });
+
+    s.u64(ordered.size());
+    for (const Gang *g : ordered) {
+        s.u64(g->thread->tid());
+        s.i64(g->proc ? g->proc->cpuId() : -1);
+
+        std::vector<ShredId> shredIds;
+        shredIds.reserve(g->shreds.size());
+        for (const auto &[id, sh] : g->shreds) {
+            (void)sh;
+            shredIds.push_back(id);
+        }
+        std::sort(shredIds.begin(), shredIds.end());
+        s.u64(shredIds.size());
+        for (ShredId id : shredIds) {
+            const Shred &sh = g->shreds.at(id);
+            s.u64(sh.id);
+            s.u64(sh.fn);
+            s.u64(sh.arg);
+            s.u64(sh.stackTop);
+            s.u8(static_cast<std::uint8_t>(sh.state));
+            snap::putContext(s, sh.ctx);
+        }
+
+        putIds(s, g->ready);
+        s.u64(g->nextId);
+        s.u32(g->outstanding);
+        s.b(g->mainWaiting);
+
+        std::vector<std::pair<SequencerId, ShredId>> running(
+            g->runningOn.begin(), g->runningOn.end());
+        std::sort(running.begin(), running.end());
+        s.u64(running.size());
+        for (const auto &[sid, id] : running) {
+            s.u64(sid);
+            s.u64(id);
+        }
+
+        s.u64(g->wakesInFlight.size());
+        for (SequencerId sid : g->wakesInFlight) // std::set: sorted
+            s.u64(sid);
+
+        s.u64(g->mutexes.size());
+        for (const auto &[addr, m] : g->mutexes) {
+            s.u64(addr);
+            s.b(m.locked);
+            s.u64(m.owner);
+            putIds(s, m.waiters);
+        }
+        s.u64(g->barriers.size());
+        for (const auto &[addr, bar] : g->barriers) {
+            s.u64(addr);
+            s.u32(bar.arrived);
+            putIds(s, bar.waiting);
+        }
+        s.u64(g->sems.size());
+        for (const auto &[addr, sem] : g->sems) {
+            s.u64(addr);
+            s.i64(sem.value);
+            s.b(sem.initialized);
+            putIds(s, sem.waiters);
+        }
+        s.u64(g->conds.size());
+        for (const auto &[addr, cond] : g->conds) {
+            s.u64(addr);
+            putIds(s, cond.waiters);
+        }
+        s.u64(g->events.size());
+        for (const auto &[addr, ev] : g->events) {
+            s.u64(addr);
+            s.b(ev.set);
+            s.b(ev.initialized);
+            putIds(s, ev.waiters);
+        }
+    }
+}
+
+void
+ShredRuntime::snapRestore(snap::Deserializer &d, arch::MispSystem &sys)
+{
+    MISP_ASSERT(gangs_.empty());
+    std::uint64_t nGangs = d.u64();
+    for (std::uint64_t i = 0; i < nGangs; ++i) {
+        auto gang = std::make_unique<Gang>();
+        Tid tid = static_cast<Tid>(d.u64());
+        gang->thread = sys.kernel().threadByTid(tid);
+        if (!gang->thread)
+            throw snap::SnapError("shredlib: gang names an unknown tid");
+        int cpu = static_cast<int>(d.i64());
+        gang->proc = cpu >= 0 ? sys.processorForCpu(cpu) : nullptr;
+
+        std::uint64_t nShreds = d.u64();
+        for (std::uint64_t k = 0; k < nShreds; ++k) {
+            Shred sh;
+            sh.id = static_cast<ShredId>(d.u64());
+            sh.fn = d.u64();
+            sh.arg = d.u64();
+            sh.stackTop = d.u64();
+            sh.state = static_cast<ShredState>(d.u8());
+            sh.ctx = snap::getContext(d);
+            ShredId id = sh.id;
+            gang->shreds.emplace(id, sh);
+        }
+
+        getIds(d, &gang->ready);
+        gang->nextId = static_cast<ShredId>(d.u64());
+        gang->outstanding = d.u32();
+        gang->mainWaiting = d.b();
+
+        std::uint64_t nRunning = d.u64();
+        for (std::uint64_t k = 0; k < nRunning; ++k) {
+            SequencerId sid = static_cast<SequencerId>(d.u64());
+            gang->runningOn[sid] = static_cast<ShredId>(d.u64());
+        }
+
+        std::uint64_t nWakes = d.u64();
+        for (std::uint64_t k = 0; k < nWakes; ++k)
+            gang->wakesInFlight.insert(static_cast<SequencerId>(d.u64()));
+
+        std::uint64_t nMutex = d.u64();
+        for (std::uint64_t k = 0; k < nMutex; ++k) {
+            VAddr addr = d.u64();
+            MutexObj &m = gang->mutexes[addr];
+            m.locked = d.b();
+            m.owner = static_cast<ShredId>(d.u64());
+            getIds(d, &m.waiters);
+        }
+        std::uint64_t nBar = d.u64();
+        for (std::uint64_t k = 0; k < nBar; ++k) {
+            VAddr addr = d.u64();
+            BarrierObj &bar = gang->barriers[addr];
+            bar.arrived = d.u32();
+            getIds(d, &bar.waiting);
+        }
+        std::uint64_t nSem = d.u64();
+        for (std::uint64_t k = 0; k < nSem; ++k) {
+            VAddr addr = d.u64();
+            SemObj &sem = gang->sems[addr];
+            sem.value = static_cast<SWord>(d.i64());
+            sem.initialized = d.b();
+            getIds(d, &sem.waiters);
+        }
+        std::uint64_t nCond = d.u64();
+        for (std::uint64_t k = 0; k < nCond; ++k) {
+            VAddr addr = d.u64();
+            getIds(d, &gang->conds[addr].waiters);
+        }
+        std::uint64_t nEv = d.u64();
+        for (std::uint64_t k = 0; k < nEv; ++k) {
+            VAddr addr = d.u64();
+            EventObj &ev = gang->events[addr];
+            ev.set = d.b();
+            ev.initialized = d.b();
+            getIds(d, &ev.waiters);
+        }
+
+        os::OsThread *t = gang->thread;
+        t->setRuntimeData(gang.get());
+        gangs_.emplace(t, std::move(gang));
     }
 }
 

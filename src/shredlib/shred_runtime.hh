@@ -32,9 +32,11 @@
 #include <vector>
 
 #include "misp/misp_processor.hh"
+#include "misp/misp_system.hh"
 #include "shredlib/rt_abi.hh"
 #include "shredlib/stub_library.hh"
 #include "sim/stats.hh"
+#include "snapshot/serialize.hh"
 
 namespace misp::rt {
 
@@ -70,6 +72,17 @@ class ShredRuntime : public arch::RtHandler
                         os::OsThread &t) override;
     void onThreadUnloading(arch::MispProcessor &proc,
                            os::OsThread &t) override;
+
+    // ---- snapshot ------------------------------------------------------
+    /** Snapshot every gang: shred descriptors and contexts, the shared
+     *  work queue, sequencer->shred bindings, in-flight wakes, and the
+     *  synchronization-object tables. Gangs are keyed by OS-thread tid
+     *  in the image (and emitted in tid order, so identical states
+     *  produce identical bytes). */
+    void snapSave(snap::Serializer &s) const;
+    /** Rebuild the gangs onto the restored kernel threads of @p sys
+     *  (re-establishing OsThread::runtimeData). */
+    void snapRestore(snap::Deserializer &d, arch::MispSystem &sys);
 
     // ---- observability ----------------------------------------------------
     std::uint64_t shredsCreated() const

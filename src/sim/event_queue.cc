@@ -18,6 +18,13 @@ Event::~Event()
 }
 
 void
+EventQueue::push(const Entry &entry)
+{
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), EntryCompare{});
+}
+
+void
 EventQueue::schedule(Event *ev, Tick when)
 {
     MISP_ASSERT(ev != nullptr);
@@ -32,8 +39,34 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->seq_ = nextSeq_++;
     ev->scheduled_ = true;
     ev->squashed_ = false;
-    heap_.push(Entry{when, ev->priority(), ev->seq_, ev});
+    push(Entry{when, ev->priority(), ev->seq_, ev});
     ++live_;
+}
+
+void
+EventQueue::restoreSchedule(Event *ev, Tick when, std::uint64_t seq)
+{
+    MISP_ASSERT(ev != nullptr);
+    MISP_ASSERT(!ev->scheduled_);
+    MISP_ASSERT(when >= curTick_);
+    MISP_ASSERT(seq < nextSeq_);
+
+    ev->when_ = when;
+    ev->seq_ = seq;
+    ev->scheduled_ = true;
+    ev->squashed_ = false;
+    push(Entry{when, ev->priority(), seq, ev});
+    ++live_;
+}
+
+void
+EventQueue::setClock(Tick curTick, std::uint64_t nextSeq,
+                     std::uint64_t numProcessed)
+{
+    MISP_ASSERT(heap_.empty());
+    curTick_ = curTick;
+    nextSeq_ = nextSeq;
+    numProcessed_ = numProcessed;
 }
 
 void
@@ -57,12 +90,38 @@ EventQueue::reschedule(Event *ev, Tick when)
     schedule(ev, when);
 }
 
+void
+EventQueue::forEachScheduled(
+    const std::function<void(const ScheduledInfo &)> &fn) const
+{
+    for (const Entry &entry : heap_) {
+        // Stale entries (squashed, or descheduled-and-rescheduled with
+        // a newer seq) are skipped exactly as popReady() would.
+        if (entry.ev->squashed_ || !entry.ev->scheduled_ ||
+            entry.ev->seq_ != entry.seq) {
+            continue;
+        }
+        ScheduledInfo info;
+        info.ev = entry.ev;
+        info.when = entry.when;
+        info.seq = entry.seq;
+        info.priority = entry.priority;
+        if (const auto *lambda =
+                dynamic_cast<const LambdaEvent *>(entry.ev)) {
+            if (lambda->tag().kind != 0)
+                info.tag = &lambda->tag();
+        }
+        fn(info);
+    }
+}
+
 Event *
 EventQueue::popReady()
 {
     while (!heap_.empty()) {
-        Entry top = heap_.top();
-        heap_.pop();
+        Entry top = heap_.front();
+        std::pop_heap(heap_.begin(), heap_.end(), EntryCompare{});
+        heap_.pop_back();
         // A squashed event, or one that was descheduled and rescheduled
         // (stale seq), is skipped.
         if (top.ev->squashed_ || !top.ev->scheduled_ ||
@@ -95,10 +154,11 @@ EventQueue::run(Tick maxTick, std::uint64_t maxEvents)
     stopRequested_ = false;
     while (!heap_.empty() && !stopRequested_) {
         // Peek: stop before processing events beyond the horizon.
-        Entry top = heap_.top();
+        Entry top = heap_.front();
         if (top.ev->squashed_ || !top.ev->scheduled_ ||
             top.ev->seq_ != top.seq) {
-            heap_.pop();
+            std::pop_heap(heap_.begin(), heap_.end(), EntryCompare{});
+            heap_.pop_back();
             continue;
         }
         if (top.when > maxTick)
@@ -119,14 +179,13 @@ EventQueue::~EventQueue()
     // Drain the heap so owned lambda events are not double-visited, then
     // free everything we own. Non-owned events must have been descheduled
     // by their owners (Event dtor enforces this), so squash the remains.
-    while (!heap_.empty()) {
-        Entry top = heap_.top();
-        heap_.pop();
-        if (top.ev->scheduled_ && top.ev->seq_ == top.seq) {
-            top.ev->squashed_ = true;
-            top.ev->scheduled_ = false;
+    for (const Entry &entry : heap_) {
+        if (entry.ev->scheduled_ && entry.ev->seq_ == entry.seq) {
+            entry.ev->squashed_ = true;
+            entry.ev->scheduled_ = false;
         }
     }
+    heap_.clear();
     for (LambdaEvent *ev : owned_)
         delete ev;
 }

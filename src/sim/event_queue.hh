@@ -12,9 +12,10 @@
 #ifndef MISP_SIM_EVENT_QUEUE_HH
 #define MISP_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,19 @@
 namespace misp {
 
 class EventQueue;
+
+/**
+ * Snapshot identity of a one-shot lambda event. A tagged lambda's
+ * closure can be rebuilt from `kind` plus a few words of data (the tag
+ * registry lives in snapshot/tags.hh), which is what lets a pending
+ * occurrence survive machine-state serialization. kind == 0 marks an
+ * untagged lambda: such an event pending at save time makes the
+ * machine momentarily unsnapshottable.
+ */
+struct EventTag {
+    std::uint32_t kind = 0;
+    std::array<std::uint64_t, 5> arg{};
+};
 
 /**
  * An occurrence scheduled at a future tick.
@@ -65,6 +79,10 @@ class Event
     /** Tick this event is scheduled for (valid only when scheduled()). */
     Tick when() const { return when_; }
 
+    /** Queue insertion sequence number (same-tick, same-priority
+     *  ordering tiebreaker; valid only when scheduled()). */
+    std::uint64_t seq() const { return seq_; }
+
     /** Cancel a pending occurrence without removing it from the queue
      *  structure; the queue skips squashed events when they surface. */
     void squash() { squashed_ = true; }
@@ -85,14 +103,17 @@ class LambdaEvent : public Event
 {
   public:
     LambdaEvent(std::string name, std::function<void()> fn,
-                int priority = kPrioDefault)
-        : Event(std::move(name), priority), fn_(std::move(fn))
+                int priority = kPrioDefault, EventTag tag = EventTag{})
+        : Event(std::move(name), priority), fn_(std::move(fn)), tag_(tag)
     {}
 
     void process() override { fn_(); }
 
+    const EventTag &tag() const { return tag_; }
+
   private:
     std::function<void()> fn_;
+    EventTag tag_;
 };
 
 /**
@@ -118,12 +139,15 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /** Schedule a one-shot heap-allocated callable; the queue owns and
-     *  frees it after it runs (or at shutdown). */
+     *  frees it after it runs (or at shutdown). A non-default @p tag
+     *  makes the pending occurrence snapshottable (see EventTag). */
     void
     scheduleLambda(Tick when, std::string name, std::function<void()> fn,
-                   int priority = Event::kPrioDefault)
+                   int priority = Event::kPrioDefault,
+                   EventTag tag = EventTag{})
     {
-        auto *ev = new LambdaEvent(std::move(name), std::move(fn), priority);
+        auto *ev = new LambdaEvent(std::move(name), std::move(fn),
+                                   priority, tag);
         owned_.push_back(ev);
         schedule(ev, when);
     }
@@ -155,6 +179,51 @@ class EventQueue
     /** Total events processed over the queue's lifetime. */
     std::uint64_t numProcessed() const { return numProcessed_; }
 
+    // ---- snapshot support ----------------------------------------------
+    /** What a scheduled occurrence looks like to the snapshot layer. */
+    struct ScheduledInfo {
+        const Event *ev = nullptr;
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        int priority = 0;
+        /** Non-null when the event is a tagged LambdaEvent. */
+        const EventTag *tag = nullptr;
+    };
+
+    /** Invoke @p fn for every live (scheduled, non-squashed) entry.
+     *  Order is the heap's internal layout — callers that care sort by
+     *  seq. Stale entries (descheduled, rescheduled, squashed) are
+     *  skipped: they carry no simulation state. */
+    void forEachScheduled(
+        const std::function<void(const ScheduledInfo &)> &fn) const;
+
+    /**
+     * Restore-path scheduling: enqueue @p ev at @p when with its
+     * original insertion sequence number, preserving same-tick
+     * same-priority ordering exactly. Only valid after setClock():
+     * @p seq must be below the restored nextSeq and @p when must not
+     * precede the restored current tick.
+     */
+    void restoreSchedule(Event *ev, Tick when, std::uint64_t seq);
+
+    /** restoreSchedule for a one-shot lambda (rebuilt from its tag). */
+    void
+    restoreLambda(Tick when, std::uint64_t seq, std::string name,
+                  std::function<void()> fn, int priority, EventTag tag)
+    {
+        auto *ev = new LambdaEvent(std::move(name), std::move(fn),
+                                   priority, tag);
+        owned_.push_back(ev);
+        restoreSchedule(ev, when, seq);
+    }
+
+    /** Restore the clock state (restore path only; the queue must be
+     *  empty and unused). */
+    void setClock(Tick curTick, std::uint64_t nextSeq,
+                  std::uint64_t numProcessed);
+
+    std::uint64_t nextSeq() const { return nextSeq_; }
+
     ~EventQueue();
 
   private:
@@ -177,9 +246,13 @@ class EventQueue
         }
     };
 
+    void push(const Entry &entry);
     Event *popReady();
 
-    std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap_;
+    /** Binary max-heap under EntryCompare (std::push_heap/pop_heap);
+     *  kept as a plain vector so the snapshot layer can enumerate live
+     *  entries without draining the queue. */
+    std::vector<Entry> heap_;
     std::vector<LambdaEvent *> owned_;
     Tick curTick_ = 0;
     bool stopRequested_ = false;

@@ -12,6 +12,7 @@
 #ifndef MISP_SIM_RANDOM_HH
 #define MISP_SIM_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 
 #include "logging.hh"
@@ -88,6 +89,21 @@ class Rng
 
     /** Bernoulli draw with probability @p p. */
     bool chance(double p) { return real() < p; }
+
+    /** Raw generator state, for machine-state snapshots. Restoring the
+     *  four words reproduces the draw sequence exactly. */
+    std::array<std::uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    void
+    setState(const std::array<std::uint64_t, 4> &s)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = s[i];
+    }
 
   private:
     std::uint64_t state_[4];

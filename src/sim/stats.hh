@@ -50,6 +50,14 @@ class StatBase
     /** Reset to the zero state. */
     virtual void reset() = 0;
 
+    /** Full internal state as raw doubles, for machine-state snapshots
+     *  (unlike rows(), includes non-derivable internals such as a
+     *  Distribution's M2 accumulator). Derived stats return {}. */
+    virtual std::vector<double> snapValues() const = 0;
+
+    /** Restore state captured by snapValues() onto a same-shape stat. */
+    virtual void snapRestoreValues(const std::vector<double> &v) = 0;
+
   private:
     std::string name_;
     std::string desc_;
@@ -74,6 +82,15 @@ class Scalar : public StatBase
     }
 
     void reset() override { value_ = 0.0; }
+
+    std::vector<double> snapValues() const override { return {value_}; }
+
+    void
+    snapRestoreValues(const std::vector<double> &v) override
+    {
+        MISP_ASSERT(v.size() == 1);
+        value_ = v[0];
+    }
 
   private:
     double value_ = 0.0;
@@ -117,12 +134,28 @@ class Vector : public StatBase
     {
         std::vector<std::pair<std::string, double>> out;
         out.reserve(values_.size());
-        for (std::size_t i = 0; i < values_.size(); ++i)
-            out.emplace_back("[" + std::to_string(i) + "]", values_[i]);
+        for (std::size_t i = 0; i < values_.size(); ++i) {
+            // Built up in steps (not one `"[" + to_string + "]"`
+            // expression): GCC 12's -Wrestrict false-positives on the
+            // temporary chain once surrounding code inlines.
+            std::string suffix = "[";
+            suffix += std::to_string(i);
+            suffix += "]";
+            out.emplace_back(std::move(suffix), values_[i]);
+        }
         return out;
     }
 
     void reset() override { std::fill(values_.begin(), values_.end(), 0.0); }
+
+    std::vector<double> snapValues() const override { return values_; }
+
+    void
+    snapRestoreValues(const std::vector<double> &v) override
+    {
+        MISP_ASSERT(v.size() == values_.size());
+        values_ = v;
+    }
 
   private:
     std::vector<double> values_;
@@ -177,6 +210,24 @@ class Distribution : public StatBase
         min_ = max_ = 0.0;
     }
 
+    std::vector<double>
+    snapValues() const override
+    {
+        return {static_cast<double>(n_), mean_, m2_, sum_, min_, max_};
+    }
+
+    void
+    snapRestoreValues(const std::vector<double> &v) override
+    {
+        MISP_ASSERT(v.size() == 6);
+        n_ = static_cast<std::uint64_t>(v[0]);
+        mean_ = v[1];
+        m2_ = v[2];
+        sum_ = v[3];
+        min_ = v[4];
+        max_ = v[5];
+    }
+
   private:
     std::uint64_t n_ = 0;
     double mean_ = 0.0;
@@ -205,6 +256,10 @@ class Formula : public StatBase
     }
 
     void reset() override {}
+
+    // Derived at read time: nothing to archive.
+    std::vector<double> snapValues() const override { return {}; }
+    void snapRestoreValues(const std::vector<double> &) override {}
 
   private:
     std::function<double()> fn_;

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Event-tag registry: the one place snapshot tag kinds are assigned.
+ *
+ * One-shot lambda events whose closures can be rebuilt from a few
+ * words of data carry an EventTag (sim/event_queue.hh) naming their
+ * kind plus the rebuild arguments. At save time the snapshot layer
+ * records (kind, args, when, seq, priority) for every pending tagged
+ * event; at restore time the factory in snapshot.cc re-creates the
+ * closure and re-schedules it with its original insertion sequence
+ * number, so same-tick/same-priority ordering is preserved exactly.
+ *
+ * Events that cannot be expressed this way (Ring-0 episode phases,
+ * serialization suspend/resume actions, proxy completions — all of
+ * which capture arbitrary closures) make the machine momentarily
+ * unsnapshottable; advanceToSnapshotPoint() steps the queue until none
+ * remain, which is guaranteed to terminate because every such event
+ * chain drains within one Ring-0 episode.
+ */
+
+#ifndef MISP_SNAPSHOT_TAGS_HH
+#define MISP_SNAPSHOT_TAGS_HH
+
+#include <cstdint>
+
+namespace misp::snap::tag {
+
+/** SignalFabric user-signal delivery.
+ *  args: {cpuId, sid, payload.eip, payload.esp, payload.arg}. */
+constexpr std::uint32_t kFabricSignal = 1;
+
+/** SignalFabric proxy-request notification to an OMS.
+ *  args: {cpuId, sid, payload.eip, payload.esp, payload.arg}. */
+constexpr std::uint32_t kFabricProxyReq = 2;
+
+/** Kernel sleep-syscall wakeup. args: {tid}. */
+constexpr std::uint32_t kKernelSleepWake = 3;
+
+} // namespace misp::snap::tag
+
+#endif // MISP_SNAPSHOT_TAGS_HH

@@ -57,8 +57,11 @@ emitStoreIndexed(ProgramBuilder &b, VAddr base, unsigned idxReg,
 Workload
 buildDenseMvm(const WorkloadParams &p)
 {
-    const std::uint64_t n = 512 * p.scale;
-    const std::uint64_t m = 128;
+    // Problem shape: `param.rows` overrides the row count, `param.dim`
+    // the inner (dot-product) dimension — the knobs the scenario specs
+    // sweep to scale the dense kernels' memory footprint.
+    const std::uint64_t n = p.extraU64("rows", 512 * p.scale);
+    const std::uint64_t m = p.extraU64("dim", 128);
     // Modeled FP work per row, calibrated so the compute-to-page-fault
     // ratio matches the paper's scale (see DESIGN.md).
     const std::uint64_t rowFlops = m * 9600;

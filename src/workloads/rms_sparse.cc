@@ -146,8 +146,13 @@ finishSparse(ProgramBuilder &b, DataLayout &layout, const char *name,
 Workload
 buildSparseMvm(const WorkloadParams &p)
 {
-    const std::uint64_t n = 4096 * p.scale;
-    Csr m = makeCsr(n, n, 12, p.seed, false);
+    // Problem shape: `param.rows` overrides the matrix order,
+    // `param.nnz` the nonzeros per row (density) — the sparse-suite
+    // analogs of the dense kernels' `param.dim`.
+    const std::uint64_t n = p.extraU64("rows", 4096 * p.scale);
+    const unsigned nnz =
+        static_cast<unsigned>(p.extraU64("nnz", 12));
+    Csr m = makeCsr(n, n, nnz, p.seed, false);
     auto x = randomInts(n, p.seed + 1);
 
     DataLayout layout;

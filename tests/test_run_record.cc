@@ -381,6 +381,39 @@ TEST(ReportAsserts, PassFailAndDiagnostics)
     EXPECT_NE(err.find("baseline_machine"), std::string::npos);
 }
 
+TEST(ReportAsserts, ParenthesesGroupSubexpressions)
+{
+    Scenario sc = mustScenario(
+        "[machine a]\nams = 1\n[machine b]\nams = 3\n"
+        "[workload]\nname = dense_mvm\n[report]\nbaseline_machine = a\n");
+    std::vector<PointResult> results;
+    results.push_back(fakePoint("a", "dense_mvm", 300, 1'000'000));
+    results.push_back(fakePoint("b", "dense_mvm", 100, 2'000'000));
+
+    std::vector<AssertFailure> failures;
+    std::string err;
+
+    // Without parens: 300 - 100 / 100 = 299. With: (300-100)/100 = 2.
+    sc.report.asserts = {{"a.ticks - b.ticks / b.ticks == 299", 1},
+                         {"( a.ticks - b.ticks ) / b.ticks == 2", 2},
+                         // Parens may hug their operands.
+                         {"(a.ticks - b.ticks) / b.ticks == 2", 3},
+                         // Nesting composes.
+                         {"( ( a.ticks - b.ticks ) / ( b.ticks ) ) "
+                          "* 10 == 20",
+                          4}};
+    failures.clear();
+    ASSERT_TRUE(evaluateAsserts(sc, results, &failures, &err)) << err;
+    EXPECT_TRUE(failures.empty()) << failures.size();
+
+    // Unbalanced parens are hard errors, both ways.
+    sc.report.asserts = {{"( a.ticks > 0", 5}};
+    EXPECT_FALSE(evaluateAsserts(sc, results, &failures, &err));
+    EXPECT_NE(err.find("expected ')'"), std::string::npos);
+    sc.report.asserts = {{"a.ticks ) > 0", 6}};
+    EXPECT_FALSE(evaluateAsserts(sc, results, &failures, &err));
+}
+
 TEST(ReportAsserts, EvaluatedPerCoordinateGroup)
 {
     Scenario sc = mustScenario(

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -44,6 +45,22 @@ usage(const char *argv0, int code)
         "  --jobs N           run grid points on N worker threads; all\n"
         "                     outputs (JSON, tables, --points) stay\n"
         "                     byte-identical to a serial run\n"
+        "  --isolate          crash-isolated workers: fork one child\n"
+        "                     process per grid point (up to N at once);\n"
+        "                     a crashing point is recorded as\n"
+        "                     worker_crashed instead of killing the\n"
+        "                     sweep; outputs stay byte-identical\n"
+        "  --save-snapshot DIR  warm every grid point up for the\n"
+        "                     scenario's [snapshot] warmup_ticks, write\n"
+        "                     DIR/point_<k>.misnap, and keep running to\n"
+        "                     completion (results unchanged)\n"
+        "  --from-snapshot DIR  restore each grid point from\n"
+        "                     DIR/point_<k>.misnap instead of booting\n"
+        "                     cold; results are byte-identical to a\n"
+        "                     cold run of the same spec (exception:\n"
+        "                     --full-stats decode-cache hit/miss\n"
+        "                     counters, which restart cold — the\n"
+        "                     decode cache is derived state)\n"
         "  --no-decode-cache  reference fetch+decode path (also honored\n"
         "                     from MISP_NO_DECODE_CACHE=1)\n"
         "  --md               print the results table as markdown\n"
@@ -83,7 +100,10 @@ main(int argc, char **argv)
     bool fullStats = false;
     bool verbose = false;
     bool noDecodeCache = false;
+    bool isolate = false;
     unsigned jobs = 1;
+    std::string saveSnapshotDir;
+    std::string fromSnapshotDir;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -108,6 +128,22 @@ main(int argc, char **argv)
                              "mispsim: --jobs needs a positive integer\n");
                 return 2;
             }
+        } else if (std::strcmp(arg, "--isolate") == 0) {
+            isolate = true;
+        } else if (std::strcmp(arg, "--save-snapshot") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --save-snapshot needs a directory\n");
+                return 2;
+            }
+            saveSnapshotDir = argv[i];
+        } else if (std::strcmp(arg, "--from-snapshot") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --from-snapshot needs a directory\n");
+                return 2;
+            }
+            fromSnapshotDir = argv[i];
         } else if (std::strcmp(arg, "--no-decode-cache") == 0) {
             noDecodeCache = true;
         } else if (std::strcmp(arg, "--md") == 0) {
@@ -178,10 +214,29 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (!saveSnapshotDir.empty() && !fromSnapshotDir.empty()) {
+        std::fprintf(stderr, "mispsim: --save-snapshot and "
+                             "--from-snapshot are mutually exclusive\n");
+        return 2;
+    }
+    if (!saveSnapshotDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(saveSnapshotDir, ec);
+        if (ec) {
+            std::fprintf(stderr, "mispsim: cannot create '%s': %s\n",
+                         saveSnapshotDir.c_str(),
+                         ec.message().c_str());
+            return 1;
+        }
+    }
+
     ScenarioRunner::Options opts;
     opts.noDecodeCache = noDecodeCache;
     opts.fullStats = fullStats;
     opts.jobs = jobs;
+    opts.isolate = isolate;
+    opts.snapshotSaveDir = saveSnapshotDir;
+    opts.snapshotLoadDir = fromSnapshotDir;
     ScenarioRunner runner(opts);
     std::vector<PointResult> results =
         runner.runAll(sc, points, pointsOnly ? nullptr : &std::cerr);
@@ -209,14 +264,26 @@ main(int argc, char **argv)
     for (const PointResult &r : results) {
         if (r.run.ok())
             continue;
+        std::string what;
+        switch (r.run.status) {
+          case harness::RunStatus::MaxTicksReached:
+            what = "never finished (hit max_ticks)";
+            break;
+          case harness::RunStatus::SnapshotError:
+            what = "snapshot error: " + r.run.note;
+            break;
+          case harness::RunStatus::WorkerCrashed:
+            what = "worker crashed: " + r.run.note;
+            break;
+          case harness::RunStatus::Completed:
+            what = "failed result validation";
+            break;
+        }
         std::fprintf(stderr,
                      "mispsim: point machine=%s workload=%s "
                      "competitors=%u %s\n",
                      r.machine.c_str(), r.workload.c_str(),
-                     r.competitors,
-                     !r.run.completed()
-                         ? "never finished (hit max_ticks)"
-                         : "failed result validation");
+                     r.competitors, what.c_str());
         rc = 1;
     }
 
