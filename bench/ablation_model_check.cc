@@ -31,11 +31,11 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("ablation_model_check.scn",
                           "ablation_model_check", argc, argv, &sc,
-                          &results, &exitCode))
+                          &frame, &exitCode))
         return exitCode;
 
     printHeader("Ablation C: Eq.1-3 overhead model vs measured "
@@ -43,34 +43,36 @@ main(int argc, char **argv)
     std::printf("%-18s %12s %12s %12s %14s\n", "application",
                 "Eq1-check", "Eq2-check", "pred-ovh", "measured-ovh");
 
+    using Frame = harness::MetricFrame;
     const Cycles signal = 5000;
-    for (const std::string &name : sweptWorkloads(results)) {
-        const driver::PointResult *at5000 = driver::findResultCoords(
-            results, "s5000", {{"workload.name", name}});
-        const driver::PointResult *at0 = driver::findResultCoords(
-            results, "s0", {{"workload.name", name}});
-        if (!at5000 || !at0)
+    for (const std::string &name : frame.workloads()) {
+        std::size_t at5000 =
+            frame.findRow("s5000", {{"workload.name", name}});
+        std::size_t at0 = frame.findRow("s0", {{"workload.name", name}});
+        if (at5000 == Frame::npos || at0 == Frame::npos)
             continue;
-        const harness::EventSnapshot &ev = at5000->run.events;
+        auto ev = [&](const char *counter) {
+            return frame.at(at5000, std::string("events.") + counter);
+        };
 
         // Eq.1 check: serialize windows sum to 2*signal*N + priv.
-        double eq1 = 2.0 * signal * double(ev.serializations) +
-                     ev.privCycles;
-        bool eq1ok = std::abs(eq1 - ev.serializeCycles) < 1.0;
+        double eq1 = 2.0 * signal * ev("serializations") +
+                     ev("priv_cycles");
+        bool eq1ok = std::abs(eq1 - ev("serialize_cycles")) < 1.0;
 
         // Eq.2 check: egress overhead is 3*signal per proxy request.
-        double eq2 = 3.0 * signal * double(ev.proxyRequests);
-        bool eq2ok = std::abs(eq2 - ev.proxySignalCycles) < 1.0;
+        double eq2 = 3.0 * signal * ev("proxy_requests");
+        bool eq2ok = std::abs(eq2 - ev("proxy_signal_cycles")) < 1.0;
 
         // Predicted extra wall time from the signal cost: every
         // serialization pays 2*signal (Eq.1) and every proxy pays one
         // more signal for the OMS notification (Eq.3). Serialized
         // events do not overlap on one MISP processor, so the sum is a
         // wall-clock prediction.
-        double predicted = 2.0 * signal * double(ev.serializations) +
-                           1.0 * signal * double(ev.proxyRequests);
+        double predicted = 2.0 * signal * ev("serializations") +
+                           1.0 * signal * ev("proxy_requests");
         double measured =
-            double(at5000->run.ticks) - double(at0->run.ticks);
+            frame.at(at5000, "ticks") - frame.at(at0, "ticks");
 
         std::printf("%-18s %12s %12s %11.2fM %13.2fM\n", name.c_str(),
                     eq1ok ? "exact" : "MISMATCH",

@@ -27,11 +27,11 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("ablation_pageprobe.scn",
                           "ablation_pageprobe", argc, argv, &sc,
-                          &results, &exitCode))
+                          &frame, &exitCode))
         return exitCode;
 
     printHeader("Ablation B: §5.3 page-probe pre-faulting "
@@ -40,25 +40,27 @@ main(int argc, char **argv)
                 "amsPF-off", "amsPF-on", "omsPF-on", "T-off(M)",
                 "T-on(M)");
 
-    const std::vector<std::string> names = sweptWorkloads(results);
-
-    for (const std::string &name : names) {
-        const driver::PointResult *off = driver::findResultCoords(
-            results, "misp",
+    using Frame = harness::MetricFrame;
+    for (const std::string &name : frame.workloads()) {
+        std::size_t off = frame.findRow(
+            "misp",
             {{"workload.name", name}, {"workload.prefault", "false"}});
-        const driver::PointResult *on = driver::findResultCoords(
-            results, "misp",
+        std::size_t on = frame.findRow(
+            "misp",
             {{"workload.name", name}, {"workload.prefault", "true"}});
-        if (!off || !on) {
+        if (off == Frame::npos || on == Frame::npos) {
             std::printf("!! missing grid point for %s\n", name.c_str());
             continue;
         }
         std::printf("%-18s %10llu %10llu %10llu %10.1f %10.1f\n",
                     name.c_str(),
-                    (unsigned long long)off->run.events.amsPageFaults,
-                    (unsigned long long)on->run.events.amsPageFaults,
-                    (unsigned long long)on->run.events.omsPageFaults,
-                    off->run.ticks / 1e6, on->run.ticks / 1e6);
+                    (unsigned long long)frame.at(
+                        off, "events.ams_page_faults"),
+                    (unsigned long long)frame.at(
+                        on, "events.ams_page_faults"),
+                    (unsigned long long)frame.at(
+                        on, "events.oms_page_faults"),
+                    frame.at(off, "mcycles"), frame.at(on, "mcycles"));
     }
 
     std::printf("\nReading: probing moves compulsory faults from the "

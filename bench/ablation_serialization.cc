@@ -26,11 +26,11 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("ablation_serialization.scn",
                           "ablation_serialization", argc, argv, &sc,
-                          &results, &exitCode))
+                          &frame, &exitCode))
         return exitCode;
 
     printHeader("Ablation A: suspend-all vs speculative control-register "
@@ -38,32 +38,29 @@ main(int argc, char **argv)
     std::printf("%-18s %14s %14s %10s %16s\n", "application",
                 "suspend-all", "speculative", "gain", "susp-cyc(M)");
 
-    const std::vector<std::string> names = sweptWorkloads(results);
-
-    for (const std::string &name : names) {
-        const driver::PointResult *base = driver::findResultCoords(
-            results, "misp",
-            {{"workload.name", name},
-             {"machine.serialization", "suspend_all"}});
-        const driver::PointResult *spec = driver::findResultCoords(
-            results, "misp",
-            {{"workload.name", name},
-             {"machine.serialization", "speculative_monitor"}});
-        if (!base || !spec) {
+    using Frame = harness::MetricFrame;
+    for (const std::string &name : frame.workloads()) {
+        std::size_t base = frame.findRow(
+            "misp", {{"workload.name", name},
+                     {"machine.serialization", "suspend_all"}});
+        std::size_t spec = frame.findRow(
+            "misp", {{"workload.name", name},
+                     {"machine.serialization", "speculative_monitor"}});
+        if (base == Frame::npos || spec == Frame::npos) {
             std::printf("!! missing grid point for %s\n", name.c_str());
             continue;
         }
-        if (!base->run.valid)
+        if (frame.at(base, "valid") == 0)
             std::printf("!! validation failed for %s\n", name.c_str());
-        if (!spec->run.valid)
+        if (frame.at(spec, "valid") == 0)
             std::printf("!! validation failed for %s\n", name.c_str());
         std::printf("%-18s %12.1fM %12.1fM %+9.2f%% %15.1f\n",
-                    name.c_str(), base->run.ticks / 1e6,
-                    spec->run.ticks / 1e6,
-                    (double(base->run.ticks) / double(spec->run.ticks) -
+                    name.c_str(), frame.at(base, "mcycles"),
+                    frame.at(spec, "mcycles"),
+                    (frame.at(base, "ticks") / frame.at(spec, "ticks") -
                      1.0) *
                         100.0,
-                    base->run.events.suspendedCycles / 1e6);
+                    frame.at(base, "events.suspended_cycles") / 1e6);
     }
 
     std::printf("\nReading: the speculative policy removes all AMS "

@@ -165,17 +165,17 @@ benchSuite(bool quick)
 /**
  * The shared scaffolding of every scenario-wrapper bench: quiet
  * logging, the common flags (--quick / --no-decode-cache / --points),
- * and the run of @p scn through the scenario runner. Returns true
- * when the caller should exit immediately with *exitCode — on a
+ * the run of @p scn through the scenario runner, and the sweep's
+ * MetricFrame — the one store the bench's presentation code queries
+ * (the same frame `mispsim` renders and asserts against). Returns
+ * true when the caller should exit immediately with *exitCode — on a
  * failed run (1), or after `--points` printed the canonical
- * equivalence lines (0). Otherwise @p results holds the grid for the
- * bench's presentation code.
+ * equivalence lines (0).
  */
 inline bool
 scenarioBenchMain(const char *scn, const char *tool, int argc,
                   char **argv, driver::Scenario *sc,
-                  std::vector<driver::PointResult> *results,
-                  int *exitCode)
+                  harness::MetricFrame *frame, int *exitCode)
 {
     setQuietLogging(true);
     bool quick = parseBenchFlags(argc, argv);
@@ -185,34 +185,19 @@ scenarioBenchMain(const char *scn, const char *tool, int argc,
 
     driver::RunnerOptions opts;
     opts.noDecodeCache = decodeCacheDisabled(argc, argv);
+    std::vector<driver::PointResult> results;
     if (!driver::runScenarioByName(scn, argv[0], quick, opts, tool, sc,
-                                   results)) {
+                                   &results)) {
         *exitCode = 1;
         return true;
     }
+    *frame = driver::buildMetricFrame(*sc, results);
     if (points) {
-        driver::writePoints(std::cout, *results);
+        driver::writePoints(std::cout, *frame);
         *exitCode = 0;
         return true;
     }
     return false;
-}
-
-/** The swept workload names, deduplicated in first-seen grid order —
- *  one entry per workload regardless of how the spec orders its
- *  sweep axes. */
-inline std::vector<std::string>
-sweptWorkloads(const std::vector<driver::PointResult> &results)
-{
-    std::vector<std::string> names;
-    for (const driver::PointResult &r : results) {
-        bool seen = false;
-        for (const std::string &n : names)
-            seen = seen || n == r.workload;
-        if (!seen)
-            names.push_back(r.workload);
-    }
-    return names;
 }
 
 inline void

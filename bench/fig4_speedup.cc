@@ -26,10 +26,10 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("fig4.scn", "fig4_speedup", argc, argv,
-                          &sc, &results, &exitCode))
+                          &sc, &frame, &exitCode))
         return exitCode;
 
     printHeader("Figure 4: MISP (1 OMS + 7 AMS) vs SMP (8 cores), "
@@ -37,35 +37,29 @@ main(int argc, char **argv)
     std::printf("%-18s %10s %10s %10s %12s\n", "application", "1P(Mcyc)",
                 "MISP", "SMP", "MISP-vs-SMP");
 
-    // The swept workloads, in grid order.
-    std::vector<std::string> names;
-    for (const driver::PointResult &r : results) {
-        if (r.machine == "1p")
-            names.push_back(r.workload);
-    }
-
+    using Frame = harness::MetricFrame;
     double rmsSum = 0, specSum = 0;
     int rmsN = 0, specN = 0;
-    for (const std::string &name : names) {
-        const driver::PointResult *oneP =
-            driver::findResult(results, "1p", name, 0);
-        const driver::PointResult *misp =
-            driver::findResult(results, "misp", name, 0);
-        const driver::PointResult *smp =
-            driver::findResult(results, "smp8", name, 0);
-        if (!oneP || !misp || !smp) {
+    for (const std::string &name : frame.workloads()) {
+        std::size_t oneP = frame.findRow("1p", name, 0);
+        std::size_t misp = frame.findRow("misp", name, 0);
+        std::size_t smp = frame.findRow("smp8", name, 0);
+        if (oneP == Frame::npos || misp == Frame::npos ||
+            smp == Frame::npos) {
             std::printf("!! missing grid point for %s\n", name.c_str());
             continue;
         }
-        if (!oneP->run.valid || !misp->run.valid || !smp->run.valid)
+        if (frame.at(oneP, "valid") == 0 || frame.at(misp, "valid") == 0 ||
+            frame.at(smp, "valid") == 0)
             std::printf("!! validation failed for %s\n", name.c_str());
 
-        double sMisp = double(oneP->run.ticks) / double(misp->run.ticks);
-        double sSmp = double(oneP->run.ticks) / double(smp->run.ticks);
+        double sMisp = frame.at(oneP, "ticks") / frame.at(misp, "ticks");
+        double sSmp = frame.at(oneP, "ticks") / frame.at(smp, "ticks");
         double delta =
-            (double(smp->run.ticks) / double(misp->run.ticks) - 1.0) * 100.0;
+            (frame.at(smp, "ticks") / frame.at(misp, "ticks") - 1.0) *
+            100.0;
         std::printf("%-18s %10.1f %9.2fx %9.2fx %+11.2f%%\n", name.c_str(),
-                    oneP->run.ticks / 1e6, sMisp, sSmp, delta);
+                    frame.at(oneP, "mcycles"), sMisp, sSmp, delta);
         const wl::WorkloadInfo *info = wl::findWorkload(name);
         if (info && info->suite == "rms") {
             rmsSum += delta;

@@ -28,10 +28,10 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("fig5_signal.scn", "fig5_signal_cost",
-                          argc, argv, &sc, &results, &exitCode))
+                          argc, argv, &sc, &frame, &exitCode))
         return exitCode;
 
     const char *costs[] = {"500", "1000", "5000"};
@@ -41,33 +41,31 @@ main(int argc, char **argv)
     std::printf("%-18s %10s %10s %10s\n", "application", "500cyc",
                 "1000cyc", "5000cyc");
 
-    const std::vector<std::string> names = sweptWorkloads(results);
-
+    using Frame = harness::MetricFrame;
     double worst = 0;
-    const char *worstApp = "";
+    std::string worstApp;
     double sum5000 = 0;
     int n = 0;
 
-    for (const std::string &name : names) {
-        const driver::PointResult *ideal = driver::findResultCoords(
-            results, "misp",
+    for (const std::string &name : frame.workloads()) {
+        std::size_t ideal = frame.findRow(
+            "misp",
             {{"workload.name", name}, {"machine.signal_cycles", "0"}});
-        if (!ideal) {
+        if (ideal == Frame::npos) {
             std::printf("!! missing grid point for %s\n", name.c_str());
             continue;
         }
         std::printf("%-18s", name.c_str());
         for (const char *cost : costs) {
-            const driver::PointResult *r = driver::findResultCoords(
-                results, "misp",
-                {{"workload.name", name},
-                 {"machine.signal_cycles", cost}});
-            if (!r) {
+            std::size_t r = frame.findRow(
+                "misp", {{"workload.name", name},
+                         {"machine.signal_cycles", cost}});
+            if (r == Frame::npos) {
                 std::printf(" %10s", "-");
                 continue;
             }
-            double overhead = (double(r->run.ticks) /
-                                   double(ideal->run.ticks) -
+            double overhead = (frame.at(r, "ticks") /
+                                   frame.at(ideal, "ticks") -
                                1.0) *
                               100.0;
             std::printf(" %+9.3f%%", overhead);
@@ -76,7 +74,7 @@ main(int argc, char **argv)
                 ++n;
                 if (overhead > worst) {
                     worst = overhead;
-                    worstApp = name.c_str();
+                    worstApp = name;
                 }
             }
         }
@@ -86,7 +84,7 @@ main(int argc, char **argv)
     std::printf("\nAt signal = 5000 cycles: average overhead %+.3f%% "
                 "(paper: 0.15%%), worst %+.3f%% on %s (paper: 0.65%% on "
                 "kmeans).\n",
-                n ? sum5000 / n : 0.0, worst, worstApp);
+                n ? sum5000 / n : 0.0, worst, worstApp.c_str());
     std::printf("Claim check: throughput is insensitive to the "
                 "inter-sequencer signaling cost.\n");
     return 0;

@@ -29,10 +29,10 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("fig7.scn", "fig7_mp_throughput", argc,
-                          argv, &sc, &results, &exitCode))
+                          argv, &sc, &frame, &exitCode))
         return exitCode;
 
     printHeader("Figure 6: MISP MP configurations (8 sequencers total)");
@@ -43,11 +43,13 @@ main(int argc, char **argv)
         std::printf("\n");
     }
 
+    using Frame = harness::MetricFrame;
+
     // The swept competitor counts, in grid order.
     std::vector<unsigned> loads;
-    for (const driver::PointResult &r : results) {
-        if (r.machine == sc.machines.front().name)
-            loads.push_back(r.competitors);
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+        if (frame.row(i).machine == sc.machines.front().name)
+            loads.push_back(frame.row(i).competitors);
     }
 
     printHeader("Figure 7: RayTracer speedup vs unloaded, adding "
@@ -59,15 +61,15 @@ main(int argc, char **argv)
 
     for (const driver::MachineSpec &m : sc.machines) {
         std::printf("%-8s", m.name.c_str());
-        const driver::PointResult *unloaded =
-            driver::findResult(results, m.name, sc.workload.name, 0);
+        std::size_t unloaded = frame.findRow(m.name, sc.workload.name, 0);
         for (unsigned load : loads) {
-            const driver::PointResult *r =
-                driver::findResult(results, m.name, sc.workload.name, load);
-            double speedup =
-                (r && r->run.ticks && unloaded)
-                    ? double(unloaded->run.ticks) / double(r->run.ticks)
-                    : 0.0;
+            std::size_t r = frame.findRow(m.name, sc.workload.name, load);
+            double speedup = (r != Frame::npos &&
+                              frame.at(r, "ticks") != 0.0 &&
+                              unloaded != Frame::npos)
+                                 ? frame.at(unloaded, "ticks") /
+                                       frame.at(r, "ticks")
+                                 : 0.0;
             std::printf(" %8.3f", speedup);
         }
         std::printf("\n");

@@ -30,10 +30,10 @@ int
 main(int argc, char **argv)
 {
     driver::Scenario sc;
-    std::vector<driver::PointResult> results;
+    harness::MetricFrame frame;
     int exitCode = 0;
     if (scenarioBenchMain("table1.scn", "table1_events", argc, argv, &sc,
-                          &results, &exitCode))
+                          &frame, &exitCode))
         return exitCode;
 
     printHeader("Table 1: Serializing Events (MISP, 1 OMS + 7 AMS)");
@@ -44,19 +44,20 @@ main(int argc, char **argv)
     std::printf("-------------------+---------------------------------"
                 "----+------------------\n");
 
-    for (const driver::PointResult &r : results) {
-        if (!r.run.valid)
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+        const harness::MetricFrame::Row &r = frame.row(i);
+        if (frame.at(i, "valid") == 0)
             std::printf("!! validation failed for %s\n",
                         r.workload.c_str());
-        const harness::EventSnapshot &ev = r.run.events;
+        auto ev = [&](const char *counter) {
+            return (unsigned long long)frame.at(
+                i, std::string("events.") + counter);
+        };
         std::printf("%-18s | %8llu %8llu %8llu %9llu | %8llu %8llu\n",
-                    r.workload.c_str(),
-                    (unsigned long long)ev.omsSyscalls,
-                    (unsigned long long)ev.omsPageFaults,
-                    (unsigned long long)ev.timer,
-                    (unsigned long long)ev.interrupts,
-                    (unsigned long long)ev.amsSyscalls,
-                    (unsigned long long)ev.amsPageFaults);
+                    r.workload.c_str(), ev("oms_syscalls"),
+                    ev("oms_page_faults"), ev("timer"),
+                    ev("interrupts"), ev("ams_syscalls"),
+                    ev("ams_page_faults"));
     }
 
     std::printf("\nShape checks vs the paper:\n");

@@ -58,7 +58,8 @@ main()
     std::vector<PointResult> results =
         ScenarioRunner(opts).runAll(sc, grid, &std::cerr);
 
-    writeTable(std::cout, sc, results, /*markdown=*/false);
+    writeTable(std::cout, sc, buildMetricFrame(sc, results),
+               /*markdown=*/false);
 
     // Results are plain structs: each point carries the coordinates
     // plus the harness::RunRecord its run measured.

@@ -1,162 +1,234 @@
 #include "report.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <ostream>
+#include <set>
 #include <sstream>
 
 namespace misp::driver {
 
 namespace {
 
+using harness::MetricFrame;
+
 // ---------------------------------------------------------------------
-// Metric resolution
+// Reference resolution (queries over the MetricFrame)
 // ---------------------------------------------------------------------
 
-/** Results sharing one sweep-coordinate combination. */
-struct CoordGroup {
-    std::vector<std::pair<std::string, std::string>> coords;
-    std::vector<const PointResult *> results;
-
-    const PointResult *byMachine(const std::string &machine) const
-    {
-        for (const PointResult *r : results) {
-            if (r->machine == machine)
-                return r;
-        }
-        return nullptr;
-    }
-
-    std::string label() const
-    {
-        std::string out;
-        for (const auto &[key, value] : coords) {
-            if (!out.empty())
-                out += " ";
-            out += key + "=" + value;
-        }
-        return out.empty() ? "-" : out;
-    }
+/** One resolved reference, echoed into AssertFailure::detail. */
+struct RefEcho {
+    std::string text;
+    double value = 0;
 };
 
-std::vector<CoordGroup>
-groupByCoords(const std::vector<PointResult> &results)
-{
-    std::vector<CoordGroup> groups;
-    for (const PointResult &r : results) {
-        CoordGroup *group = nullptr;
-        for (CoordGroup &g : groups) {
-            if (g.coords == r.coords)
-                group = &g;
-        }
-        if (!group) {
-            groups.push_back({r.coords, {}});
-            group = &groups.back();
-        }
-        group->results.push_back(&r);
-    }
-    return groups;
-}
+/** Memoized aggregate evaluations, shared across the per-group
+ *  evaluations of one assert: an aggregate's value is
+ *  group-independent by construction (its body iterates every group
+ *  itself), so re-walking its tokens once per outer group would make
+ *  a per-group assert with an aggregate O(groups^2). Keyed by the
+ *  token position of the aggregate body. */
+struct AggResult {
+    double value = 0;
+    std::size_t endPos = 0; ///< token position of the closing ')'
+    std::vector<RefEcho> refs;
+};
+using AggCache = std::map<std::size_t, AggResult>;
 
-/** Resolve a counter name against the authoritative field list shared
- *  with the JSON emitter (harness::eventFields), so an assert can
- *  reference exactly the names the JSON carries. */
+/** Everything one expression evaluation resolves against: the frame,
+ *  the current coordinate group, and the evaluation's diagnostics. */
+struct EvalCtx {
+    const Scenario &sc;
+    const MetricFrame &frame;
+    std::size_t group = 0;
+    /** True inside an aggregate body: echoes carry the group label and
+     *  references do not mark the enclosing assert group-dependent. */
+    bool inAggregate = false;
+
+    /** Sweep-axis keys whose group coordinate the evaluation actually
+     *  consulted — all of them for a bare reference, the un-pinned
+     *  ones for a cross-axis reference, none inside aggregates. Two
+     *  groups agreeing on every consulted axis evaluate identically,
+     *  which is what lets evaluateAsserts() skip duplicates. */
+    std::set<std::string> *consulted = nullptr;
+    std::vector<RefEcho> *refs = nullptr;
+    AggCache *aggCache = nullptr;
+};
+
+/** Value of @p metric at @p row, with the metric-name diagnostics the
+ *  grammar promises. */
 bool
-eventCounter(const harness::EventSnapshot &ev, const std::string &name,
-             double *out)
+metricValue(const EvalCtx &ctx, std::size_t row,
+            const std::string &metric, const std::string &ref,
+            double *out, std::string *why)
 {
-    for (const harness::EventField &f : harness::eventFields()) {
-        if (name == f.name) {
-            *out = f.get(ev);
-            return true;
-        }
-    }
-    return false;
-}
-
-/** Resolve `<machine>.<metric>` against one coordinate group. */
-bool
-resolveRef(const Scenario &sc, const CoordGroup &group,
-           const std::string &ref, double *out, std::string *why)
-{
-    // The machine name is the longest [machine] name that prefixes the
-    // reference followed by '.' (names may contain '.', so longest
-    // match wins).
-    const MachineSpec *machine = nullptr;
-    for (const MachineSpec &m : sc.machines) {
-        if (ref.size() > m.name.size() + 1 &&
-            ref.compare(0, m.name.size(), m.name) == 0 &&
-            ref[m.name.size()] == '.' &&
-            (!machine || m.name.size() > machine->name.size()))
-            machine = &m;
-    }
-    if (!machine) {
-        *why = "'" + ref + "' names no [machine] section";
-        return false;
-    }
-    const std::string metric = ref.substr(machine->name.size() + 1);
-
-    const PointResult *r = group.byMachine(machine->name);
-    if (!r) {
-        *why = "no result for machine '" + machine->name + "' at " +
-               group.label();
-        return false;
-    }
-
-    if (metric == "ticks") {
-        *out = double(r->run.ticks);
-        return true;
-    }
-    if (metric == "mcycles") {
-        *out = r->run.megaCycles();
-        return true;
-    }
-    if (metric == "insts") {
-        *out = double(r->run.instsRetired);
-        return true;
-    }
-    if (metric == "valid") {
-        *out = r->run.valid ? 1.0 : 0.0;
-        return true;
-    }
-    if (metric == "completed") {
-        *out = r->run.status == harness::RunStatus::Completed ? 1.0 : 0.0;
-        return true;
-    }
     if (metric == "speedup") {
-        if (sc.report.baselineMachine.empty()) {
+        if (ctx.sc.report.baselineMachine.empty()) {
             *why = "'" + ref +
                    "': speedup needs a [report] baseline_machine";
             return false;
         }
-        const PointResult *base =
-            group.byMachine(sc.report.baselineMachine);
-        if (!base) {
+        std::size_t g = ctx.frame.row(row).group;
+        if (ctx.frame.rowInGroup(g, ctx.sc.report.baselineMachine) ==
+            MetricFrame::npos) {
             *why = "no baseline result for machine '" +
-                   sc.report.baselineMachine + "' at " + group.label();
+                   ctx.sc.report.baselineMachine + "' at " +
+                   ctx.frame.groupLabel(g);
             return false;
         }
-        *out = r->run.speedupOver(base->run);
-        return true;
     }
-    if (metric.rfind("events.", 0) == 0) {
-        if (eventCounter(r->run.events, metric.substr(7), out))
-            return true;
+    if (ctx.frame.value(row, metric, out))
+        return true;
+    if (metric.rfind("events.", 0) == 0 ||
+        metric.rfind("events_per_mi.", 0) == 0) {
         *why = "'" + ref + "': unknown event counter";
         return false;
     }
-    if (metric.rfind("events_per_mi.", 0) == 0) {
-        double count = 0;
-        if (!eventCounter(r->run.events, metric.substr(14), &count)) {
-            *why = "'" + ref + "': unknown event counter";
-            return false;
-        }
-        *out = r->run.perMegaInsts(count);
-        return true;
-    }
     *why = "'" + ref + "': unknown metric '" + metric + "'";
     return false;
+}
+
+/** Parse the `[axis=value,...]` selector body of a cross-axis
+ *  reference, validating each axis against the current group's
+ *  coordinates. */
+bool
+parseSelector(const EvalCtx &ctx, const std::string &body,
+              const std::string &ref,
+              std::vector<MetricFrame::Coord> *out, std::string *why)
+{
+    std::size_t pos = 0;
+    while (pos <= body.size()) {
+        std::size_t comma = body.find(',', pos);
+        std::string item = body.substr(
+            pos, comma == std::string::npos ? comma : comma - pos);
+        std::size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0 ||
+            eq + 1 >= item.size()) {
+            *why = "'" + ref + "': selector '" + item +
+                   "' is not axis=value";
+            return false;
+        }
+        MetricFrame::Coord coord{item.substr(0, eq),
+                                 item.substr(eq + 1)};
+        bool known = false;
+        for (const MetricFrame::Coord &c :
+             ctx.frame.groupCoords(ctx.group))
+            known = known || c.first == coord.first;
+        if (!known) {
+            *why = "'" + ref + "': selector axis '" + coord.first +
+                   "' names no sweep coordinate at " +
+                   ctx.frame.groupLabel(ctx.group);
+            return false;
+        }
+        out->push_back(std::move(coord));
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return true;
+}
+
+/** Resolve `<machine>.<metric>` or the cross-axis
+ *  `<machine>[axis=value].<metric>` against the current group. */
+bool
+resolveRef(const EvalCtx &ctx, const std::string &ref, double *out,
+           std::string *why)
+{
+    std::string metric;
+    std::size_t row = MetricFrame::npos;
+
+    std::size_t bracket = ref.find('[');
+    if (bracket != std::string::npos) {
+        // Cross-axis form: the '[' delimits the machine name exactly.
+        const std::string machine = ref.substr(0, bracket);
+        bool knownMachine = false;
+        for (const MachineSpec &m : ctx.sc.machines)
+            knownMachine = knownMachine || m.name == machine;
+        if (!knownMachine) {
+            *why = "'" + ref + "': '" + machine +
+                   "' names no [machine] section";
+            return false;
+        }
+        std::size_t close = ref.find(']', bracket);
+        if (close == std::string::npos) {
+            *why = "'" + ref + "': missing ']' after the selector";
+            return false;
+        }
+        if (close + 1 >= ref.size() || ref[close + 1] != '.' ||
+            close + 2 >= ref.size()) {
+            *why = "'" + ref + "': expected '.<metric>' after ']'";
+            return false;
+        }
+        std::vector<MetricFrame::Coord> overrides;
+        if (!parseSelector(ctx,
+                           ref.substr(bracket + 1, close - bracket - 1),
+                           ref, &overrides, why))
+            return false;
+        if (ctx.consulted && !ctx.inAggregate) {
+            // The lookup depends on the group only through the axes
+            // the selector leaves unpinned.
+            for (const MetricFrame::Coord &c :
+                 ctx.frame.groupCoords(ctx.group)) {
+                bool pinned = false;
+                for (const MetricFrame::Coord &o : overrides)
+                    pinned = pinned || o.first == c.first;
+                if (!pinned)
+                    ctx.consulted->insert(c.first);
+            }
+        }
+        metric = ref.substr(close + 2);
+        row = ctx.frame.rowWithOverrides(ctx.group, machine, overrides);
+        if (row == MetricFrame::npos) {
+            std::string coords;
+            for (const MetricFrame::Coord &c : overrides)
+                coords += (coords.empty() ? "" : ",") + c.first + "=" +
+                          c.second;
+            *why = "no result for machine '" + machine + "' at [" +
+                   coords + "] from " + ctx.frame.groupLabel(ctx.group);
+            return false;
+        }
+    } else {
+        // Plain form: the machine name is the longest [machine] name
+        // that prefixes the reference followed by '.' (names may
+        // contain '.', so longest match wins).
+        const MachineSpec *machine = nullptr;
+        for (const MachineSpec &m : ctx.sc.machines) {
+            if (ref.size() > m.name.size() + 1 &&
+                ref.compare(0, m.name.size(), m.name) == 0 &&
+                ref[m.name.size()] == '.' &&
+                (!machine || m.name.size() > machine->name.size()))
+                machine = &m;
+        }
+        if (!machine) {
+            *why = "'" + ref + "' names no [machine] section";
+            return false;
+        }
+        metric = ref.substr(machine->name.size() + 1);
+        row = ctx.frame.rowInGroup(ctx.group, machine->name);
+        if (row == MetricFrame::npos) {
+            *why = "no result for machine '" + machine->name + "' at " +
+                   ctx.frame.groupLabel(ctx.group);
+            return false;
+        }
+        if (ctx.consulted && !ctx.inAggregate) {
+            for (const MetricFrame::Coord &c :
+                 ctx.frame.groupCoords(ctx.group))
+                ctx.consulted->insert(c.first);
+        }
+    }
+
+    if (!metricValue(ctx, row, metric, ref, out, why))
+        return false;
+    if (ctx.refs) {
+        std::string text = ref;
+        if (ctx.inAggregate)
+            text += "[" + ctx.frame.groupLabel(ctx.group) + "]";
+        ctx.refs->push_back({std::move(text), *out});
+    }
+    return true;
 }
 
 // ---------------------------------------------------------------------
@@ -173,18 +245,24 @@ struct Tokenizer {
         std::string tok;
         while (is >> tok) {
             // Parentheses are their own tokens regardless of spacing
-            // ("(a + b)" and "( a + b )" parse alike); machine names
-            // never contain them, so this cannot split a REF.
-            std::size_t start = 0;
-            while (start < tok.size() && tok[start] == '(')
-                tokens.emplace_back(1, tok[start++]);
-            std::size_t end = tok.size();
-            while (end > start && tok[end - 1] == ')')
-                --end;
-            if (end > start)
-                tokens.push_back(tok.substr(start, end - start));
-            for (std::size_t i = end; i < tok.size(); ++i)
-                tokens.emplace_back(1, ')');
+            // ("avg(a + b)" and "avg ( a + b )" parse alike); machine
+            // and metric names never contain them, so this cannot
+            // split a REF. Square brackets stay inside their token —
+            // the selector is parsed by resolveRef.
+            std::string cur;
+            for (char ch : tok) {
+                if (ch == '(' || ch == ')') {
+                    if (!cur.empty()) {
+                        tokens.push_back(cur);
+                        cur.clear();
+                    }
+                    tokens.emplace_back(1, ch);
+                } else {
+                    cur += ch;
+                }
+            }
+            if (!cur.empty())
+                tokens.push_back(cur);
         }
     }
 
@@ -205,21 +283,120 @@ isComparison(const std::string &tok)
            tok == "==" || tok == "!=";
 }
 
-bool parseSide(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
-               double *out, std::string *why);
+bool
+isAggregateName(const std::string &tok)
+{
+    return tok == "avg" || tok == "geomean" || tok == "min" ||
+           tok == "max" || tok == "sum" || tok == "count";
+}
+
+bool parseSide(Tokenizer &tz, const EvalCtx &ctx, double *out,
+               std::string *why);
+
+/** `AGG '(' side ')'`: evaluate the body once per coordinate group
+ *  (re-walking the same tokens with each group's context) and fold. */
+bool
+parseAggregate(Tokenizer &tz, const EvalCtx &ctx,
+               const std::string &func, double *out, std::string *why)
+{
+    tz.take(); // the '(' the caller peeked
+    const std::size_t start = tz.pos;
+
+    // One aggregate value per token position per assert: replay the
+    // memoized result (and its echoes) instead of re-walking the body
+    // once per outer coordinate group.
+    if (ctx.aggCache) {
+        auto hit = ctx.aggCache->find(start);
+        if (hit != ctx.aggCache->end()) {
+            tz.pos = hit->second.endPos + 1; // past the ')'
+            if (ctx.refs)
+                ctx.refs->insert(ctx.refs->end(),
+                                 hit->second.refs.begin(),
+                                 hit->second.refs.end());
+            *out = hit->second.value;
+            return true;
+        }
+    }
+
+    std::size_t end = start;
+    std::vector<RefEcho> bodyRefs;
+    std::vector<double> values;
+    for (std::size_t g = 0; g < ctx.frame.numGroups(); ++g) {
+        tz.pos = start;
+        EvalCtx inner = ctx;
+        inner.group = g;
+        inner.inAggregate = true;
+        inner.refs = &bodyRefs;
+        double v = 0;
+        if (!parseSide(tz, inner, &v, why))
+            return false;
+        end = tz.pos;
+        values.push_back(v);
+    }
+    if (values.empty()) {
+        *why = func + "(...): no results to aggregate over";
+        return false;
+    }
+    tz.pos = end;
+    const std::string *close = tz.take();
+    if (!close || *close != ")") {
+        *why = "expected ')' closing " + func + "(...), got " +
+               (close ? "'" + *close + "'"
+                      : std::string("end of expression"));
+        return false;
+    }
+    if (ctx.refs)
+        ctx.refs->insert(ctx.refs->end(), bodyRefs.begin(),
+                         bodyRefs.end());
+
+    if (func == "avg") {
+        double sum = 0;
+        for (double v : values)
+            sum += v;
+        *out = sum / double(values.size());
+    } else if (func == "geomean") {
+        double logSum = 0;
+        for (double v : values) {
+            if (v <= 0.0) {
+                *why = "geomean(...): non-positive value " +
+                       std::to_string(v) + " in the sweep";
+                return false;
+            }
+            logSum += std::log(v);
+        }
+        *out = std::exp(logSum / double(values.size()));
+    } else if (func == "min") {
+        *out = *std::min_element(values.begin(), values.end());
+    } else if (func == "max") {
+        *out = *std::max_element(values.begin(), values.end());
+    } else if (func == "sum") {
+        double sum = 0;
+        for (double v : values)
+            sum += v;
+        *out = sum;
+    } else { // count: groups whose body evaluates nonzero
+        std::size_t n = 0;
+        for (double v : values)
+            n += v != 0.0 ? 1 : 0;
+        *out = double(n);
+    }
+    if (ctx.aggCache)
+        (*ctx.aggCache)[start] = {*out, end, std::move(bodyRefs)};
+    return true;
+}
 
 bool
-parseValue(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
-           double *out, std::string *why)
+parseValue(Tokenizer &tz, const EvalCtx &ctx, double *out,
+           std::string *why)
 {
     const std::string *tok = tz.take();
     if (!tok) {
-        *why = "expected a number, <machine>.<metric>, or '(', got end "
-               "of expression";
+        *why = "expected a number, <machine>.<metric>, an aggregate, "
+               "or '(', got end of expression";
         return false;
     }
     if (*tok == "(") {
-        if (!parseSide(tz, sc, group, out, why))
+        if (!parseSide(tz, ctx, out, why))
             return false;
         const std::string *close = tz.take();
         if (!close || *close != ")") {
@@ -230,27 +407,29 @@ parseValue(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
         }
         return true;
     }
+    if (isAggregateName(*tok) && tz.peek() && *tz.peek() == "(")
+        return parseAggregate(tz, ctx, *tok, out, why);
     char *end = nullptr;
     double num = std::strtod(tok->c_str(), &end);
     if (end && *end == '\0' && end != tok->c_str()) {
         *out = num;
         return true;
     }
-    return resolveRef(sc, group, *tok, out, why);
+    return resolveRef(ctx, *tok, out, why);
 }
 
 bool
-parseProduct(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
-             double *out, std::string *why)
+parseProduct(Tokenizer &tz, const EvalCtx &ctx, double *out,
+             std::string *why)
 {
-    if (!parseValue(tz, sc, group, out, why))
+    if (!parseValue(tz, ctx, out, why))
         return false;
     while (const std::string *tok = tz.peek()) {
         if (*tok != "*" && *tok != "/")
             break;
         tz.take();
         double rhs = 0;
-        if (!parseValue(tz, sc, group, &rhs, why))
+        if (!parseValue(tz, ctx, &rhs, why))
             return false;
         if (*tok == "/" && rhs == 0.0) {
             // Fail closed: a guard must not silently pass because the
@@ -264,17 +443,17 @@ parseProduct(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
 }
 
 bool
-parseSide(Tokenizer &tz, const Scenario &sc, const CoordGroup &group,
-          double *out, std::string *why)
+parseSide(Tokenizer &tz, const EvalCtx &ctx, double *out,
+          std::string *why)
 {
-    if (!parseProduct(tz, sc, group, out, why))
+    if (!parseProduct(tz, ctx, out, why))
         return false;
     while (const std::string *tok = tz.peek()) {
         if (*tok != "+" && *tok != "-")
             break;
         tz.take();
         double rhs = 0;
-        if (!parseProduct(tz, sc, group, &rhs, why))
+        if (!parseProduct(tz, ctx, &rhs, why))
             return false;
         *out = *tok == "+" ? *out + rhs : *out - rhs;
     }
@@ -298,15 +477,20 @@ compare(double lhs, const std::string &op, double rhs)
 }
 
 /** Evaluate one assert against one coordinate group. Returns false +
- *  @p why on a malformed expression; otherwise sets @p holds and the
- *  evaluated sides. */
+ *  @p why on a malformed expression; otherwise sets @p holds, the
+ *  evaluated sides, the sweep-axis keys the evaluation consulted,
+ *  and the resolved-reference echoes. */
 bool
 evaluateOne(const std::string &text, const Scenario &sc,
-            const CoordGroup &group, bool *holds, double *lhs,
-            double *rhs, std::string *why)
+            const MetricFrame &frame, std::size_t group, bool *holds,
+            double *lhs, double *rhs, std::set<std::string> *consulted,
+            std::vector<RefEcho> *refs, AggCache *aggCache,
+            std::string *why)
 {
     Tokenizer tz(text);
-    if (!parseSide(tz, sc, group, lhs, why))
+    EvalCtx ctx{sc,   frame, group, /*inAggregate=*/false,
+                consulted, refs,  aggCache};
+    if (!parseSide(tz, ctx, lhs, why))
         return false;
     const std::string *op = tz.take();
     if (!op || !isComparison(*op)) {
@@ -315,7 +499,7 @@ evaluateOne(const std::string &text, const Scenario &sc,
         return false;
     }
     const std::string cmp = *op;
-    if (!parseSide(tz, sc, group, rhs, why))
+    if (!parseSide(tz, ctx, rhs, why))
         return false;
     if (const std::string *extra = tz.peek()) {
         *why = "unexpected trailing token '" + *extra + "'";
@@ -325,34 +509,90 @@ evaluateOne(const std::string &text, const Scenario &sc,
     return true;
 }
 
+std::string
+failureDetail(double lhs, double rhs, const std::string &where,
+              const std::vector<RefEcho> &refs)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "lhs=%g rhs=%g at ", lhs, rhs);
+    std::string out = buf + where;
+    for (const RefEcho &r : refs) {
+        std::snprintf(buf, sizeof(buf), "=%g", r.value);
+        out += "; " + r.text + buf;
+    }
+    return out;
+}
+
+/** The part of group @p coords an evaluation depended on: the
+ *  "key=value" join over the consulted axes, in coordinate order. */
+std::string
+projectionLabel(const std::vector<MetricFrame::Coord> &coords,
+                const std::set<std::string> &consulted)
+{
+    std::string out;
+    for (const MetricFrame::Coord &c : coords) {
+        if (!consulted.count(c.first))
+            continue;
+        if (!out.empty())
+            out += " ";
+        out += c.first + "=" + c.second;
+    }
+    return out;
+}
+
 } // namespace
 
 bool
-evaluateAsserts(const Scenario &sc,
-                const std::vector<PointResult> &results,
+evaluateAsserts(const Scenario &sc, const MetricFrame &frame,
                 std::vector<AssertFailure> *failures, std::string *err)
 {
     if (sc.report.asserts.empty())
         return true;
-    const std::vector<CoordGroup> groups = groupByCoords(results);
     for (const ReportAssert &a : sc.report.asserts) {
-        for (const CoordGroup &group : groups) {
+        // An evaluation depends on the group only through the axes its
+        // references consult (none for aggregate-only "suite claims";
+        // the unpinned axes for cross-axis references). Groups that
+        // agree on every consulted axis evaluate identically, so each
+        // distinct projection is evaluated — and can fail — once.
+        AggCache aggCache;
+        std::set<std::string> consulted;
+        std::set<std::string> seen;
+        bool consultedKnown = false;
+        for (std::size_t g = 0; g < frame.numGroups(); ++g) {
+            if (consultedKnown &&
+                !seen.insert(projectionLabel(frame.groupCoords(g),
+                                             consulted))
+                     .second)
+                continue;
             bool holds = false;
             double lhs = 0, rhs = 0;
+            std::vector<RefEcho> refs;
             std::string why;
-            if (!evaluateOne(a.text, sc, group, &holds, &lhs, &rhs,
-                             &why)) {
+            if (!evaluateOne(a.text, sc, frame, g, &holds, &lhs, &rhs,
+                             &consulted, &refs, &aggCache, &why)) {
                 if (err)
                     *err = specError(sc.specPath, a.line,
                                      "assert '" + a.text + "': " + why);
                 return false;
             }
-            if (holds)
-                continue;
-            char buf[96];
-            std::snprintf(buf, sizeof(buf), "lhs=%g rhs=%g at ", lhs,
-                          rhs);
-            failures->push_back({a.text, a.line, buf + group.label()});
+            std::string where =
+                projectionLabel(frame.groupCoords(g), consulted);
+            if (!consultedKnown) {
+                consultedKnown = true;
+                seen.insert(where);
+            }
+            if (!holds) {
+                failures->push_back(
+                    {a.text, a.line,
+                     failureDetail(lhs, rhs,
+                                   where.empty() ? "the whole sweep"
+                                                 : where,
+                                   refs)});
+            }
+            // Nothing consulted the group: one evaluation covers the
+            // sweep.
+            if (consulted.empty())
+                break;
         }
     }
     return true;
@@ -360,15 +600,15 @@ evaluateAsserts(const Scenario &sc,
 
 void
 writeEventsTable(std::ostream &os, const Scenario &sc,
-                 const std::vector<PointResult> &results, bool markdown)
+                 const MetricFrame &frame, bool markdown)
 {
-    if (results.empty()) {
+    if (frame.numRows() == 0) {
         os << "(no points)\n";
         return;
     }
 
     std::vector<std::string> coordKeys;
-    for (const auto &[key, value] : results.front().coords) {
+    for (const auto &[key, value] : frame.row(0).coords) {
         (void)value;
         if (key != "workload.name")
             coordKeys.push_back(key);
@@ -382,8 +622,17 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
           "ams_pf", "serial"})
         header.push_back(k);
 
+    // The Table-1 classes, normalized per 10^6 retired instructions —
+    // straight reads of the frame's events_per_mi columns.
+    static const char *const kPerMiColumns[] = {
+        "events_per_mi.oms_syscalls", "events_per_mi.oms_page_faults",
+        "events_per_mi.timer",        "events_per_mi.interrupts",
+        "events_per_mi.ams_syscalls", "events_per_mi.ams_page_faults",
+        "events_per_mi.serializations"};
+
     std::vector<std::vector<std::string>> rows;
-    for (const PointResult &r : results) {
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+        const MetricFrame::Row &r = frame.row(i);
         std::vector<std::string> row = {r.machine, r.workload};
         for (const std::string &k : coordKeys) {
             std::string v;
@@ -395,16 +644,10 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
         }
         char buf[64];
         std::snprintf(buf, sizeof(buf), "%.2f",
-                      double(r.run.instsRetired) / 1e6);
+                      frame.at(i, "insts") / 1e6);
         row.push_back(buf);
-        const harness::EventSnapshot &ev = r.run.events;
-        for (double count :
-             {double(ev.omsSyscalls), double(ev.omsPageFaults),
-              double(ev.timer), double(ev.interrupts),
-              double(ev.amsSyscalls), double(ev.amsPageFaults),
-              double(ev.serializations)}) {
-            std::snprintf(buf, sizeof(buf), "%.3f",
-                          r.run.perMegaInsts(count));
+        for (const char *col : kPerMiColumns) {
+            std::snprintf(buf, sizeof(buf), "%.3f", frame.at(i, col));
             row.push_back(buf);
         }
         rows.push_back(std::move(row));

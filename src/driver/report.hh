@@ -3,7 +3,8 @@
  * Report layer: the `[report] mode = events` emitter (Table-1 event
  * classes normalized per 10^6 retired instructions) and the
  * `assert = <expr>` evaluator that guards paper claims from the
- * scenario file itself.
+ * scenario file itself. Both are renderers/queries over the
+ * harness::MetricFrame the runner builds from a sweep's results.
  *
  * Assert grammar (tokens are whitespace-separated, so machine names
  * like `1x4+4` never collide with operators; parentheses are
@@ -12,9 +13,11 @@
  *   assert      := side CMP side
  *   side        := product (('+' | '-') product)*
  *   product     := value (('*' | '/') value)*
- *   value       := NUMBER | REF | '(' side ')'
+ *   value       := NUMBER | REF | AGG '(' side ')' | '(' side ')'
  *   CMP         := '<' | '<=' | '>' | '>=' | '==' | '!='
- *   REF         := <machine>.<metric>
+ *   AGG         := avg | geomean | min | max | sum | count
+ *   REF         := <machine> SELECTOR? '.' <metric>
+ *   SELECTOR    := '[' axis '=' value (',' axis '=' value)* ']'
  *   metric      := ticks | mcycles | speedup | insts | valid
  *                | completed | events.<counter>
  *                | events_per_mi.<counter>
@@ -26,18 +29,43 @@
  * proxy_signal_cycles, proxy_requests, suspended_cycles);
  * `events_per_mi` normalizes per 10^6 retired instructions.
  *
- * An assert is evaluated once per sweep-coordinate combination and
- * must hold at every one of them (e.g. for every workload of a
- * Figure-4 grid). Examples:
+ * A plain assert is evaluated once per sweep-coordinate combination
+ * (one MetricFrame group) and must hold at every one of them (e.g. for
+ * every workload of a Figure-4 grid). Examples:
  *
  *   assert = misp.speedup >= 0.9 * smp8.speedup
  *   assert = ( s5000.ticks - s0.ticks ) / s0.ticks <= 0.02
  *
- * The second is the Figure-5-style "overhead <= X% at cost Y" shape:
- * parentheses group the relative-overhead reconstruction against two
- * machines of one coordinate group (see
- * scenarios/ablation_model_check.scn for asserts that rebuild Eq.1 and
- * Eq.2 the same way).
+ * Cross-axis SELECTORs address *other* coordinate combinations from
+ * the current one: `misp[machine.signal_cycles=5000].ticks` is the
+ * ticks of machine `misp` at the group whose coordinates equal the
+ * current group's with the `machine.signal_cycles` axis forced to
+ * 5000. Each selector axis must name a swept coordinate of the group.
+ * The Figure-5 cost-sensitivity shape needs no per-cost machine
+ * sections this way:
+ *
+ *   assert = misp[machine.signal_cycles=5000].ticks <=
+ *            1.03 * misp[machine.signal_cycles=0].ticks
+ *
+ * AGG aggregates evaluate their body once per coordinate group and
+ * fold the results across the whole sweep: `avg` / `min` / `max` /
+ * `sum` are the usual folds, `geomean` is the geometric mean (every
+ * value must be positive), and `count` counts the groups whose body
+ * evaluates nonzero. An assert whose references are all inside
+ * aggregates is group-independent and is checked once per sweep
+ * ("suite claims" — Figure 4's suite-average speedup, Table 1's
+ * suite-average event rates):
+ *
+ *   assert = geomean ( misp.speedup ) >= 1.5
+ *   assert = count ( misp.valid ) == count ( 1 )
+ *
+ * Aggregates and per-group references compose: an aggregate inside a
+ * per-group assert is a sweep-wide constant (e.g.
+ * `misp.speedup >= 0.5 * avg ( misp.speedup )` bounds the spread).
+ *
+ * Failing asserts echo every resolved reference's value in
+ * AssertFailure::detail — aggregate bodies echo per coordinate group,
+ * so a failing suite-average claim names the offending points.
  */
 
 #ifndef MISP_DRIVER_REPORT_HH
@@ -51,21 +79,26 @@
 
 namespace misp::driver {
 
-/** One failed (but well-formed) assert at one coordinate combination. */
+/** One failed (but well-formed) assert at one coordinate combination
+ *  (or once per sweep, for aggregate-only suite claims). */
 struct AssertFailure {
     std::string text; ///< the assert expression as written
     int line = 0;     ///< spec line of the assert
-    std::string detail; ///< "lhs=... rhs=... at <coords>"
+    /** "lhs=... rhs=... at <coords>" plus every resolved reference's
+     *  value (aggregate bodies suffixed with their coordinate group),
+     *  so the failing points are named. */
+    std::string detail;
 };
 
 /**
- * Evaluate every [report] assert against the grid results. Returns
- * false (and sets @p err to a "path:line: message" diagnostic) on a
- * malformed expression or an unresolvable reference; well-formed
- * asserts that do not hold are appended to @p failures.
+ * Evaluate every [report] assert against the sweep's metric frame.
+ * Returns false (and sets @p err to a "path:line: message" diagnostic)
+ * on a malformed expression, an unresolvable reference, or a malformed
+ * cross-axis selector; well-formed asserts that do not hold are
+ * appended to @p failures.
  */
 bool evaluateAsserts(const Scenario &sc,
-                     const std::vector<PointResult> &results,
+                     const harness::MetricFrame &frame,
                      std::vector<AssertFailure> *failures,
                      std::string *err);
 
@@ -73,8 +106,7 @@ bool evaluateAsserts(const Scenario &sc,
  *  event classes normalized per 10^6 retired instructions.
  *  GitHub-flavoured markdown when @p markdown. */
 void writeEventsTable(std::ostream &os, const Scenario &sc,
-                      const std::vector<PointResult> &results,
-                      bool markdown);
+                      const harness::MetricFrame &frame, bool markdown);
 
 } // namespace misp::driver
 

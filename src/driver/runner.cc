@@ -33,47 +33,6 @@ jsonString(const std::string &s)
     return out;
 }
 
-bool
-sameCoords(const PointResult &r,
-           const std::vector<std::pair<std::string, std::string>> &coords)
-{
-    return r.coords == coords;
-}
-
-/** Baseline for [report] baseline_axis: the first result (grid order =
- *  first axis value) on the same machine with the same non-axis
- *  coordinates. */
-const PointResult *
-axisBaseline(const std::vector<PointResult> &results, const PointResult &r,
-             const std::string &axis)
-{
-    for (const PointResult &cand : results) {
-        if (cand.machine != r.machine ||
-            cand.coords.size() != r.coords.size())
-            continue;
-        bool match = true;
-        for (std::size_t i = 0; i < cand.coords.size(); ++i) {
-            if (cand.coords[i].first == axis)
-                continue;
-            match = match && cand.coords[i] == r.coords[i];
-        }
-        if (match)
-            return &cand;
-    }
-    return nullptr;
-}
-
-const PointResult *
-machineBaseline(const std::vector<PointResult> &results,
-                const PointResult &r, const std::string &machine)
-{
-    for (const PointResult &cand : results) {
-        if (cand.machine == machine && sameCoords(cand, r.coords))
-            return &cand;
-    }
-    return nullptr;
-}
-
 void
 progressLine(std::ostream &os, std::size_t done, std::size_t total,
              const ScenarioPoint &pt, const PointResult &r)
@@ -437,17 +396,29 @@ findResultCoords(const std::vector<PointResult> &results,
     return nullptr;
 }
 
+harness::MetricFrame
+buildMetricFrame(const Scenario &sc,
+                 const std::vector<PointResult> &results)
+{
+    harness::MetricFrame frame;
+    for (const PointResult &r : results)
+        frame.addRow(r.machine, r.workload, r.competitors, r.coords,
+                     r.run);
+    frame.finalize(sc.report.baselineMachine);
+    return frame;
+}
+
 void
 writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
-          const std::vector<PointResult> &results)
+          const harness::MetricFrame &frame)
 {
     os << "{\n";
     os << "  \"scenario\": " << jsonString(sc.name) << ",\n";
     os << "  \"title\": " << jsonString(sc.title) << ",\n";
     os << "  \"quick\": " << (quickMode ? "true" : "false") << ",\n";
     os << "  \"points\": [";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-        const PointResult &r = results[i];
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+        const harness::MetricFrame::Row &r = frame.row(i);
         os << (i ? ",\n" : "\n");
         os << "    {\n";
         os << "      \"machine\": " << jsonString(r.machine) << ",\n";
@@ -460,18 +431,20 @@ writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
         }
         os << "},\n";
         os << "      \"status\": "
-           << jsonString(harness::runStatusName(r.run.status)) << ",\n";
-        os << "      \"ticks\": " << r.run.ticks << ",\n";
-        os << "      \"valid\": " << (r.run.valid ? "true" : "false")
-           << ",\n";
-        os << "      \"insts_retired\": " << r.run.instsRetired << ",\n";
-        const harness::EventSnapshot &ev = r.run.events;
+           << jsonString(harness::runStatusName(r.status)) << ",\n";
+        os << "      \"ticks\": "
+           << static_cast<std::uint64_t>(frame.at(i, "ticks")) << ",\n";
+        os << "      \"valid\": "
+           << (frame.at(i, "valid") != 0.0 ? "true" : "false") << ",\n";
+        os << "      \"insts_retired\": "
+           << static_cast<std::uint64_t>(frame.at(i, "insts")) << ",\n";
         const std::vector<harness::EventField> &fields =
             harness::eventFields();
         os << "      \"events\": {\n";
         for (std::size_t f = 0; f < fields.size(); ++f) {
             os << "        \"" << fields[f].name << "\": ";
-            double v = fields[f].get(ev);
+            double v =
+                frame.at(i, std::string("events.") + fields[f].name);
             if (fields[f].cycles) {
                 char buf[64];
                 std::snprintf(buf, sizeof(buf), "%.0f", v);
@@ -482,18 +455,31 @@ writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
             os << (f + 1 < fields.size() ? ",\n" : "\n");
         }
         os << "      }";
-        if (!r.run.statsJson.empty())
-            os << ",\n      \"stats\": " << r.run.statsJson;
+        if (!r.statsJson.empty())
+            os << ",\n      \"stats\": " << r.statsJson;
         os << "\n    }";
     }
     os << "\n  ]\n}\n";
 }
 
 void
-writeTable(std::ostream &os, const Scenario &sc,
-           const std::vector<PointResult> &results, bool markdown)
+writeMetricsJson(std::ostream &os, const Scenario &sc, bool quickMode,
+                 const harness::MetricFrame &frame)
 {
-    if (results.empty()) {
+    os << "{\n";
+    os << "  \"scenario\": " << jsonString(sc.name) << ",\n";
+    os << "  \"title\": " << jsonString(sc.title) << ",\n";
+    os << "  \"quick\": " << (quickMode ? "true" : "false") << ",\n";
+    os << "  \"frame\":\n";
+    frame.writeJson(os);
+    os << "}\n";
+}
+
+void
+writeTable(std::ostream &os, const Scenario &sc,
+           const harness::MetricFrame &frame, bool markdown)
+{
+    if (frame.numRows() == 0) {
         os << "(no points)\n";
         return;
     }
@@ -501,7 +487,7 @@ writeTable(std::ostream &os, const Scenario &sc,
     // Column set: machine, workload, swept coords, Mcycles, then the
     // [report]-requested speedups.
     std::vector<std::string> coordKeys;
-    for (const auto &[key, value] : results.front().coords) {
+    for (const auto &[key, value] : frame.row(0).coords) {
         (void)value;
         if (key != "workload.name") // already the workload column
             coordKeys.push_back(key);
@@ -509,8 +495,8 @@ writeTable(std::ostream &os, const Scenario &sc,
     const bool vsMachine = !sc.report.baselineMachine.empty();
     const bool vsAxis = !sc.report.baselineAxis.empty();
     bool anyInvalid = false;
-    for (const PointResult &r : results)
-        anyInvalid = anyInvalid || !r.run.valid;
+    for (std::size_t i = 0; i < frame.numRows(); ++i)
+        anyInvalid = anyInvalid || frame.at(i, "valid") == 0.0;
 
     std::vector<std::string> header = {"machine", "workload"};
     for (const std::string &k : coordKeys)
@@ -523,8 +509,10 @@ writeTable(std::ostream &os, const Scenario &sc,
     if (anyInvalid)
         header.push_back("valid");
 
+    using Frame = harness::MetricFrame;
     std::vector<std::vector<std::string>> rows;
-    for (const PointResult &r : results) {
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+        const Frame::Row &r = frame.row(i);
         std::vector<std::string> row = {r.machine, r.workload};
         for (const std::string &k : coordKeys) {
             std::string v;
@@ -535,30 +523,32 @@ writeTable(std::ostream &os, const Scenario &sc,
             row.push_back(v);
         }
         char buf[64];
-        std::snprintf(buf, sizeof(buf), "%.3f", r.run.megaCycles());
+        std::snprintf(buf, sizeof(buf), "%.3f", frame.at(i, "mcycles"));
         row.push_back(buf);
         if (vsMachine) {
-            const PointResult *base =
-                machineBaseline(results, r, sc.report.baselineMachine);
-            if (base && r.run.ticks)
+            // The frame's derived speedup column is already relative
+            // to the [report] baseline machine of this row's group.
+            std::size_t base = frame.rowInGroup(
+                r.group, sc.report.baselineMachine);
+            if (base != Frame::npos && frame.at(i, "ticks") != 0.0)
                 std::snprintf(buf, sizeof(buf), "%.3f",
-                              r.run.speedupOver(base->run));
+                              frame.at(i, "speedup"));
             else
                 std::snprintf(buf, sizeof(buf), "-");
             row.push_back(buf);
         }
         if (vsAxis) {
-            const PointResult *base =
-                axisBaseline(results, r, sc.report.baselineAxis);
-            if (base && r.run.ticks)
+            std::size_t base =
+                frame.axisBaselineRow(i, sc.report.baselineAxis);
+            if (base != Frame::npos && frame.at(i, "ticks") != 0.0)
                 std::snprintf(buf, sizeof(buf), "%.3f",
-                              r.run.speedupOver(base->run));
+                              frame.speedupOf(i, base));
             else
                 std::snprintf(buf, sizeof(buf), "-");
             row.push_back(buf);
         }
         if (anyInvalid)
-            row.push_back(r.run.valid ? "yes" : "NO");
+            row.push_back(frame.at(i, "valid") != 0.0 ? "yes" : "NO");
         rows.push_back(std::move(row));
     }
 
@@ -604,9 +594,10 @@ writeTable(std::ostream &os, const Scenario &sc,
 }
 
 void
-writePoints(std::ostream &os, const std::vector<PointResult> &results)
+writePoints(std::ostream &os, const harness::MetricFrame &frame)
 {
-    for (const PointResult &r : results) {
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+        const harness::MetricFrame::Row &r = frame.row(i);
         // All swept coordinates ride along (';'-joined, '-' when there
         // are none) so lines stay unambiguous for axes beyond
         // workload.name/competitors (e.g. machine.signal_cycles).
@@ -618,8 +609,10 @@ writePoints(std::ostream &os, const std::vector<PointResult> &results)
         }
         os << "machine=" << r.machine << " workload=" << r.workload
            << " competitors=" << r.competitors << " coords="
-           << (coords.empty() ? "-" : coords) << " ticks=" << r.run.ticks
-           << " valid=" << (r.run.valid ? 1 : 0) << "\n";
+           << (coords.empty() ? "-" : coords) << " ticks="
+           << static_cast<std::uint64_t>(frame.at(i, "ticks"))
+           << " valid=" << (frame.at(i, "valid") != 0.0 ? 1 : 0)
+           << "\n";
     }
 }
 

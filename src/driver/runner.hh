@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "driver/scenario.hh"
+#include "harness/metric_frame.hh"
 #include "harness/run_record.hh"
 
 namespace misp::driver {
@@ -122,36 +123,52 @@ class ScenarioRunner
     Options opts_;
 };
 
-/** Result at (machine, workload, competitors); nullptr if absent. */
+/** Result at (machine, workload, competitors); nullptr if absent.
+ *  Kept for run-equivalence tests comparing raw RunRecords; result
+ *  *metrics* are read through the MetricFrame. */
 const PointResult *findResult(const std::vector<PointResult> &results,
                               const std::string &machine,
                               const std::string &workload,
                               unsigned competitors);
 
 /** Result on @p machine whose coords contain every (key, value) pair
- *  of @p coords; nullptr if absent. The wrapper benches use this to
- *  address multi-axis grids (e.g. workload x signal_cycles). */
+ *  of @p coords; nullptr if absent (see findResult's caveat). */
 const PointResult *
 findResultCoords(const std::vector<PointResult> &results,
                  const std::string &machine,
                  const std::vector<std::pair<std::string, std::string>>
                      &coords);
 
+/**
+ * Build the sweep's MetricFrame — the single translation from grid
+ * results to the queryable metrics store every consumer (asserts,
+ * emitters, wrapper benches) reads. Rows are added in grid order and
+ * the `speedup` column uses the scenario's [report] baseline_machine.
+ */
+harness::MetricFrame
+buildMetricFrame(const Scenario &sc,
+                 const std::vector<PointResult> &results);
+
 /** Machine-readable results: scenario header + one object per point.
  *  Fully deterministic (host timing stays on the stderr HOST lines),
  *  so reruns and `--jobs N` runs are byte-identical. */
 void writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
-               const std::vector<PointResult> &results);
+               const harness::MetricFrame &frame);
 
 /** Human results table; GitHub-flavoured markdown when @p markdown.
  *  Adds the [report]-requested speedup columns. */
 void writeTable(std::ostream &os, const Scenario &sc,
-                const std::vector<PointResult> &results, bool markdown);
+                const harness::MetricFrame &frame, bool markdown);
 
 /** Canonical `machine=... workload=... competitors=... ticks=...
  *  valid=...` lines — the equivalence-diff format. */
-void writePoints(std::ostream &os,
-                 const std::vector<PointResult> &results);
+void writePoints(std::ostream &os, const harness::MetricFrame &frame);
+
+/** The `mispsim --metrics FILE` artifact: scenario header + the full
+ *  frame (every row x every column) as deterministic JSON. */
+void writeMetricsJson(std::ostream &os, const Scenario &sc,
+                      bool quickMode,
+                      const harness::MetricFrame &frame);
 
 /**
  * Locate a scenario file: @p nameOrPath as given, then under

@@ -88,12 +88,6 @@ Experiment::finishRun(os::Process *target, Tick maxTicks)
     return out;
 }
 
-Tick
-Experiment::run(os::Process *target, Tick maxTicks)
-{
-    return runToCompletion(target, maxTicks).ticks;
-}
-
 std::uint64_t
 Experiment::events(unsigned proc, arch::Ring0Cause cause)
 {

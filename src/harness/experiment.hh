@@ -69,15 +69,6 @@ class Experiment
     RunOutcome resumeToCompletion(os::Process *target,
                                   Tick maxTicks = 2'000'000'000'000ull);
 
-    /**
-     * @deprecated Raw-tick form of runToCompletion(): the 0 it returns
-     * when the target never finishes is indistinguishable from a tick.
-     * Kept for out-of-tree callers; every in-tree caller uses
-     * runToCompletion().
-     */
-    [[deprecated("ambiguous Tick-0 return; use runToCompletion()")]]
-    Tick run(os::Process *target, Tick maxTicks = 2'000'000'000'000ull);
-
     /** Shortcut: Table-1 event count on processor @p proc. */
     std::uint64_t events(unsigned proc, arch::Ring0Cause cause);
 

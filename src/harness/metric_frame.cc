@@ -1,0 +1,318 @@
+#include "metric_frame.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace misp::harness {
+
+MetricFrame::MetricFrame()
+{
+    metrics_ = {"ticks", "mcycles", "insts", "valid", "completed"};
+    for (const EventField &f : eventFields())
+        metrics_.push_back(std::string("events.") + f.name);
+    for (const EventField &f : eventFields())
+        metrics_.push_back(std::string("events_per_mi.") + f.name);
+    columns_.resize(metrics_.size());
+}
+
+void
+MetricFrame::addRow(std::string machine, std::string workload,
+                    unsigned competitors, std::vector<Coord> coords,
+                    const RunRecord &run)
+{
+    if (finalized_)
+        fatal("MetricFrame: addRow() after finalize()");
+    Row row;
+    row.machine = std::move(machine);
+    row.workload = std::move(workload);
+    row.competitors = competitors;
+    row.coords = std::move(coords);
+    row.status = run.status;
+    row.statsJson = run.statsJson;
+    rows_.push_back(std::move(row));
+
+    std::size_t c = 0;
+    columns_[c++].push_back(double(run.ticks));
+    columns_[c++].push_back(run.megaCycles());
+    columns_[c++].push_back(double(run.instsRetired));
+    columns_[c++].push_back(run.valid ? 1.0 : 0.0);
+    columns_[c++].push_back(run.completed() ? 1.0 : 0.0);
+    for (const EventField &f : eventFields())
+        columns_[c++].push_back(f.get(run.events));
+    for (const EventField &f : eventFields())
+        columns_[c++].push_back(run.perMegaInsts(f.get(run.events)));
+}
+
+void
+MetricFrame::finalize(const std::string &baselineMachine)
+{
+    if (finalized_)
+        fatal("MetricFrame: finalize() called twice");
+    finalized_ = true;
+
+    // Group rows by coordinate combination, preserving first-seen
+    // order (the grid expands machines fastest, so a group is the
+    // machine list at one sweep coordinate).
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        std::size_t g = npos;
+        for (std::size_t i = 0; i < groups_.size(); ++i) {
+            if (rows_[groups_[i].front()].coords == rows_[r].coords) {
+                g = i;
+                break;
+            }
+        }
+        if (g == npos) {
+            g = groups_.size();
+            groups_.emplace_back();
+        }
+        rows_[r].group = g;
+        groups_[g].push_back(r);
+    }
+
+    if (baselineMachine.empty())
+        return;
+
+    // Derived column: speedup over the baseline machine of the same
+    // coordinate group.
+    metrics_.push_back("speedup");
+    std::vector<double> &speedup = columns_.emplace_back();
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        std::size_t base = rowInGroup(rows_[r].group, baselineMachine);
+        speedup.push_back(base != npos ? speedupOf(r, base) : 0.0);
+    }
+}
+
+double
+MetricFrame::speedupOf(std::size_t r, std::size_t base) const
+{
+    const std::vector<double> &ticks = columns_[0];
+    const std::vector<double> &completed = columns_[4];
+    if (completed[r] == 0.0 || completed[base] == 0.0 ||
+        ticks[r] == 0.0)
+        return 0.0;
+    return ticks[base] / ticks[r];
+}
+
+bool
+MetricFrame::hasMetric(const std::string &name) const
+{
+    return metricIndex(name) != npos;
+}
+
+std::size_t
+MetricFrame::metricIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (metrics_[i] == name)
+            return i;
+    }
+    return npos;
+}
+
+bool
+MetricFrame::value(std::size_t r, const std::string &metric,
+                   double *out) const
+{
+    std::size_t m = metricIndex(metric);
+    if (m == npos)
+        return false;
+    *out = columns_[m][r];
+    return true;
+}
+
+double
+MetricFrame::at(std::size_t r, const std::string &metric) const
+{
+    double v = 0;
+    if (!value(r, metric, &v))
+        fatal("MetricFrame: no metric '%s'", metric.c_str());
+    return v;
+}
+
+const std::vector<MetricFrame::Coord> &
+MetricFrame::groupCoords(std::size_t g) const
+{
+    return rows_[groups_[g].front()].coords;
+}
+
+std::string
+MetricFrame::groupLabel(std::size_t g) const
+{
+    std::string out;
+    for (const Coord &c : groupCoords(g)) {
+        if (!out.empty())
+            out += " ";
+        out += c.first + "=" + c.second;
+    }
+    return out.empty() ? "-" : out;
+}
+
+std::size_t
+MetricFrame::rowInGroup(std::size_t g, const std::string &machine) const
+{
+    for (std::size_t r : groups_[g]) {
+        if (rows_[r].machine == machine)
+            return r;
+    }
+    return npos;
+}
+
+std::size_t
+MetricFrame::rowWithOverrides(std::size_t g, const std::string &machine,
+                              const std::vector<Coord> &overrides) const
+{
+    std::vector<Coord> want = groupCoords(g);
+    for (const Coord &o : overrides) {
+        for (Coord &c : want) {
+            if (c.first == o.first)
+                c.second = o.second;
+        }
+    }
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (rows_[r].machine == machine && rows_[r].coords == want)
+            return r;
+    }
+    return npos;
+}
+
+std::size_t
+MetricFrame::axisBaselineRow(std::size_t r, const std::string &axis) const
+{
+    const Row &of = rows_[r];
+    for (std::size_t cand = 0; cand < rows_.size(); ++cand) {
+        if (rows_[cand].machine != of.machine ||
+            rows_[cand].coords.size() != of.coords.size())
+            continue;
+        bool match = true;
+        for (std::size_t i = 0; i < of.coords.size(); ++i) {
+            if (of.coords[i].first == axis)
+                continue;
+            match = match && rows_[cand].coords[i] == of.coords[i];
+        }
+        if (match)
+            return cand;
+    }
+    return npos;
+}
+
+std::size_t
+MetricFrame::findRow(const std::string &machine,
+                     const std::string &workload,
+                     unsigned competitors) const
+{
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (rows_[r].machine == machine &&
+            rows_[r].workload == workload &&
+            rows_[r].competitors == competitors)
+            return r;
+    }
+    return npos;
+}
+
+std::size_t
+MetricFrame::findRow(const std::string &machine,
+                     const std::vector<Coord> &coords) const
+{
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (rows_[r].machine != machine)
+            continue;
+        bool match = true;
+        for (const Coord &want : coords) {
+            bool found = false;
+            for (const Coord &have : rows_[r].coords)
+                found = found || have == want;
+            match = match && found;
+        }
+        if (match)
+            return r;
+    }
+    return npos;
+}
+
+std::vector<std::string>
+MetricFrame::workloads() const
+{
+    std::vector<std::string> names;
+    for (const Row &r : rows_) {
+        bool seen = false;
+        for (const std::string &n : names)
+            seen = seen || n == r.workload;
+        if (!seen)
+            names.push_back(r.workload);
+    }
+    return names;
+}
+
+namespace {
+
+/** Deterministic JSON number: integers as integers, the rest with 9
+ *  significant digits (every frame value is derived from simulated
+ *  integers, so this is reproducible run to run). */
+std::string
+jsonNumber(double v)
+{
+    char buf[48];
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+    }
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    out += stats::jsonEscape(s);
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+void
+MetricFrame::writeJson(std::ostream &os) const
+{
+    os << "{\n";
+    os << "  \"rows\": " << rows_.size() << ",\n";
+    os << "  \"groups\": " << groups_.size() << ",\n";
+    os << "  \"metrics\": [";
+    for (std::size_t m = 0; m < metrics_.size(); ++m)
+        os << (m ? ", " : "") << jsonString(metrics_[m]);
+    os << "],\n";
+    os << "  \"points\": [";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const Row &row = rows_[r];
+        os << (r ? ",\n" : "\n");
+        os << "    {\n";
+        os << "      \"machine\": " << jsonString(row.machine) << ",\n";
+        os << "      \"workload\": " << jsonString(row.workload)
+           << ",\n";
+        os << "      \"competitors\": " << row.competitors << ",\n";
+        os << "      \"coords\": {";
+        for (std::size_t c = 0; c < row.coords.size(); ++c) {
+            os << (c ? ", " : "") << jsonString(row.coords[c].first)
+               << ": " << jsonString(row.coords[c].second);
+        }
+        os << "},\n";
+        os << "      \"group\": " << row.group << ",\n";
+        os << "      \"status\": " << jsonString(runStatusName(row.status))
+           << ",\n";
+        os << "      \"values\": {";
+        for (std::size_t m = 0; m < metrics_.size(); ++m) {
+            os << (m ? ", " : "") << jsonString(metrics_[m]) << ": "
+               << jsonNumber(columns_[m][r]);
+        }
+        os << "}\n";
+        os << "    }";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace misp::harness

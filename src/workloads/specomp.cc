@@ -39,8 +39,18 @@ struct SpecProfile {
 };
 
 Workload
-buildSpecOmp(const SpecProfile &prof, const WorkloadParams &p)
+buildSpecOmp(const SpecProfile &profIn, const WorkloadParams &p)
 {
+    // Loop-nest knobs, sweepable from scenario specs: `param.iters`
+    // overrides the outer timestep count, `param.depth` deepens the
+    // per-element compute nest (multiplying the modeled FP work).
+    // Result validation derives from the effective iteration count, so
+    // overridden runs still check.
+    SpecProfile prof = profIn;
+    prof.iters = p.extraU64("iters", prof.iters);
+    prof.computePerElem = static_cast<Cycles>(
+        prof.computePerElem * p.extraU64("depth", 1));
+
     const std::uint64_t words = prof.words * p.scale;
     const std::uint64_t serialWords = static_cast<std::uint64_t>(
         static_cast<double>(words) * prof.serialInitFraction);
@@ -176,6 +186,8 @@ buildSpecOmp(const SpecProfile &prof, const WorkloadParams &p)
 } // namespace
 
 // Profiles shaped after Table 1's relative event mix (scaled down).
+// All of them take the `param.iters` / `param.depth` loop-nest knobs;
+// the scenario sweeps exercise them on swim and applu (mixed.scn).
 Workload
 buildSwim(const WorkloadParams &p)
 {

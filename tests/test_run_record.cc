@@ -85,6 +85,16 @@ handRolledRunWorkload(const arch::SystemConfig &sys, rt::Backend backend,
     return out;
 }
 
+/** The evaluator reads results through the sweep's MetricFrame; the
+ *  tests build it the way mispsim does. */
+bool
+evalAsserts(const Scenario &sc, const std::vector<PointResult> &results,
+            std::vector<AssertFailure> *failures, std::string *err)
+{
+    return evaluateAsserts(sc, buildMetricFrame(sc, results), failures,
+                           err);
+}
+
 /** A synthetic completed record for emitter/assert tests. */
 driver::PointResult
 fakePoint(const std::string &machine, const std::string &workload,
@@ -309,10 +319,11 @@ TEST(ParallelRunner, Jobs4OutputByteIdenticalToSerial)
 
     Scenario sc = mustScenario(text);
     auto render = [&](const std::vector<PointResult> &results) {
+        const harness::MetricFrame frame = buildMetricFrame(sc, results);
         std::ostringstream json, table, points;
-        writeJson(json, sc, false, results);
-        writeTable(table, sc, results, false);
-        writePoints(points, results);
+        writeJson(json, sc, false, frame);
+        writeTable(table, sc, frame, false);
+        writePoints(points, frame);
         return json.str() + "\x1e" + table.str() + "\x1e" + points.str();
     };
     EXPECT_EQ(render(serial), render(parallel));
@@ -339,14 +350,14 @@ TEST(ReportAsserts, PassFailAndDiagnostics)
 
     std::vector<AssertFailure> failures;
     std::string err;
-    ASSERT_TRUE(evaluateAsserts(sc, results, &failures, &err)) << err;
+    ASSERT_TRUE(evalAsserts(sc, results, &failures, &err)) << err;
     EXPECT_TRUE(failures.empty());
 
     // A failing assert reports its spec line and both sides.
     Scenario bad = sc;
     bad.report.asserts = {{"b.speedup >= 100", 42}};
     failures.clear();
-    ASSERT_TRUE(evaluateAsserts(bad, results, &failures, &err)) << err;
+    ASSERT_TRUE(evalAsserts(bad, results, &failures, &err)) << err;
     ASSERT_EQ(failures.size(), 1u);
     EXPECT_EQ(failures[0].line, 42);
     EXPECT_NE(failures[0].detail.find("lhs=3"), std::string::npos);
@@ -354,21 +365,21 @@ TEST(ReportAsserts, PassFailAndDiagnostics)
     // Malformed expressions and unknown references are hard errors.
     bad.report.asserts = {{"b.speedup >=", 7}};
     failures.clear();
-    EXPECT_FALSE(evaluateAsserts(bad, results, &failures, &err));
+    EXPECT_FALSE(evalAsserts(bad, results, &failures, &err));
     EXPECT_NE(err.find(":7:"), std::string::npos);
 
     bad.report.asserts = {{"nosuch.ticks > 0", 8}};
-    EXPECT_FALSE(evaluateAsserts(bad, results, &failures, &err));
+    EXPECT_FALSE(evalAsserts(bad, results, &failures, &err));
     EXPECT_NE(err.find("names no [machine] section"), std::string::npos);
 
     bad.report.asserts = {{"b.nosuchmetric > 0", 9}};
-    EXPECT_FALSE(evaluateAsserts(bad, results, &failures, &err));
+    EXPECT_FALSE(evalAsserts(bad, results, &failures, &err));
     EXPECT_NE(err.find("unknown metric"), std::string::npos);
 
     // Division by zero fails closed (a guard dividing by a run that
     // never finished must not silently pass), never evaluates to 0.
     bad.report.asserts = {{"a.ticks / 0 <= 1", 10}};
-    EXPECT_FALSE(evaluateAsserts(bad, results, &failures, &err));
+    EXPECT_FALSE(evalAsserts(bad, results, &failures, &err));
     EXPECT_NE(err.find("division by zero"), std::string::npos);
 
     // speedup requires a baseline machine.
@@ -377,7 +388,7 @@ TEST(ReportAsserts, PassFailAndDiagnostics)
         "[report]\nassert = a.speedup >= 1\n");
     std::vector<PointResult> one;
     one.push_back(fakePoint("a", "dense_mvm", 100, 1'000'000));
-    EXPECT_FALSE(evaluateAsserts(nobase, one, &failures, &err));
+    EXPECT_FALSE(evalAsserts(nobase, one, &failures, &err));
     EXPECT_NE(err.find("baseline_machine"), std::string::npos);
 }
 
@@ -403,15 +414,15 @@ TEST(ReportAsserts, ParenthesesGroupSubexpressions)
                           "* 10 == 20",
                           4}};
     failures.clear();
-    ASSERT_TRUE(evaluateAsserts(sc, results, &failures, &err)) << err;
+    ASSERT_TRUE(evalAsserts(sc, results, &failures, &err)) << err;
     EXPECT_TRUE(failures.empty()) << failures.size();
 
     // Unbalanced parens are hard errors, both ways.
     sc.report.asserts = {{"( a.ticks > 0", 5}};
-    EXPECT_FALSE(evaluateAsserts(sc, results, &failures, &err));
+    EXPECT_FALSE(evalAsserts(sc, results, &failures, &err));
     EXPECT_NE(err.find("expected ')'"), std::string::npos);
     sc.report.asserts = {{"a.ticks ) > 0", 6}};
-    EXPECT_FALSE(evaluateAsserts(sc, results, &failures, &err));
+    EXPECT_FALSE(evalAsserts(sc, results, &failures, &err));
 }
 
 TEST(ReportAsserts, EvaluatedPerCoordinateGroup)
@@ -438,7 +449,7 @@ TEST(ReportAsserts, EvaluatedPerCoordinateGroup)
 
     std::vector<AssertFailure> failures;
     std::string err;
-    ASSERT_TRUE(evaluateAsserts(sc, results, &failures, &err)) << err;
+    ASSERT_TRUE(evalAsserts(sc, results, &failures, &err)) << err;
     ASSERT_EQ(failures.size(), 1u);
     EXPECT_NE(failures[0].detail.find("workload.workers=2"),
               std::string::npos);
@@ -458,16 +469,17 @@ TEST(EventsReport, NormalizesPerMegaInstructions)
 
     std::vector<PointResult> results;
     results.push_back(fakePoint("m", "dense_mvm", 1000, 2'000'000));
+    const harness::MetricFrame frame = buildMetricFrame(sc, results);
     // 10 OMS faults / 2 MInsts = 5.000; 40 AMS faults -> 20.000.
     std::ostringstream os;
-    writeEventsTable(os, sc, results, /*markdown=*/false);
+    writeEventsTable(os, sc, frame, /*markdown=*/false);
     EXPECT_NE(os.str().find("per 10^6 retired instructions"),
               std::string::npos);
     EXPECT_NE(os.str().find("5.000"), std::string::npos);
     EXPECT_NE(os.str().find("20.000"), std::string::npos);
 
     std::ostringstream md;
-    writeEventsTable(md, sc, results, /*markdown=*/true);
+    writeEventsTable(md, sc, frame, /*markdown=*/true);
     EXPECT_NE(md.str().find("| machine |"), std::string::npos);
     EXPECT_NE(md.str().find("| --- |"), std::string::npos);
 
@@ -561,8 +573,9 @@ TEST(CheckedInScenarios, PortedBenchSpecsParseAndExpand)
         EXPECT_EQ(pts.size(), c.quickPoints) << c.file;
     }
 
-    // table1 guards its claims from the spec; fig4 carries the §5.3
-    // speedup asserts.
+    // table1 guards its claims from the spec (per-suite aggregates);
+    // fig4 carries the §5.3 speedup asserts plus their suite-level
+    // aggregate forms.
     std::string path = findScenarioFile("table1.scn", nullptr);
     SpecFile spec;
     Scenario sc;
@@ -570,11 +583,11 @@ TEST(CheckedInScenarios, PortedBenchSpecsParseAndExpand)
     ASSERT_TRUE(SpecFile::parseFile(path, &spec, &err)) << err;
     ASSERT_TRUE(Scenario::fromSpec(spec, &sc, &err)) << err;
     EXPECT_EQ(sc.report.mode, ReportMode::Events);
-    EXPECT_EQ(sc.report.asserts.size(), 2u);
+    EXPECT_EQ(sc.report.asserts.size(), 4u);
 
     path = findScenarioFile("fig4.scn", nullptr);
     ASSERT_FALSE(path.empty());
     ASSERT_TRUE(SpecFile::parseFile(path, &spec, &err)) << err;
     ASSERT_TRUE(Scenario::fromSpec(spec, &sc, &err)) << err;
-    EXPECT_EQ(sc.report.asserts.size(), 2u);
+    EXPECT_EQ(sc.report.asserts.size(), 5u);
 }

@@ -533,8 +533,10 @@ TEST(Emitters, JsonTableAndPoints)
     std::vector<PointResult> results = ScenarioRunner(opts).runAll(sc, pts);
     ASSERT_EQ(results.size(), 2u);
 
+    const harness::MetricFrame frame = buildMetricFrame(sc, results);
+
     std::ostringstream jsonOs;
-    writeJson(jsonOs, sc, false, results);
+    writeJson(jsonOs, sc, false, frame);
     const std::string json = jsonOs.str();
     EXPECT_NE(json.find("\"scenario\": \"emit\""), std::string::npos);
     EXPECT_NE(json.find("\"ticks\": "), std::string::npos);
@@ -542,16 +544,16 @@ TEST(Emitters, JsonTableAndPoints)
               std::count(json.begin(), json.end(), '}'));
 
     std::ostringstream table;
-    writeTable(table, sc, results, /*markdown=*/false);
+    writeTable(table, sc, frame, /*markdown=*/false);
     EXPECT_NE(table.str().find("speedup_vs_a"), std::string::npos);
 
     std::ostringstream md;
-    writeTable(md, sc, results, /*markdown=*/true);
+    writeTable(md, sc, frame, /*markdown=*/true);
     EXPECT_NE(md.str().find("| machine |"), std::string::npos);
     EXPECT_NE(md.str().find("| --- |"), std::string::npos);
 
     std::ostringstream pl;
-    writePoints(pl, results);
+    writePoints(pl, frame);
     EXPECT_NE(pl.str().find("machine=a workload=dense_mvm competitors=0 "
                             "coords=- ticks="),
               std::string::npos);

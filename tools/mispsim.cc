@@ -41,6 +41,10 @@ usage(const char *argv0, int code)
         "\n"
         "options:\n"
         "  -o FILE            write results as JSON to FILE\n"
+        "  --metrics FILE     write the full metric frame (every sweep\n"
+        "                     point x every metric, incl. derived\n"
+        "                     speedup and per-10^6-instruction event\n"
+        "                     rates) as deterministic JSON to FILE\n"
         "  --quick            apply the scenario's [quick] overrides\n"
         "  --jobs N           run grid points on N worker threads; all\n"
         "                     outputs (JSON, tables, --points) stay\n"
@@ -93,6 +97,7 @@ main(int argc, char **argv)
 {
     std::string scnArg;
     std::string jsonPath;
+    std::string metricsPath;
     bool quick = false;
     bool markdown = false;
     bool pointsOnly = false;
@@ -119,6 +124,13 @@ main(int argc, char **argv)
                 return 2;
             }
             jsonPath = argv[i];
+        } else if (std::strcmp(arg, "--metrics") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --metrics needs a file argument\n");
+                return 2;
+            }
+            metricsPath = argv[i];
         } else if (std::strcmp(arg, "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(arg, "--jobs") == 0) {
@@ -241,12 +253,16 @@ main(int argc, char **argv)
     std::vector<PointResult> results =
         runner.runAll(sc, points, pointsOnly ? nullptr : &std::cerr);
 
+    // One columnar frame per sweep: every renderer and the assert
+    // evaluator below read the results through it.
+    const harness::MetricFrame frame = buildMetricFrame(sc, results);
+
     if (pointsOnly) {
-        writePoints(std::cout, results);
+        writePoints(std::cout, frame);
     } else if (sc.report.mode == ReportMode::Events) {
-        writeEventsTable(std::cout, sc, results, markdown);
+        writeEventsTable(std::cout, sc, frame, markdown);
     } else {
-        writeTable(std::cout, sc, results, markdown);
+        writeTable(std::cout, sc, frame, markdown);
     }
 
     if (!jsonPath.empty()) {
@@ -256,8 +272,19 @@ main(int argc, char **argv)
                          jsonPath.c_str());
             return 1;
         }
-        writeJson(os, sc, quick, results);
+        writeJson(os, sc, quick, frame);
         std::fprintf(stderr, "mispsim: wrote %s\n", jsonPath.c_str());
+    }
+
+    if (!metricsPath.empty()) {
+        std::ofstream os(metricsPath);
+        if (!os) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         metricsPath.c_str());
+            return 1;
+        }
+        writeMetricsJson(os, sc, quick, frame);
+        std::fprintf(stderr, "mispsim: wrote %s\n", metricsPath.c_str());
     }
 
     int rc = 0;
@@ -290,7 +317,7 @@ main(int argc, char **argv)
     // [report] asserts guard paper claims from the spec itself; any
     // failing (or malformed) assert makes the run exit non-zero.
     std::vector<AssertFailure> failures;
-    if (!evaluateAsserts(sc, results, &failures, &err)) {
+    if (!evaluateAsserts(sc, frame, &failures, &err)) {
         std::fprintf(stderr, "mispsim: %s\n", err.c_str());
         return 1;
     }
