@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Deterministic fault injection for supervised sweep execution.
+ *
+ * A FaultPlan is a seeded schedule of worker misbehaviors, parsed from
+ * `mispsim --inject SPEC` or a scenario's `[faults]` section. It is the
+ * single way tests and CI make `--isolate` workers misbehave: every
+ * fault fires at a chosen grid-point index (or with a seeded,
+ * deterministic per-point probability), on a bounded set of retry
+ * attempts, so a chaos run's statuses are byte-reproducible.
+ *
+ * Item grammar (items are ';'-separated in --inject SPEC; a [faults]
+ * section spells one item per repeatable `inject =` line plus an
+ * optional `seed =` key):
+ *
+ *   item    := 'seed=' N | KIND '@' TARGET ('x' (N | '*'))?
+ *   KIND    := crash | hang | corrupt_pipe | corrupt_snapshot
+ *            | fork_fail
+ *   TARGET  := index-list | 'p' FLOAT
+ *
+ * An index-list uses the sweep-spec value grammar (`1,3` or `0..2`,
+ * decimal) and names grid-point indices in submission order (the
+ * `--dry-run` order). `pFLOAT` instead fires on each point with the
+ * given probability, decided by a hash of (seed, rule, point) — the
+ * same plan and seed always picks the same points. The `xN` suffix
+ * bounds the fault to the first N attempts of a point (so a
+ * supervised retry then succeeds); the default `x*` fires on every
+ * attempt (a persistent fault — the point fails after the retry
+ * budget).
+ *
+ * What each kind does to the worker (src/driver/runner.cc):
+ *
+ *   crash             abort() before running -> WorkerCrashed
+ *   hang              never compute, never write -> deadline SIGKILL
+ *                     -> WorkerTimeout
+ *   corrupt_pipe      run, then ship a truncated+flipped payload ->
+ *                     fail-closed decode -> WorkerCrashed
+ *   corrupt_snapshot  run with an unreadable snapshot image ->
+ *                     SnapshotError (the run layer's fail-closed path)
+ *   fork_fail         the parent's fork "fails" -> WorkerCrashed,
+ *                     retryable without ever spawning a child
+ */
+
+#ifndef MISP_DRIVER_FAULTS_HH
+#define MISP_DRIVER_FAULTS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace misp::driver {
+
+enum class FaultKind {
+    Crash,
+    Hang,
+    CorruptPipe,
+    CorruptSnapshot,
+    ForkFail,
+};
+
+/** The spelled name of @p kind (the --inject grammar keyword). */
+const char *faultKindName(FaultKind kind);
+
+/** One scheduled misbehavior: where it fires and for how many
+ *  attempts. */
+struct FaultRule {
+    FaultKind kind = FaultKind::Crash;
+    /** Explicit grid-point indices (submission order); empty when the
+     *  rule is probability-based. */
+    std::vector<std::size_t> points;
+    /** Per-point firing probability for `pFLOAT` targets (decided
+     *  deterministically from the plan seed); unused when `points` is
+     *  non-empty. */
+    double probability = 0.0;
+    /** The fault fires on attempts 1..times of a point; kAlways means
+     *  every attempt (a persistent fault). */
+    unsigned times = kAlways;
+
+    static constexpr unsigned kAlways = ~0u;
+};
+
+/** A seeded, deterministic schedule of worker faults. */
+struct FaultPlan {
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    std::vector<FaultRule> rules;
+
+    bool empty() const { return rules.empty(); }
+
+    /**
+     * Parse a full `--inject` spec (';'-separated items) into @p out,
+     * appending to any rules already present. False + @p err on a
+     * malformed item.
+     */
+    static bool parse(const std::string &spec, FaultPlan *out,
+                      std::string *err);
+
+    /** Parse one item (one `inject =` spec line). */
+    static bool parseItem(const std::string &item, FaultPlan *out,
+                          std::string *err);
+
+    /** Append @p other's rules; @p other's seed wins when it was
+     *  explicitly set (CLI --inject overrides the spec's seed). */
+    void merge(const FaultPlan &other);
+
+    /**
+     * The fault scheduled for attempt @p attempt (1-based) of grid
+     * point @p point, if any. Rules are consulted in plan order; the
+     * first match wins. Deterministic: the same plan always returns
+     * the same schedule.
+     */
+    bool faultFor(std::size_t point, unsigned attempt,
+                  FaultKind *kind) const;
+
+    /** Round-trippable rendering (diagnostics, tests). */
+    std::string toString() const;
+};
+
+} // namespace misp::driver
+
+#endif // MISP_DRIVER_FAULTS_HH

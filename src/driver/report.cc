@@ -35,6 +35,9 @@ struct AggResult {
     double value = 0;
     std::size_t endPos = 0; ///< token position of the closing ')'
     std::vector<RefEcho> refs;
+    /** Every group was degraded: the fold had nothing to fold over
+     *  and the enclosing evaluation is itself degraded. */
+    bool allDegraded = false;
 };
 using AggCache = std::map<std::size_t, AggResult>;
 
@@ -56,7 +59,33 @@ struct EvalCtx {
     std::set<std::string> *consulted = nullptr;
     std::vector<RefEcho> *refs = nullptr;
     AggCache *aggCache = nullptr;
+
+    /** Set when a resolved reference landed on an infrastructure-failed
+     *  row (or an aggregate lost every group to degradation) — the
+     *  signal the [report] on_failed_points policy acts on. */
+    bool *sawFailed = nullptr;
 };
+
+void
+markFailed(const EvalCtx &ctx)
+{
+    if (ctx.sawFailed)
+        *ctx.sawFailed = true;
+}
+
+/** Full-string numeric parse (the assert grammar's NUMBER rule). */
+bool
+parseNumber(const std::string &s, double *out)
+{
+    if (s.empty())
+        return false;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (!end || *end != '\0' || end == s.c_str())
+        return false;
+    *out = v;
+    return true;
+}
 
 /** Value of @p metric at @p row, with the metric-name diagnostics the
  *  grammar promises. */
@@ -122,6 +151,50 @@ parseSelector(const EvalCtx &ctx, const std::string &body,
                    "' names no sweep coordinate at " +
                    ctx.frame.groupLabel(ctx.group);
             return false;
+        }
+
+        // Numeric normalization: `signal_cycles=5e3` must address the
+        // axis value spelled `5000`. An exact spelling match wins;
+        // otherwise adopt the spelling of the axis value the selector
+        // matches numerically. A value matching nothing either way is
+        // a malformed selector — diagnose with the axis's values.
+        std::vector<std::string> axisValues;
+        bool exact = false;
+        for (std::size_t r = 0; r < ctx.frame.numRows(); ++r) {
+            for (const MetricFrame::Coord &c :
+                 ctx.frame.row(r).coords) {
+                if (c.first != coord.first)
+                    continue;
+                exact = exact || c.second == coord.second;
+                bool dup = false;
+                for (const std::string &v : axisValues)
+                    dup = dup || v == c.second;
+                if (!dup)
+                    axisValues.push_back(c.second);
+            }
+        }
+        if (!exact) {
+            double want = 0;
+            std::string match;
+            if (parseNumber(coord.second, &want)) {
+                for (const std::string &v : axisValues) {
+                    double have = 0;
+                    if (parseNumber(v, &have) && have == want) {
+                        match = v;
+                        break;
+                    }
+                }
+            }
+            if (match.empty()) {
+                std::string values;
+                for (const std::string &v : axisValues)
+                    values += (values.empty() ? "" : ", ") + v;
+                *why = "'" + ref + "': selector value '" + coord.second +
+                       "' matches no value of axis '" + coord.first +
+                       "' (values: " + values + ")";
+                return false;
+            }
+            coord.second = match;
         }
         out->push_back(std::move(coord));
         if (comma == std::string::npos)
@@ -222,6 +295,12 @@ resolveRef(const EvalCtx &ctx, const std::string &ref, double *out,
 
     if (!metricValue(ctx, row, metric, ref, out, why))
         return false;
+    // A reference landing on an infrastructure-failed row taints the
+    // evaluation; the policy layer decides what that means. The value
+    // still resolves (the frame's columns exist) so parsing continues
+    // and every malformed-expression diagnostic still fires.
+    if (harness::runStatusIsInfraFailure(ctx.frame.row(row).status))
+        markFailed(ctx);
     if (ctx.refs) {
         std::string text = ref;
         if (ctx.inAggregate)
@@ -313,6 +392,8 @@ parseAggregate(Tokenizer &tz, const EvalCtx &ctx,
                 ctx.refs->insert(ctx.refs->end(),
                                  hit->second.refs.begin(),
                                  hit->second.refs.end());
+            if (hit->second.allDegraded)
+                markFailed(ctx);
             *out = hit->second.value;
             return true;
         }
@@ -321,21 +402,46 @@ parseAggregate(Tokenizer &tz, const EvalCtx &ctx,
     std::size_t end = start;
     std::vector<RefEcho> bodyRefs;
     std::vector<double> values;
+    std::size_t degraded = 0;
     for (std::size_t g = 0; g < ctx.frame.numGroups(); ++g) {
         tz.pos = start;
+        const std::size_t refMark = bodyRefs.size();
+        bool bodyFailed = false;
         EvalCtx inner = ctx;
         inner.group = g;
         inner.inAggregate = true;
         inner.refs = &bodyRefs;
+        inner.sawFailed = &bodyFailed;
         double v = 0;
         if (!parseSide(tz, inner, &v, why))
             return false;
         end = tz.pos;
+        // Degraded groups stay out of the fold — any group containing
+        // an infrastructure-failed point, whether or not this body's
+        // references touch the failed row, so ref-less bodies (the
+        // `count ( 1 )` idiom) and ref-ful ones fold over the same
+        // surviving groups.
+        if (bodyFailed || ctx.frame.groupHasFailure(g)) {
+            bodyRefs.resize(refMark);
+            ++degraded;
+            continue;
+        }
         values.push_back(v);
     }
+    if (degraded > 0)
+        bodyRefs.push_back({func + "(...) degraded groups skipped",
+                            double(degraded)});
+    bool allDegraded = false;
     if (values.empty()) {
-        *why = func + "(...): no results to aggregate over";
-        return false;
+        if (degraded == 0) {
+            *why = func + "(...): no results to aggregate over";
+            return false;
+        }
+        // Every group was degraded: nothing to fold, so the aggregate
+        // itself is degraded and the enclosing evaluation follows the
+        // on_failed_points policy.
+        allDegraded = true;
+        markFailed(ctx);
     }
     tz.pos = end;
     const std::string *close = tz.take();
@@ -349,7 +455,9 @@ parseAggregate(Tokenizer &tz, const EvalCtx &ctx,
         ctx.refs->insert(ctx.refs->end(), bodyRefs.begin(),
                          bodyRefs.end());
 
-    if (func == "avg") {
+    if (allDegraded) {
+        *out = 0.0;
+    } else if (func == "avg") {
         double sum = 0;
         for (double v : values)
             sum += v;
@@ -381,7 +489,8 @@ parseAggregate(Tokenizer &tz, const EvalCtx &ctx,
         *out = double(n);
     }
     if (ctx.aggCache)
-        (*ctx.aggCache)[start] = {*out, end, std::move(bodyRefs)};
+        (*ctx.aggCache)[start] = {*out, end, std::move(bodyRefs),
+                                  allDegraded};
     return true;
 }
 
@@ -433,7 +542,14 @@ parseProduct(Tokenizer &tz, const EvalCtx &ctx, double *out,
             return false;
         if (*tok == "/" && rhs == 0.0) {
             // Fail closed: a guard must not silently pass because the
-            // run it divides by never finished (ticks == 0).
+            // run it divides by never finished (ticks == 0) — unless
+            // the evaluation already touched a failed point, in which
+            // case zeros are expected and the on_failed_points policy
+            // (not a spurious division error) decides the outcome.
+            if (ctx.sawFailed && *ctx.sawFailed) {
+                *out = 0.0;
+                continue;
+            }
             *why = "division by zero";
             return false;
         }
@@ -485,11 +601,11 @@ evaluateOne(const std::string &text, const Scenario &sc,
             const MetricFrame &frame, std::size_t group, bool *holds,
             double *lhs, double *rhs, std::set<std::string> *consulted,
             std::vector<RefEcho> *refs, AggCache *aggCache,
-            std::string *why)
+            bool *sawFailed, std::string *why)
 {
     Tokenizer tz(text);
-    EvalCtx ctx{sc,   frame, group, /*inAggregate=*/false,
-                consulted, refs,  aggCache};
+    EvalCtx ctx{sc,   frame, group,    /*inAggregate=*/false,
+                consulted, refs,  aggCache, sawFailed};
     if (!parseSide(tz, ctx, lhs, why))
         return false;
     const std::string *op = tz.take();
@@ -544,50 +660,78 @@ projectionLabel(const std::vector<MetricFrame::Coord> &coords,
 
 bool
 evaluateAsserts(const Scenario &sc, const MetricFrame &frame,
-                std::vector<AssertFailure> *failures, std::string *err)
+                std::vector<AssertFailure> *failures, std::string *err,
+                std::size_t *skippedGroups)
 {
+    if (skippedGroups)
+        *skippedGroups = 0;
     if (sc.report.asserts.empty())
         return true;
+    const FailedPointPolicy policy = sc.report.onFailedPoints;
     for (const ReportAssert &a : sc.report.asserts) {
         // An evaluation depends on the group only through the axes its
         // references consult (none for aggregate-only "suite claims";
         // the unpinned axes for cross-axis references). Groups that
         // agree on every consulted axis evaluate identically, so each
         // distinct projection is evaluated — and can fail — once.
+        // Degraded evaluations never claim their projection: a later
+        // clean group with the same projection must still evaluate.
         AggCache aggCache;
         std::set<std::string> consulted;
         std::set<std::string> seen;
         bool consultedKnown = false;
         for (std::size_t g = 0; g < frame.numGroups(); ++g) {
             if (consultedKnown &&
-                !seen.insert(projectionLabel(frame.groupCoords(g),
-                                             consulted))
-                     .second)
+                seen.count(
+                    projectionLabel(frame.groupCoords(g), consulted)))
                 continue;
             bool holds = false;
+            bool sawFailed = false;
             double lhs = 0, rhs = 0;
             std::vector<RefEcho> refs;
             std::string why;
             if (!evaluateOne(a.text, sc, frame, g, &holds, &lhs, &rhs,
-                             &consulted, &refs, &aggCache, &why)) {
+                             &consulted, &refs, &aggCache, &sawFailed,
+                             &why)) {
                 if (err)
                     *err = specError(sc.specPath, a.line,
                                      "assert '" + a.text + "': " + why);
                 return false;
             }
+            consultedKnown = true;
             std::string where =
                 projectionLabel(frame.groupCoords(g), consulted);
-            if (!consultedKnown) {
-                consultedKnown = true;
+
+            // A group-dependent evaluation is degraded when its group
+            // contains a failed point (even one its references missed:
+            // the group is the evaluation unit) or its references
+            // reached a failed point elsewhere. Suite claims (nothing
+            // consulted) are degraded only through their aggregates.
+            const bool degraded =
+                sawFailed ||
+                (!consulted.empty() && frame.groupHasFailure(g));
+            if (degraded) {
+                if (skippedGroups)
+                    ++*skippedGroups;
+                if (policy == FailedPointPolicy::RequireAll) {
+                    failures->push_back(
+                        {a.text, a.line,
+                         "references failed point(s) at " +
+                             (where.empty() ? "the whole sweep"
+                                            : where) +
+                             " (on_failed_points=require_all)"});
+                }
+            } else {
                 seen.insert(where);
-            }
-            if (!holds) {
-                failures->push_back(
-                    {a.text, a.line,
-                     failureDetail(lhs, rhs,
-                                   where.empty() ? "the whole sweep"
-                                                 : where,
-                                   refs)});
+                if (!holds) {
+                    failures->push_back(
+                        {a.text, a.line,
+                         failureDetail(lhs, rhs,
+                                       where.empty()
+                                           ? "the whole sweep"
+                                           : where,
+                                       refs)});
+                }
             }
             // Nothing consulted the group: one evaluation covers the
             // sweep.
@@ -614,6 +758,10 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
             coordKeys.push_back(key);
     }
 
+    bool anyFailed = false;
+    for (std::size_t i = 0; i < frame.numRows(); ++i)
+        anyFailed = anyFailed || frame.at(i, "failed") != 0.0;
+
     std::vector<std::string> header = {"machine", "workload"};
     for (const std::string &k : coordKeys)
         header.push_back(k);
@@ -621,6 +769,8 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
          {"insts(M)", "oms_sys", "oms_pf", "timer", "intr", "ams_sys",
           "ams_pf", "serial"})
         header.push_back(k);
+    if (anyFailed)
+        header.push_back("status");
 
     // The Table-1 classes, normalized per 10^6 retired instructions —
     // straight reads of the frame's events_per_mi columns.
@@ -650,6 +800,8 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
             std::snprintf(buf, sizeof(buf), "%.3f", frame.at(i, col));
             row.push_back(buf);
         }
+        if (anyFailed)
+            row.push_back(harness::runStatusName(r.status));
         rows.push_back(std::move(row));
     }
 

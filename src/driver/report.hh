@@ -19,7 +19,7 @@
  *   REF         := <machine> SELECTOR? '.' <metric>
  *   SELECTOR    := '[' axis '=' value (',' axis '=' value)* ']'
  *   metric      := ticks | mcycles | speedup | insts | valid
- *                | completed | events.<counter>
+ *                | completed | failed | attempts | events.<counter>
  *                | events_per_mi.<counter>
  *
  * `<machine>` names a [machine] section; `speedup` is relative to the
@@ -40,7 +40,12 @@
  * the current one: `misp[machine.signal_cycles=5000].ticks` is the
  * ticks of machine `misp` at the group whose coordinates equal the
  * current group's with the `machine.signal_cycles` axis forced to
- * 5000. Each selector axis must name a swept coordinate of the group.
+ * 5000. Each selector axis must name a swept coordinate of the group,
+ * and selector values are numerically normalized against the axis's
+ * actual values — `misp[machine.signal_cycles=5e3].ticks` addresses
+ * the axis value spelled `5000` (an exact spelling match wins; a value
+ * matching no axis value, numerically or verbatim, is a malformed
+ * selector and diagnoses the axis's values).
  * The Figure-5 cost-sensitivity shape needs no per-cost machine
  * sections this way:
  *
@@ -66,6 +71,20 @@
  * Failing asserts echo every resolved reference's value in
  * AssertFailure::detail — aggregate bodies echo per coordinate group,
  * so a failing suite-average claim names the offending points.
+ *
+ * Graceful degradation: grid points that failed for infrastructure
+ * reasons (worker crash/timeout, snapshot error — `failed` = 1) make
+ * their coordinate group *degraded*. Aggregates always exclude
+ * degraded groups from their folds (and echo the skipped count into
+ * the failure detail), so `count ( misp.completed ) == count ( 1 )`
+ * still holds over the survivors. What happens to per-group
+ * evaluations that touch a degraded group is the
+ * `[report] on_failed_points` policy's call: `fail` (default) and
+ * `skip` skip the evaluation (counted in evaluateAsserts'
+ * @p skippedGroups), `require_all` turns it into an assert failure.
+ * The policies differ only in `mispsim`'s exit code: failed points
+ * exit 1 under `fail`/`require_all` but 4 ("completed with failed
+ * points") under `skip`.
  */
 
 #ifndef MISP_DRIVER_REPORT_HH
@@ -95,12 +114,16 @@ struct AssertFailure {
  * Returns false (and sets @p err to a "path:line: message" diagnostic)
  * on a malformed expression, an unresolvable reference, or a malformed
  * cross-axis selector; well-formed asserts that do not hold are
- * appended to @p failures.
+ * appended to @p failures. Evaluations touching degraded coordinate
+ * groups follow the `[report] on_failed_points` policy (see the
+ * grammar comment); when @p skippedGroups is non-null it receives the
+ * number of per-group evaluations skipped because of failed points.
  */
 bool evaluateAsserts(const Scenario &sc,
                      const harness::MetricFrame &frame,
                      std::vector<AssertFailure> *failures,
-                     std::string *err);
+                     std::string *err,
+                     std::size_t *skippedGroups = nullptr);
 
 /** The `[report] mode = events` table: one row per grid point, Table-1
  *  event classes normalized per 10^6 retired instructions.

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <filesystem>
 #include <mutex>
@@ -13,6 +15,7 @@
 #include <thread>
 
 #include <poll.h>
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -178,21 +181,39 @@ ScenarioRunner::runAll(const Scenario &sc,
 }
 
 // ---------------------------------------------------------------------
-// Crash-isolated worker backend (--jobs N --isolate)
+// Supervised crash-isolated worker backend (--jobs N --isolate)
 // ---------------------------------------------------------------------
 
 namespace {
 
+using SupervisorClock = std::chrono::steady_clock;
+
 /** One live worker child: its pid, the read end of its result pipe,
- *  the grid point it owns, and the bytes received so far. */
+ *  the grid point + attempt it owns, its wall-clock deadline, and the
+ *  bytes received so far. */
 struct IsolatedWorker {
     pid_t pid = -1;
     int fd = -1;
     std::size_t index = 0;
+    unsigned attempt = 1;
     std::string buf;
+    bool hasDeadline = false;
+    SupervisorClock::time_point deadline{};
+    bool timedOut = false;
 };
 
-void
+/** A relaunch waiting out its backoff delay. */
+struct PendingLaunch {
+    std::size_t index = 0;
+    unsigned attempt = 1;
+    SupervisorClock::time_point launchAt{};
+};
+
+/** Write all of @p data to @p fd; false when the descriptor failed
+ *  (closed pipe, I/O error). A worker whose payload cannot be shipped
+ *  in full must exit non-zero — a silently dropped tail would leave
+ *  the parent parsing a truncated record. */
+bool
 writeAll(int fd, const std::string &data)
 {
     std::size_t off = 0;
@@ -201,10 +222,26 @@ writeAll(int fd, const std::string &data)
         if (n <= 0) {
             if (n < 0 && errno == EINTR)
                 continue;
-            return; // parent gone; nothing sensible left to do
+            return false;
         }
         off += static_cast<std::size_t>(n);
     }
+    return true;
+}
+
+/** Milliseconds until @p when (>= 1 so a poll timeout can't busy-spin),
+ *  folded into @p timeout (-1 = infinite). */
+void
+foldTimeout(SupervisorClock::time_point now,
+            SupervisorClock::time_point when, int *timeout)
+{
+    auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  when - now)
+                  .count();
+    int t = ms <= 0 ? 0 : static_cast<int>(std::min<long long>(
+                              ms + 1, 3600 * 1000));
+    if (*timeout < 0 || t < *timeout)
+        *timeout = t;
 }
 
 } // namespace
@@ -224,6 +261,29 @@ ScenarioRunner::runIsolated(const Scenario &sc,
         results[i].coords = pts[i].coords;
     }
 
+    // Resolve supervision knobs: explicit CLI values override the
+    // scenario's [run] defaults.
+    const std::uint64_t deadlineMs =
+        opts_.deadlineMs >= 0 ? static_cast<std::uint64_t>(opts_.deadlineMs)
+                              : sc.pointDeadlineMs;
+    const unsigned retries = opts_.retries >= 0
+                                 ? static_cast<unsigned>(opts_.retries)
+                                 : sc.retries;
+    const unsigned backoffMs =
+        opts_.backoffMs >= 0 ? static_cast<unsigned>(opts_.backoffMs)
+                             : sc.retryBackoffMs;
+    FaultPlan plan = sc.faults;
+    plan.merge(opts_.faults);
+
+    // A worker SIGKILLed mid-write (deadline expiry) leaves the parent
+    // holding a half-open pipe; conversely a dying parent must not let
+    // a worker's write turn into a fatal SIGPIPE in either process.
+    // Ignore it for the duration and restore the old disposition after.
+    struct sigaction ignorePipe {};
+    struct sigaction savedPipe {};
+    ignorePipe.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &ignorePipe, &savedPipe);
+
     // Children inherit stdio buffers; empty them now so a child's
     // exit can never replay parent output.
     std::fflush(stdout);
@@ -232,46 +292,107 @@ ScenarioRunner::runIsolated(const Scenario &sc,
     const std::size_t jobs =
         std::min<std::size_t>(std::max(1u, opts_.jobs), pts.size());
     std::vector<IsolatedWorker> live;
+    std::deque<PendingLaunch> pending;
     std::size_t next = 0;
     std::size_t done = 0;
 
-    auto crash = [&](std::size_t index, const std::string &why) {
-        results[index].run = harness::RunRecord{};
-        results[index].run.status = harness::RunStatus::WorkerCrashed;
-        results[index].run.valid = false;
-        results[index].run.note = why;
+    auto failRecord = [](harness::RunStatus status,
+                         const std::string &why) {
+        harness::RunRecord rec;
+        rec.status = status;
+        rec.valid = false;
+        rec.note = why;
+        return rec;
     };
 
-    auto launch = [&](std::size_t index) {
+    // The single sink for a finished attempt: retry transient failures
+    // while the budget lasts, otherwise finalize the point with its
+    // attempt count (and a give-up note when retries were spent).
+    auto completeOrRetry = [&](std::size_t index, unsigned attempt,
+                               harness::RunRecord rec) {
+        if (harness::runStatusIsInfraFailure(rec.status) &&
+            attempt <= retries) {
+            const auto delay = std::chrono::milliseconds(
+                static_cast<std::uint64_t>(backoffMs)
+                << (attempt - 1));
+            pending.push_back(
+                {index, attempt + 1, SupervisorClock::now() + delay});
+            return;
+        }
+        rec.attempts = attempt;
+        if (harness::runStatusIsInfraFailure(rec.status) && attempt > 1)
+            rec.note = "gave up after " + std::to_string(attempt) +
+                       " attempts: " + rec.note;
+        results[index].run = std::move(rec);
+        ++done;
+        if (progress) {
+            progressLine(*progress, done, pts.size(), pts[index],
+                         results[index]);
+        }
+    };
+
+    auto launch = [&](std::size_t index, unsigned attempt) {
+        // Fault decisions are made parent-side, pre-fork: the child
+        // inherits `fault` through fork() memory, and parent-side
+        // kinds (fork_fail) never spawn at all.
+        FaultKind fault{};
+        const bool faulted = plan.faultFor(index, attempt, &fault);
+        if (faulted && fault == FaultKind::ForkFail) {
+            completeOrRetry(index, attempt,
+                            failRecord(harness::RunStatus::WorkerCrashed,
+                                       "fork() failed (injected)"));
+            return;
+        }
         int fds[2];
         if (::pipe(fds) != 0) {
-            crash(index, "pipe() failed");
-            ++done;
+            completeOrRetry(index, attempt,
+                            failRecord(harness::RunStatus::WorkerCrashed,
+                                       "pipe() failed"));
             return;
         }
         pid_t pid = ::fork();
         if (pid < 0) {
             ::close(fds[0]);
             ::close(fds[1]);
-            crash(index, "fork() failed");
-            ++done;
+            completeOrRetry(index, attempt,
+                            failRecord(harness::RunStatus::WorkerCrashed,
+                                       "fork() failed"));
             return;
         }
         if (pid == 0) {
             // Worker child: one point, result over the pipe, hard exit
             // (no parent-side destructors or buffers to double-flush).
             ::close(fds[0]);
-            // Crash-isolation contract test hook: die like a real
-            // worker bug would (tests/test_snapshot.cc).
-            if (const char *crashAt =
-                    std::getenv("MISP_ISOLATE_TEST_CRASH")) {
-                if (std::strtoull(crashAt, nullptr, 10) == index)
-                    ::abort();
+            if (faulted && fault == FaultKind::Crash)
+                ::abort();
+            if (faulted && fault == FaultKind::Hang) {
+                // Never compute, never write: the supervisor's
+                // deadline is the only way out.
+                for (;;)
+                    ::pause();
             }
             int code = 0;
             try {
-                PointResult r = runPoint(sc, pts[index], index);
-                writeAll(fds[1], snap::encodeRunRecord(r.run));
+                harness::RunRequest req =
+                    makeRunRequest(sc, pts[index], opts_, index);
+                if (faulted && fault == FaultKind::CorruptSnapshot) {
+                    // Drive the run layer's real fail-closed restore
+                    // path rather than faking a status.
+                    req.snapshotIn = snapshotPointPath(
+                        "/nonexistent-injected-fault", index);
+                }
+                harness::RunRecord rec = harness::runOne(req);
+                std::string payload = snap::encodeRunRecord(rec);
+                if (faulted && fault == FaultKind::CorruptPipe) {
+                    // Ship garbage the parent must reject: truncate to
+                    // half and flip a byte so neither the CRC nor the
+                    // length check can pass.
+                    payload.resize(payload.size() / 2);
+                    if (!payload.empty())
+                        payload[0] ^= 0x5a;
+                }
+                if (!writeAll(fds[1], payload))
+                    code = 3;
             } catch (const std::exception &e) {
                 std::fprintf(stderr, "mispsim worker [%zu]: %s\n", index,
                              e.what());
@@ -287,7 +408,17 @@ ScenarioRunner::runIsolated(const Scenario &sc,
             ::_exit(code);
         }
         ::close(fds[1]);
-        live.push_back(IsolatedWorker{pid, fds[0], index, {}});
+        IsolatedWorker w;
+        w.pid = pid;
+        w.fd = fds[0];
+        w.index = index;
+        w.attempt = attempt;
+        if (deadlineMs > 0) {
+            w.hasDeadline = true;
+            w.deadline = SupervisorClock::now() +
+                         std::chrono::milliseconds(deadlineMs);
+        }
+        live.push_back(std::move(w));
     };
 
     auto reap = [&](IsolatedWorker &w) {
@@ -307,37 +438,73 @@ ScenarioRunner::runIsolated(const Scenario &sc,
         int status = 0;
         ::waitpid(w.pid, &status, 0);
 
+        harness::RunRecord rec;
         std::string err;
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-            crash(w.index,
-                  WIFSIGNALED(status)
-                      ? "worker killed by signal " +
-                            std::to_string(WTERMSIG(status))
-                      : "worker exited with status " +
-                            std::to_string(WIFEXITED(status)
-                                               ? WEXITSTATUS(status)
-                                               : -1));
-        } else if (!snap::decodeRunRecord(w.buf, &results[w.index].run,
-                                          &err)) {
-            crash(w.index, "worker result undecodable: " + err);
+        if (w.timedOut) {
+            rec = failRecord(harness::RunStatus::WorkerTimeout,
+                             "worker exceeded " +
+                                 std::to_string(deadlineMs) +
+                                 "ms deadline");
+        } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+            rec = failRecord(
+                harness::RunStatus::WorkerCrashed,
+                WIFSIGNALED(status)
+                    ? "worker killed by signal " +
+                          std::to_string(WTERMSIG(status))
+                    : "worker exited with status " +
+                          std::to_string(WIFEXITED(status)
+                                             ? WEXITSTATUS(status)
+                                             : -1));
+        } else if (!snap::decodeRunRecord(w.buf, &rec, &err)) {
+            // Truncated or corrupted payloads fail closed here — the
+            // codec checks structure, CRC, and exact length.
+            rec = failRecord(harness::RunStatus::WorkerCrashed,
+                             "worker result undecodable: " + err);
         }
-        ++done;
-        if (progress) {
-            progressLine(*progress, done, pts.size(), pts[w.index],
-                         results[w.index]);
-        }
+        completeOrRetry(w.index, w.attempt, std::move(rec));
     };
 
     while (done < pts.size()) {
-        while (live.size() < jobs && next < pts.size())
-            launch(next++);
-        if (live.empty())
-            break; // every remaining point failed to launch
+        // Fill free worker slots: due retries first (they are older
+        // work), then fresh points in submission order.
+        auto now = SupervisorClock::now();
+        while (live.size() < jobs) {
+            if (!pending.empty() && pending.front().launchAt <= now) {
+                PendingLaunch p = pending.front();
+                pending.pop_front();
+                launch(p.index, p.attempt);
+            } else if (next < pts.size()) {
+                launch(next++, 1);
+            } else {
+                break;
+            }
+            now = SupervisorClock::now();
+        }
+
+        if (live.empty()) {
+            if (pending.empty())
+                break; // nothing running, nothing scheduled
+            // Sleep out the earliest backoff delay.
+            int timeout = -1;
+            for (const PendingLaunch &p : pending)
+                foldTimeout(now, p.launchAt, &timeout);
+            ::poll(nullptr, 0, timeout);
+            continue;
+        }
+
+        // Wake for pipe traffic, the earliest worker deadline, or the
+        // earliest pending relaunch — whichever comes first.
+        int timeout = -1;
+        for (const IsolatedWorker &w : live)
+            if (w.hasDeadline && !w.timedOut)
+                foldTimeout(now, w.deadline, &timeout);
+        for (const PendingLaunch &p : pending)
+            foldTimeout(now, p.launchAt, &timeout);
 
         std::vector<pollfd> fds(live.size());
         for (std::size_t i = 0; i < live.size(); ++i)
             fds[i] = pollfd{live[i].fd, POLLIN, 0};
-        if (::poll(fds.data(), fds.size(), -1) < 0) {
+        if (::poll(fds.data(), fds.size(), timeout) < 0) {
             if (errno == EINTR)
                 continue;
             break;
@@ -357,7 +524,19 @@ ScenarioRunner::runIsolated(const Scenario &sc,
                            static_cast<std::ptrdiff_t>(i));
             }
         }
+        // Enforce deadlines: SIGKILL expired workers. The kill closes
+        // their pipe's write end, so the normal EOF path reaps them on
+        // the next iteration with the timeout flag set.
+        now = SupervisorClock::now();
+        for (IsolatedWorker &w : live) {
+            if (w.hasDeadline && !w.timedOut && now >= w.deadline) {
+                w.timedOut = true;
+                ::kill(w.pid, SIGKILL);
+            }
+        }
     }
+
+    ::sigaction(SIGPIPE, &savedPipe, nullptr);
     return results;
 }
 
@@ -495,8 +674,11 @@ writeTable(std::ostream &os, const Scenario &sc,
     const bool vsMachine = !sc.report.baselineMachine.empty();
     const bool vsAxis = !sc.report.baselineAxis.empty();
     bool anyInvalid = false;
-    for (std::size_t i = 0; i < frame.numRows(); ++i)
+    bool anyFailed = false;
+    for (std::size_t i = 0; i < frame.numRows(); ++i) {
         anyInvalid = anyInvalid || frame.at(i, "valid") == 0.0;
+        anyFailed = anyFailed || frame.at(i, "failed") != 0.0;
+    }
 
     std::vector<std::string> header = {"machine", "workload"};
     for (const std::string &k : coordKeys)
@@ -508,6 +690,8 @@ writeTable(std::ostream &os, const Scenario &sc,
         header.push_back("vs_" + sc.report.baselineAxis + "0");
     if (anyInvalid)
         header.push_back("valid");
+    if (anyFailed)
+        header.push_back("status");
 
     using Frame = harness::MetricFrame;
     std::vector<std::vector<std::string>> rows;
@@ -549,6 +733,8 @@ writeTable(std::ostream &os, const Scenario &sc,
         }
         if (anyInvalid)
             row.push_back(frame.at(i, "valid") != 0.0 ? "yes" : "NO");
+        if (anyFailed)
+            row.push_back(harness::runStatusName(r.status));
         rows.push_back(std::move(row));
     }
 
@@ -611,8 +797,13 @@ writePoints(std::ostream &os, const harness::MetricFrame &frame)
            << " competitors=" << r.competitors << " coords="
            << (coords.empty() ? "-" : coords) << " ticks="
            << static_cast<std::uint64_t>(frame.at(i, "ticks"))
-           << " valid=" << (frame.at(i, "valid") != 0.0 ? 1 : 0)
-           << "\n";
+           << " valid=" << (frame.at(i, "valid") != 0.0 ? 1 : 0);
+        // Surviving points keep the legacy line format byte-for-byte;
+        // only infrastructure-failed points grow a status marker, so
+        // `grep -v ' status='` recovers the clean-run-comparable set.
+        if (frame.at(i, "failed") != 0.0)
+            os << " status=" << harness::runStatusName(r.status);
+        os << "\n";
     }
 }
 

@@ -65,6 +65,27 @@ struct RunnerOptions {
      *  RunStatus::WorkerCrashed instead of taking the sweep down. */
     bool isolate = false;
 
+    // Supervision knobs for the --isolate backend. The -1 sentinels
+    // mean "use the scenario's [run] defaults"; an explicit CLI value
+    // overrides the spec.
+
+    /** Wall-clock deadline per worker attempt in ms (--deadline). A
+     *  worker that exceeds it is SIGKILLed and its point recorded as
+     *  RunStatus::WorkerTimeout. 0 = no deadline. */
+    std::int64_t deadlineMs = -1;
+    /** Extra launches after a transient failure — worker crash,
+     *  timeout, or snapshot error — before the point is given up
+     *  (--retries). 0 = fail on first attempt. */
+    int retries = -1;
+    /** Base relaunch delay in ms (--backoff); attempt k is delayed
+     *  backoff * 2^(k-1) ms (deterministic exponential backoff). */
+    int backoffMs = -1;
+
+    /** Deterministic fault-injection plan (--inject); merged over the
+     *  scenario's [faults] schedule (the CLI seed wins). Only honored
+     *  by the --isolate backend — faults are worker misbehaviors. */
+    FaultPlan faults;
+
     /** Directory to write one warmup image per grid point into
      *  (--save-snapshot): each point warms up for the scenario's
      *  [snapshot] warmup_ticks, archives point_<index>.misnap, and

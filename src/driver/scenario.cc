@@ -295,6 +295,30 @@ Scenario::fromSpec(const SpecFile &spec, Scenario *out, std::string *err)
                         return false;
                     }
                     out->competitor = e.value;
+                } else if (e.key == "point_deadline_ms") {
+                    if (!parseU64(e.value, &out->pointDeadlineMs)) {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "point_deadline_ms: expected "
+                                             "a millisecond count");
+                        return false;
+                    }
+                } else if (e.key == "retries") {
+                    if (!parseUnsigned(e.value, &out->retries)) {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "retries: expected an "
+                                             "integer");
+                        return false;
+                    }
+                } else if (e.key == "retry_backoff_ms") {
+                    if (!parseUnsigned(e.value, &out->retryBackoffMs)) {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "retry_backoff_ms: expected "
+                                             "a millisecond count");
+                        return false;
+                    }
                 } else {
                     if (err)
                         *err = specError(spec.path, e.line,
@@ -317,6 +341,32 @@ Scenario::fromSpec(const SpecFile &spec, Scenario *out, std::string *err)
                     if (err)
                         *err = specError(spec.path, e.line,
                                          "unknown [snapshot] key '" +
+                                         e.key + "'");
+                    return false;
+                }
+            }
+        } else if (sec.type == "faults") {
+            for (const SpecEntry &e : sec.entries) {
+                std::string msg;
+                if (e.key == "seed") {
+                    if (!parseU64(e.value, &out->faults.seed)) {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "seed: expected an integer");
+                        return false;
+                    }
+                    out->faults.seedSet = true;
+                } else if (e.key == "inject") {
+                    if (!FaultPlan::parseItem(e.value, &out->faults,
+                                              &msg)) {
+                        if (err)
+                            *err = specError(spec.path, e.line, msg);
+                        return false;
+                    }
+                } else {
+                    if (err)
+                        *err = specError(spec.path, e.line,
+                                         "unknown [faults] key '" +
                                          e.key + "'");
                     return false;
                 }
@@ -344,6 +394,25 @@ Scenario::fromSpec(const SpecFile &spec, Scenario *out, std::string *err)
                                              "mode: expected 'table' or "
                                              "'events', got '" + e.value +
                                              "'");
+                        return false;
+                    }
+                } else if (e.key == "on_failed_points") {
+                    if (e.value == "fail")
+                        out->report.onFailedPoints =
+                            FailedPointPolicy::Fail;
+                    else if (e.value == "skip")
+                        out->report.onFailedPoints =
+                            FailedPointPolicy::Skip;
+                    else if (e.value == "require_all")
+                        out->report.onFailedPoints =
+                            FailedPointPolicy::RequireAll;
+                    else {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "on_failed_points: expected "
+                                             "'fail', 'skip' or "
+                                             "'require_all', got '" +
+                                             e.value + "'");
                         return false;
                     }
                 } else if (e.key == "assert") {

@@ -12,7 +12,11 @@
  *   [workload]            the measured target (first section) and its
  *                         parameters; later [workload] sections are
  *                         co-loaded background processes (mixed runs)
- *   [run]                 max_ticks, competitors, competitor
+ *   [run]                 max_ticks, competitors, competitor, and the
+ *                         --isolate supervision knobs
+ *                         point_deadline_ms / retries /
+ *                         retry_backoff_ms (defaults when the CLI
+ *                         doesn't override them)
  *   [sweep]               axes: key = value-list (commas, `lo..hi`)
  *   [quick]               axis/knob overrides applied in --quick mode
  *   [report]              baseline_machine, baseline_axis,
@@ -22,6 +26,10 @@
  *                         guards (grammar: driver/report.hh)
  *   [snapshot]            warmup_ticks: per-point warmup depth for
  *                         `mispsim --save-snapshot` (snapshot/)
+ *   [faults]              deterministic fault injection for --isolate
+ *                         sweeps: `seed = N` plus repeatable
+ *                         `inject = <item>` lines (item grammar:
+ *                         driver/faults.hh)
  *
  * Machine knobs: `processors` (comma list of per-processor AMS counts)
  * or `ams` (uniprocessor shorthand), `backend` (shred|os),
@@ -53,6 +61,7 @@
 #include <utility>
 #include <vector>
 
+#include "driver/faults.hh"
 #include "driver/spec.hh"
 #include "misp/misp_system.hh"
 #include "shredlib/stub_library.hh"
@@ -129,6 +138,23 @@ struct ReportAssert {
     int line = 0; ///< spec line, for failure diagnostics
 };
 
+/** What reporting does with grid points that failed for infrastructure
+ *  reasons (worker crash/timeout, snapshot error) — the
+ *  `[report] on_failed_points` policy. */
+enum class FailedPointPolicy {
+    /** Failed points make the run fail (exit 1), but asserts still
+     *  evaluate over the surviving points (default). */
+    Fail,
+    /** Degrade gracefully: asserts skip groups containing failed
+     *  points, and `mispsim` exits 4 ("completed with failed points")
+     *  instead of 1 when everything else passes. */
+    Skip,
+    /** Any assert whose evaluation touches a failed point is itself a
+     *  failure — for claims that are only meaningful over the full
+     *  grid. */
+    RequireAll,
+};
+
 /** Derived-column requests for tables and wrapper figures. */
 struct ReportSpec {
     /** Speedup column: ticks on this machine / ticks, per coordinate. */
@@ -139,6 +165,8 @@ struct ReportSpec {
     std::string baselineAxis;
     /** `mode = table|events` (default table). */
     ReportMode mode = ReportMode::Table;
+    /** `on_failed_points = fail|skip|require_all` (default fail). */
+    FailedPointPolicy onFailedPoints = FailedPointPolicy::Fail;
     /** Paper-claim guards; see driver/report.hh for the grammar. */
     std::vector<ReportAssert> asserts;
 };
@@ -177,6 +205,22 @@ struct Scenario {
      *  snapshot point). Inert unless the CLI/runner asks for snapshot
      *  traffic. */
     Tick snapshotWarmupTicks = 0;
+
+    // --isolate supervision defaults ([run] section; the CLI's
+    // --deadline / --retries / --backoff flags override them).
+
+    /** Wall-clock deadline per worker attempt in ms; 0 = no deadline. */
+    std::uint64_t pointDeadlineMs = 0;
+    /** Extra launches after a transient failure (crash / timeout /
+     *  snapshot error) before a point is given up. */
+    unsigned retries = 0;
+    /** Base relaunch delay in ms; attempt k waits
+     *  retryBackoffMs * 2^(k-1) (deterministic exponential backoff). */
+    unsigned retryBackoffMs = 100;
+
+    /** `[faults]` schedule; empty unless the spec declares one. Merged
+     *  with (and overridden by) the CLI's --inject plan. */
+    FaultPlan faults;
 
     /**
      * Validate and type a parsed spec. All diagnostics carry

@@ -160,8 +160,10 @@ SpecFile::parse(const std::string &text, const std::string &path,
         }
         SpecSection &sec = out->sections.back();
         // Keys name one axis or knob each, so duplicates are rejected —
-        // except `assert`, which is a repeatable statement, not a knob.
-        if (entry.key != "assert" && sec.find(entry.key)) {
+        // except `assert` and `inject`, which are repeatable
+        // statements, not knobs.
+        if (entry.key != "assert" && entry.key != "inject" &&
+            sec.find(entry.key)) {
             if (err)
                 *err = specError(path, lineNo,
                                  "duplicate key '" + entry.key +

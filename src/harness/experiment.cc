@@ -39,8 +39,18 @@ runStatusName(RunStatus status)
         return "snapshot_error";
     case RunStatus::WorkerCrashed:
         return "worker_crashed";
+    case RunStatus::WorkerTimeout:
+        return "worker_timeout";
     }
     return "unknown";
+}
+
+bool
+runStatusIsInfraFailure(RunStatus status)
+{
+    return status == RunStatus::SnapshotError ||
+           status == RunStatus::WorkerCrashed ||
+           status == RunStatus::WorkerTimeout;
 }
 
 RunOutcome

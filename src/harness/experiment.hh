@@ -25,9 +25,19 @@ enum class RunStatus {
     SnapshotError,   ///< snapshot save/restore failed (fail-closed:
                      ///< corrupt image, config mismatch, I/O error)
     WorkerCrashed,   ///< --isolate worker process died before reporting
+    WorkerTimeout,   ///< --isolate worker exceeded its wall-clock
+                     ///< deadline and was killed by the supervisor
 };
 
 const char *runStatusName(RunStatus status);
+
+/** True for statuses caused by the execution infrastructure (worker
+ *  crash/timeout, snapshot failure) rather than by the simulated
+ *  machine itself. These are the transient statuses the supervised
+ *  --isolate backend retries, and the rows graceful-degradation
+ *  reporting may skip; MaxTicksReached and validation failures are
+ *  real simulation outcomes and are never retried or skipped. */
+bool runStatusIsInfraFailure(RunStatus status);
 
 /** Typed outcome of running a target process to completion. */
 struct RunOutcome {

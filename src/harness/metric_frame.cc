@@ -11,7 +11,8 @@ namespace misp::harness {
 
 MetricFrame::MetricFrame()
 {
-    metrics_ = {"ticks", "mcycles", "insts", "valid", "completed"};
+    metrics_ = {"ticks",     "mcycles", "insts",   "valid",
+                "completed", "failed",  "attempts"};
     for (const EventField &f : eventFields())
         metrics_.push_back(std::string("events.") + f.name);
     for (const EventField &f : eventFields())
@@ -41,6 +42,9 @@ MetricFrame::addRow(std::string machine, std::string workload,
     columns_[c++].push_back(double(run.instsRetired));
     columns_[c++].push_back(run.valid ? 1.0 : 0.0);
     columns_[c++].push_back(run.completed() ? 1.0 : 0.0);
+    columns_[c++].push_back(runStatusIsInfraFailure(run.status) ? 1.0
+                                                                : 0.0);
+    columns_[c++].push_back(double(run.attempts));
     for (const EventField &f : eventFields())
         columns_[c++].push_back(f.get(run.events));
     for (const EventField &f : eventFields())
@@ -159,6 +163,16 @@ MetricFrame::rowInGroup(std::size_t g, const std::string &machine) const
             return r;
     }
     return npos;
+}
+
+bool
+MetricFrame::groupHasFailure(std::size_t g) const
+{
+    for (std::size_t r : groups_[g]) {
+        if (runStatusIsInfraFailure(rows_[r].status))
+            return true;
+    }
+    return false;
 }
 
 std::size_t

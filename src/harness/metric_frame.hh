@@ -5,9 +5,12 @@
  *
  * A frame is a small columnar table built once per sweep: one row per
  * grid point (sweep coordinates x machine), one column per metric
- * (ticks, mcycles, insts, valid, completed, speedup, and the Table-1
- * event classes both raw and normalized per 10^6 retired
- * instructions). Rows are added in submission (grid) order and iterate
+ * (ticks, mcycles, insts, valid, completed, failed, attempts, speedup,
+ * and the Table-1 event classes both raw and normalized per 10^6
+ * retired instructions). `failed` is 1 on rows whose run ended in an
+ * infrastructure failure (worker crash/timeout, snapshot error — see
+ * runStatusIsInfraFailure), and `attempts` counts supervised --isolate
+ * launches; both exist so degraded sweeps stay queryable. Rows are added in submission (grid) order and iterate
  * deterministically, which is what lets every renderer stay
  * byte-identical across reruns and `--jobs N` fan-out.
  *
@@ -121,6 +124,10 @@ class MetricFrame
     /** Row of @p machine inside group @p g; npos if absent. */
     std::size_t rowInGroup(std::size_t g,
                            const std::string &machine) const;
+
+    /** True when any row of group @p g ended in an infrastructure
+     *  failure — the unit graceful-degradation reporting skips. */
+    bool groupHasFailure(std::size_t g) const;
 
     /**
      * Cross-axis lookup: the row of @p machine whose coordinates equal

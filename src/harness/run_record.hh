@@ -102,9 +102,15 @@ struct RunRecord {
     /** Full root-stats dump (JSON) when RunRequest::fullStats is set. */
     std::string statsJson;
 
-    /** Failure diagnostic (snapshot_error / worker_crashed); never part
-     *  of the deterministic JSON artifacts. */
+    /** Failure diagnostic (snapshot_error / worker_crashed /
+     *  worker_timeout); never part of the deterministic JSON
+     *  artifacts. */
     std::string note;
+
+    /** How many launches the supervised --isolate backend spent on
+     *  this point (1 = first try; >1 means retries happened). Always 1
+     *  outside --isolate. */
+    unsigned attempts = 1;
 
     bool completed() const { return status == RunStatus::Completed; }
 

@@ -148,6 +148,11 @@ Deserializer::Deserializer(std::string image) : image_(std::move(image))
         cursor += sec.size;
         sections_.push_back(sec);
     }
+    // The section index must account for the whole image: trailing
+    // bytes mean a spliced or padded payload — fail closed.
+    if (cursor != image_.size())
+        throw SnapError("snapshot image has trailing bytes after the "
+                        "last section");
     pos_ = end_ = 0; // no section open yet
 }
 

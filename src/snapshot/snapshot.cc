@@ -560,6 +560,7 @@ encodeRunRecord(const harness::RunRecord &rec)
     s.f64(rec.hostMips);
     s.str(rec.statsJson);
     s.str(rec.note);
+    s.u32(rec.attempts);
     s.endSection();
     return s.done();
 }
@@ -571,7 +572,11 @@ decodeRunRecord(const std::string &data, harness::RunRecord *out,
     try {
         Deserializer d(data);
         d.openSection(0);
-        out->status = static_cast<harness::RunStatus>(d.u8());
+        const std::uint8_t status = d.u8();
+        if (status > static_cast<std::uint8_t>(
+                         harness::RunStatus::WorkerTimeout))
+            throw SnapError("run record: bad status byte");
+        out->status = static_cast<harness::RunStatus>(status);
         out->ticks = d.u64();
         out->valid = d.b();
         const auto &fields = harness::eventFields();
@@ -584,6 +589,12 @@ decodeRunRecord(const std::string &data, harness::RunRecord *out,
         out->hostMips = d.f64();
         out->statsJson = d.str();
         out->note = d.str();
+        out->attempts = d.u32();
+        // A well-formed record consumes its section exactly; trailing
+        // bytes mean the payload was spliced or corrupted in a way the
+        // CRC happened to survive — fail closed rather than accept it.
+        if (d.remaining() != 0)
+            throw SnapError("run record: trailing bytes after record");
         return true;
     } catch (const std::exception &e) {
         // SnapError, plus hostile-size allocation failures

@@ -93,11 +93,40 @@ twoAxisScenario()
 /** Run the evaluator over a frame built the way mispsim builds it. */
 bool
 evalAsserts(const Scenario &sc, const std::vector<PointResult> &results,
-            std::vector<AssertFailure> *failures, std::string *err)
+            std::vector<AssertFailure> *failures, std::string *err,
+            std::size_t *skipped = nullptr)
 {
     failures->clear();
     return evaluateAsserts(sc, buildMetricFrame(sc, results), failures,
-                           err);
+                           err, skipped);
+}
+
+/** A point whose worker failed for infrastructure reasons. */
+PointResult
+failedPoint(const std::string &machine, const std::string &workload,
+            harness::RunStatus status, unsigned attempts,
+            std::vector<std::pair<std::string, std::string>> coords = {})
+{
+    PointResult r;
+    r.machine = machine;
+    r.workload = workload;
+    r.coords = std::move(coords);
+    r.run.status = status;
+    r.run.valid = false;
+    r.run.attempts = attempts;
+    r.run.note = "injected";
+    return r;
+}
+
+/** twoAxisGrid() with b's dim=96 point lost to a worker crash. */
+std::vector<PointResult>
+degradedGrid()
+{
+    std::vector<PointResult> results = twoAxisGrid();
+    results[3] = failedPoint("b", "dense_mvm",
+                             harness::RunStatus::WorkerCrashed, 3,
+                             {{"workload.param.dim", "96"}});
+    return results;
 }
 
 } // namespace
@@ -405,7 +434,8 @@ TEST(AssertGrammar, MalformedSelectorDiagnosticsCarryLineNumbers)
         {"b[workload.param.dim].ticks >= 0", "is not axis=value"},
         {"b[=64].ticks >= 0", "is not axis=value"},
         {"b[nosuch=64].ticks >= 0", "names no sweep coordinate"},
-        {"b[workload.param.dim=77].ticks >= 0", "no result for machine 'b'"},
+        {"b[workload.param.dim=77].ticks >= 0",
+         "matches no value of axis 'workload.param.dim' (values: 64, 96)"},
         {"b[workload.param.dim=64] >= 0", "expected '.<metric>' after ']'"},
         {"b[workload.param.dim=64.ticks >= 0", "missing ']'"},
         {"nosuch[workload.param.dim=64].ticks >= 0", "names no [machine] section"},
@@ -420,6 +450,115 @@ TEST(AssertGrammar, MalformedSelectorDiagnosticsCarryLineNumbers)
         EXPECT_NE(err.find(c.want), std::string::npos)
             << c.expr << " -> " << err;
     }
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: failed/attempts columns, aggregate skips, and
+// the on_failed_points policy
+// ---------------------------------------------------------------------
+
+TEST(Degradation, FailedAndAttemptsColumnsTrackInfraFailures)
+{
+    Scenario sc = twoAxisScenario();
+    MetricFrame frame = buildMetricFrame(sc, degradedGrid());
+
+    EXPECT_EQ(frame.at(0, "failed"), 0.0);
+    EXPECT_EQ(frame.at(0, "attempts"), 1.0);
+    EXPECT_EQ(frame.at(3, "failed"), 1.0);
+    EXPECT_EQ(frame.at(3, "attempts"), 3.0);
+
+    ASSERT_EQ(frame.numGroups(), 2u);
+    EXPECT_FALSE(frame.groupHasFailure(0));
+    EXPECT_TRUE(frame.groupHasFailure(1));
+}
+
+TEST(Degradation, AggregatesSkipDegradedGroups)
+{
+    Scenario sc = twoAxisScenario();
+    std::vector<AssertFailure> failures;
+    std::string err;
+
+    // Both sides exclude the degraded dim=96 group, so the suite
+    // completeness claim still holds over the survivors.
+    sc.report.asserts = {{"count ( b.completed ) == count ( 1 )", 3}};
+    ASSERT_TRUE(evalAsserts(sc, degradedGrid(), &failures, &err)) << err;
+    EXPECT_TRUE(failures.empty());
+
+    // Folds see only the surviving group's values: avg(a.ticks) is
+    // 400 (dim=64), not (400+800)/2 — a's dim=96 row completed but its
+    // group is degraded.
+    sc.report.asserts = {{"avg ( a.ticks ) == 400", 4}};
+    ASSERT_TRUE(evalAsserts(sc, degradedGrid(), &failures, &err)) << err;
+    EXPECT_TRUE(failures.empty());
+
+    // A failing aggregate claim echoes the skipped-group count.
+    sc.report.asserts = {{"avg ( a.ticks ) == 800", 5}};
+    ASSERT_TRUE(evalAsserts(sc, degradedGrid(), &failures, &err)) << err;
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].detail.find("degraded groups skipped"),
+              std::string::npos)
+        << failures[0].detail;
+}
+
+TEST(Degradation, PolicyControlsEvaluationsOverFailedPoints)
+{
+    Scenario sc = twoAxisScenario();
+    std::vector<AssertFailure> failures;
+    std::string err;
+    std::size_t skipped = 0;
+
+    // Default (fail) and skip policies skip the evaluation at the
+    // degraded group and count it; the claim would otherwise fail
+    // there (a crashed point reads as ticks == 0).
+    sc.report.asserts = {{"b.ticks > 0", 3}};
+    ASSERT_TRUE(
+        evalAsserts(sc, degradedGrid(), &failures, &err, &skipped))
+        << err;
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(skipped, 1u);
+
+    sc.report.onFailedPoints = FailedPointPolicy::Skip;
+    ASSERT_TRUE(
+        evalAsserts(sc, degradedGrid(), &failures, &err, &skipped))
+        << err;
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(skipped, 1u);
+
+    // require_all turns the degraded evaluation into an assert failure
+    // naming the policy.
+    sc.report.onFailedPoints = FailedPointPolicy::RequireAll;
+    ASSERT_TRUE(
+        evalAsserts(sc, degradedGrid(), &failures, &err, &skipped))
+        << err;
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_NE(failures[0].detail.find("on_failed_points=require_all"),
+              std::string::npos)
+        << failures[0].detail;
+
+    // A clean sweep skips nothing under any policy.
+    sc.report.onFailedPoints = FailedPointPolicy::Fail;
+    ASSERT_TRUE(
+        evalAsserts(sc, twoAxisGrid(), &failures, &err, &skipped))
+        << err;
+    EXPECT_TRUE(failures.empty());
+    EXPECT_EQ(skipped, 0u);
+}
+
+TEST(AssertGrammar, SelectorValuesNormalizeNumerically)
+{
+    Scenario sc = twoAxisScenario();
+    std::vector<AssertFailure> failures;
+    std::string err;
+
+    // 9.6e1 addresses the axis value spelled `96`; 6.4e1 the value
+    // spelled `64`. Exact spellings keep working.
+    sc.report.asserts = {
+        {"b[workload.param.dim=9.6e1].ticks == 200", 3},
+        {"a[workload.param.dim=6.4e1].ticks == 400", 4},
+        {"a[workload.param.dim=96].ticks == 800", 5},
+    };
+    ASSERT_TRUE(evalAsserts(sc, twoAxisGrid(), &failures, &err)) << err;
+    EXPECT_TRUE(failures.empty()) << failures[0].detail;
 }
 
 // ---------------------------------------------------------------------

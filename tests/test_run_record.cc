@@ -455,6 +455,46 @@ TEST(ReportAsserts, EvaluatedPerCoordinateGroup)
               std::string::npos);
 }
 
+TEST(ReportAsserts, DegradedGroupsAreSkippedAndCounted)
+{
+    // The workers=2 group lost its b point to a worker crash: the
+    // per-group claim is skipped there (reported via skippedGroups),
+    // aggregates exclude the group, and dividing by the crashed
+    // point's zeroed metrics is suppressed instead of failing closed.
+    Scenario sc = mustScenario(
+        "[machine a]\nams = 1\n[machine b]\nams = 3\n"
+        "[workload]\nname = dense_mvm\n"
+        "[sweep]\nworkload.workers = 1, 2\n"
+        "[report]\nbaseline_machine = a\n"
+        "assert = a.ticks / b.ticks >= 2\n"
+        "assert = count ( b.completed ) == count ( 1 )\n"
+        "assert = sum ( b.ticks ) == 100\n");
+
+    std::vector<PointResult> results;
+    results.push_back(fakePoint("a", "dense_mvm", 400, 1'000'000,
+                                {{"workload.workers", "1"}}));
+    results.push_back(fakePoint("b", "dense_mvm", 100, 1'000'000,
+                                {{"workload.workers", "1"}}));
+    results.push_back(fakePoint("a", "dense_mvm", 300, 1'000'000,
+                                {{"workload.workers", "2"}}));
+    results.push_back(fakePoint("b", "dense_mvm", 200, 1'000'000,
+                                {{"workload.workers", "2"}}));
+    results[3].run.status = harness::RunStatus::WorkerTimeout;
+    results[3].run.ticks = 0;
+    results[3].run.valid = false;
+    results[3].run.attempts = 2;
+
+    std::vector<AssertFailure> failures;
+    std::string err;
+    std::size_t skipped = 0;
+    ASSERT_TRUE(evaluateAsserts(sc, buildMetricFrame(sc, results),
+                                &failures, &err, &skipped))
+        << err;
+    EXPECT_TRUE(failures.empty())
+        << failures[0].text << ": " << failures[0].detail;
+    EXPECT_EQ(skipped, 1u);
+}
+
 // ---------------------------------------------------------------------
 // [report] mode = events
 // ---------------------------------------------------------------------

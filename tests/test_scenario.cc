@@ -299,6 +299,53 @@ TEST(Scenario, SweepValueDiagnostics)
     EXPECT_NE(err.find("slice_limit"), std::string::npos);
 }
 
+TEST(Scenario, SupervisionAndFaultSections)
+{
+    Scenario sc = mustScenario(
+        "[machine a]\nams = 1\n[workload]\nname = dense_mvm\n"
+        "[run]\npoint_deadline_ms = 5000\nretries = 2\n"
+        "retry_backoff_ms = 25\n"
+        "[faults]\nseed = 11\ninject = crash@0\ninject = hang@p0.5x1\n"
+        "[report]\non_failed_points = skip\n");
+    EXPECT_EQ(sc.pointDeadlineMs, 5000u);
+    EXPECT_EQ(sc.retries, 2u);
+    EXPECT_EQ(sc.retryBackoffMs, 25u);
+    EXPECT_TRUE(sc.faults.seedSet);
+    EXPECT_EQ(sc.faults.seed, 11u);
+    ASSERT_EQ(sc.faults.rules.size(), 2u);
+    EXPECT_EQ(sc.faults.toString(), "seed=11;crash@0;hang@p0.5x1");
+    EXPECT_EQ(sc.report.onFailedPoints, FailedPointPolicy::Skip);
+
+    // Defaults: no deadline, no retries, fail-on-failed-points.
+    Scenario plain = mustScenario(
+        "[machine a]\nams = 1\n[workload]\nname = dense_mvm\n");
+    EXPECT_EQ(plain.pointDeadlineMs, 0u);
+    EXPECT_EQ(plain.retries, 0u);
+    EXPECT_TRUE(plain.faults.empty());
+    EXPECT_EQ(plain.report.onFailedPoints, FailedPointPolicy::Fail);
+
+    // Malformed values diagnose with the spec line.
+    Scenario bad;
+    std::string err;
+    EXPECT_FALSE(Scenario::fromSpec(
+        mustParse("[machine a]\nams = 1\n[workload]\nname = dense_mvm\n"
+                  "[faults]\ninject = explode@0\n"),
+        &bad, &err));
+    EXPECT_NE(err.find("unknown fault kind"), std::string::npos) << err;
+
+    EXPECT_FALSE(Scenario::fromSpec(
+        mustParse("[machine a]\nams = 1\n[workload]\nname = dense_mvm\n"
+                  "[report]\non_failed_points = shrug\n"),
+        &bad, &err));
+    EXPECT_NE(err.find("on_failed_points"), std::string::npos) << err;
+
+    EXPECT_FALSE(Scenario::fromSpec(
+        mustParse("[machine a]\nams = 1\n[workload]\nname = dense_mvm\n"
+                  "[run]\npoint_deadline_ms = soon\n"),
+        &bad, &err));
+    EXPECT_NE(err.find("point_deadline_ms"), std::string::npos) << err;
+}
+
 // ---------------------------------------------------------------------
 // Workload registry
 // ---------------------------------------------------------------------

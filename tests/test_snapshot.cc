@@ -486,13 +486,14 @@ TEST(Isolate, ForkedWorkersMatchInProcessRuns)
 
 TEST(Isolate, CrashedWorkerFailsOnlyItsPoint)
 {
-    ::setenv("MISP_ISOLATE_TEST_CRASH", "1", 1);
     driver::RunnerOptions iso;
     iso.hostLines = false;
     iso.isolate = true;
     iso.jobs = 2;
+    std::string err;
+    ASSERT_TRUE(driver::FaultPlan::parse("crash@1", &iso.faults, &err))
+        << err;
     std::vector<driver::PointResult> results = runIsolateScenario(iso);
-    ::unsetenv("MISP_ISOLATE_TEST_CRASH");
 
     ASSERT_EQ(results.size(), 3u);
     EXPECT_TRUE(results[0].run.ok());
@@ -532,6 +533,7 @@ TEST(Snapshot, RunRecordCodecRoundTrip)
     rec.hostMips = 790.1;
     rec.statsJson = "{\"x\": 1}";
     rec.note = "";
+    rec.attempts = 3;
 
     harness::RunRecord back;
     std::string err;
@@ -541,7 +543,14 @@ TEST(Snapshot, RunRecordCodecRoundTrip)
     expectSameRecord(rec, back);
     EXPECT_EQ(back.statsJson, rec.statsJson);
     EXPECT_EQ(back.hostSeconds, rec.hostSeconds);
+    EXPECT_EQ(back.attempts, 3u);
 
     harness::RunRecord bad;
     EXPECT_FALSE(snap::decodeRunRecord("garbage", &bad, &err));
+
+    // Truncated and trailing-garbage payloads fail closed.
+    std::string wire = snap::encodeRunRecord(rec);
+    EXPECT_FALSE(snap::decodeRunRecord(
+        wire.substr(0, wire.size() / 2), &bad, &err));
+    EXPECT_FALSE(snap::decodeRunRecord(wire + "x", &bad, &err));
 }

@@ -12,6 +12,7 @@
  *   $ ./build/mispsim scenarios/smoke.scn --dry-run
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +55,30 @@ usage(const char *argv0, int code)
         "                     a crashing point is recorded as\n"
         "                     worker_crashed instead of killing the\n"
         "                     sweep; outputs stay byte-identical\n"
+        "  --deadline MS      (with --isolate) per-attempt wall-clock\n"
+        "                     deadline; a worker exceeding it is\n"
+        "                     SIGKILLed and its point recorded as\n"
+        "                     worker_timeout (0 = none; default: the\n"
+        "                     scenario's [run] point_deadline_ms)\n"
+        "  --retries N        (with --isolate) relaunch a point up to N\n"
+        "                     extra times after a transient failure\n"
+        "                     (crash, timeout, snapshot error); the\n"
+        "                     record keeps the attempt count\n"
+        "  --backoff MS       (with --isolate) base relaunch delay;\n"
+        "                     attempt k waits MS * 2^(k-1) ms\n"
+        "  --inject SPEC      (with --isolate) deterministic fault\n"
+        "                     injection, e.g. \"seed=7;crash@0;hang@2\"\n"
+        "                     (kinds: crash, hang, corrupt_pipe,\n"
+        "                     corrupt_snapshot, fork_fail; targets:\n"
+        "                     point indices `1,3` / `0..2` or `p0.1`\n"
+        "                     probability; `x1` bounds a fault to the\n"
+        "                     first attempt); merged over the\n"
+        "                     scenario's [faults] section\n"
+        "  --on-failed P      what failed points do to reporting:\n"
+        "                     fail (default, exit 1), skip (degrade\n"
+        "                     gracefully: asserts skip affected\n"
+        "                     groups, exit 4), require_all (asserts\n"
+        "                     touching failed points fail)\n"
         "  --save-snapshot DIR  warm every grid point up for the\n"
         "                     scenario's [snapshot] warmup_ticks, write\n"
         "                     DIR/point_<k>.misnap, and keep running to\n"
@@ -75,7 +100,15 @@ usage(const char *argv0, int code)
         "                     JSON output\n"
         "  --verbose          keep the simulator's event log on stderr\n"
         "  --list-workloads   print the workload registry and exit\n"
-        "  -h, --help         this message\n",
+        "  -h, --help         this message\n"
+        "\n"
+        "exit codes:\n"
+        "  0  every point ran, every assert held\n"
+        "  1  a point failed, an assert failed, or a spec error\n"
+        "  2  usage error\n"
+        "  4  completed with failed points (--on-failed skip /\n"
+        "     [report] on_failed_points = skip) and everything else\n"
+        "     passed\n",
         argv0);
     return code;
 }
@@ -109,6 +142,11 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     std::string saveSnapshotDir;
     std::string fromSnapshotDir;
+    std::string injectSpec;
+    std::int64_t deadlineMs = -1;
+    int retries = -1;
+    int backoffMs = -1;
+    std::string onFailed;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -142,6 +180,47 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--isolate") == 0) {
             isolate = true;
+        } else if (std::strcmp(arg, "--deadline") == 0) {
+            unsigned ms = 0;
+            if (++i >= argc || !parseUnsigned(argv[i], &ms)) {
+                std::fprintf(stderr,
+                             "mispsim: --deadline needs a millisecond "
+                             "count\n");
+                return 2;
+            }
+            deadlineMs = static_cast<std::int64_t>(ms);
+        } else if (std::strcmp(arg, "--retries") == 0) {
+            unsigned n = 0;
+            if (++i >= argc || !parseUnsigned(argv[i], &n)) {
+                std::fprintf(stderr,
+                             "mispsim: --retries needs an integer\n");
+                return 2;
+            }
+            retries = static_cast<int>(n);
+        } else if (std::strcmp(arg, "--backoff") == 0) {
+            unsigned ms = 0;
+            if (++i >= argc || !parseUnsigned(argv[i], &ms)) {
+                std::fprintf(stderr,
+                             "mispsim: --backoff needs a millisecond "
+                             "count\n");
+                return 2;
+            }
+            backoffMs = static_cast<int>(ms);
+        } else if (std::strcmp(arg, "--inject") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --inject needs a fault spec\n");
+                return 2;
+            }
+            injectSpec = argv[i];
+        } else if (std::strcmp(arg, "--on-failed") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --on-failed needs fail, skip, or "
+                             "require_all\n");
+                return 2;
+            }
+            onFailed = argv[i];
         } else if (std::strcmp(arg, "--save-snapshot") == 0) {
             if (++i >= argc) {
                 std::fprintf(stderr,
@@ -205,6 +284,39 @@ main(int argc, char **argv)
         std::fprintf(stderr, "mispsim: %s\n", err.c_str());
         return 1;
     }
+
+    // The supervision flags act on forked workers; without --isolate
+    // there is no worker to supervise, so reject the combination
+    // instead of silently ignoring it.
+    if (!isolate &&
+        (!injectSpec.empty() || deadlineMs >= 0 || retries >= 0 ||
+         backoffMs >= 0)) {
+        std::fprintf(stderr,
+                     "mispsim: --inject/--deadline/--retries/--backoff "
+                     "require --isolate\n");
+        return 2;
+    }
+    FaultPlan injected;
+    if (!injectSpec.empty() &&
+        !FaultPlan::parse(injectSpec, &injected, &err)) {
+        std::fprintf(stderr, "mispsim: --inject: %s\n", err.c_str());
+        return 2;
+    }
+    if (!onFailed.empty()) {
+        if (onFailed == "fail")
+            sc.report.onFailedPoints = FailedPointPolicy::Fail;
+        else if (onFailed == "skip")
+            sc.report.onFailedPoints = FailedPointPolicy::Skip;
+        else if (onFailed == "require_all")
+            sc.report.onFailedPoints = FailedPointPolicy::RequireAll;
+        else {
+            std::fprintf(stderr,
+                         "mispsim: --on-failed: expected fail, skip, or "
+                         "require_all, got '%s'\n",
+                         onFailed.c_str());
+            return 2;
+        }
+    }
     std::vector<ScenarioPoint> points;
     if (!sc.expandPoints(quick, &points, &err)) {
         std::fprintf(stderr, "mispsim: %s\n", err.c_str());
@@ -247,6 +359,10 @@ main(int argc, char **argv)
     opts.fullStats = fullStats;
     opts.jobs = jobs;
     opts.isolate = isolate;
+    opts.deadlineMs = deadlineMs;
+    opts.retries = retries;
+    opts.backoffMs = backoffMs;
+    opts.faults = injected;
     opts.snapshotSaveDir = saveSnapshotDir;
     opts.snapshotLoadDir = fromSnapshotDir;
     ScenarioRunner runner(opts);
@@ -288,6 +404,9 @@ main(int argc, char **argv)
     }
 
     int rc = 0;
+    std::size_t failedPoints = 0;
+    const bool degradeGracefully =
+        sc.report.onFailedPoints == FailedPointPolicy::Skip;
     for (const PointResult &r : results) {
         if (r.run.ok())
             continue;
@@ -302,22 +421,35 @@ main(int argc, char **argv)
           case harness::RunStatus::WorkerCrashed:
             what = "worker crashed: " + r.run.note;
             break;
+          case harness::RunStatus::WorkerTimeout:
+            what = "worker timed out: " + r.run.note;
+            break;
           case harness::RunStatus::Completed:
             what = "failed result validation";
             break;
         }
+        if (r.run.attempts > 1)
+            what += " [attempts=" + std::to_string(r.run.attempts) + "]";
         std::fprintf(stderr,
                      "mispsim: point machine=%s workload=%s "
                      "competitors=%u %s\n",
                      r.machine.c_str(), r.workload.c_str(),
                      r.competitors, what.c_str());
-        rc = 1;
+        // Infrastructure failures degrade instead of failing when the
+        // policy says skip; simulation outcomes (max_ticks, invalid
+        // results) are real findings and always fail the run.
+        if (harness::runStatusIsInfraFailure(r.run.status) &&
+            degradeGracefully)
+            ++failedPoints;
+        else
+            rc = 1;
     }
 
     // [report] asserts guard paper claims from the spec itself; any
     // failing (or malformed) assert makes the run exit non-zero.
     std::vector<AssertFailure> failures;
-    if (!evaluateAsserts(sc, frame, &failures, &err)) {
+    std::size_t skippedGroups = 0;
+    if (!evaluateAsserts(sc, frame, &failures, &err, &skippedGroups)) {
         std::fprintf(stderr, "mispsim: %s\n", err.c_str());
         return 1;
     }
@@ -327,8 +459,23 @@ main(int argc, char **argv)
                      f.detail.c_str());
         rc = 1;
     }
+    if (skippedGroups > 0)
+        std::fprintf(stderr,
+                     "mispsim: %zu assert evaluation(s) skipped over "
+                     "failed points\n",
+                     skippedGroups);
     if (!sc.report.asserts.empty() && failures.empty())
         std::fprintf(stderr, "mispsim: %zu assert(s) passed\n",
                      sc.report.asserts.size());
+    // Distinct code for "completed with failed points": everything
+    // that ran passed, but the sweep is degraded (on_failed_points =
+    // skip swallowed infrastructure failures).
+    if (rc == 0 && failedPoints > 0) {
+        std::fprintf(stderr,
+                     "mispsim: completed with %zu failed point(s) "
+                     "(on_failed_points=skip)\n",
+                     failedPoints);
+        rc = 4;
+    }
     return rc;
 }
