@@ -1,16 +1,17 @@
 /**
  * @file
- * Ablation: the predecoded-block execution engine (decode cache + TLB
- * fetch fast path) on vs. off.
+ * Ablation: the host execution-engine trajectory — reference
+ * per-instruction decode, predecoded-block cache, and chained
+ * superblocks.
  *
  * Runs interpreter-bound kernels — straight-line, tight loop, and a
- * memory-touching loop — plus one full-system workload, each with the
- * engine enabled and disabled, and reports:
+ * memory-touching loop — plus one full-system workload, each under all
+ * three engines, and reports:
  *
- *  - host throughput (retired guest instructions per host second) for
- *    both settings and the speedup ratio, and
+ *  - host throughput (retired guest instructions per host second) per
+ *    engine and the cache/ref and superblock/cache speedup ratios, and
  *  - a model check: simulated cycles, retired counts, and final ticks
- *    must be bit-identical across the two settings (the engine is a
+ *    must be bit-identical across the three engines (an engine is a
  *    host-side optimization only). Any divergence fails the run.
  *
  * Results are also written to BENCH_decode_cache.json so CI keeps a
@@ -31,12 +32,17 @@ using namespace misp::bench;
 
 namespace {
 
+const cpu::Engine kEngines[3] = {cpu::Engine::Reference,
+                                 cpu::Engine::Cache,
+                                 cpu::Engine::Superblock};
+
 struct KernelResult {
     std::string name;
-    Tick simCyclesOn = 0, simCyclesOff = 0;
-    std::uint64_t retiredOn = 0, retiredOff = 0;
-    double mipsOn = 0.0, mipsOff = 0.0;
-    double speedup = 0.0;
+    Tick simCycles[3] = {0, 0, 0};
+    std::uint64_t retired[3] = {0, 0, 0};
+    double mips[3] = {0.0, 0.0, 0.0};
+    double cacheSpeedup = 0.0; ///< cache vs ref
+    double sbSpeedup = 0.0;    ///< superblock vs cache
     bool identical = false;
 };
 
@@ -105,9 +111,9 @@ struct Measured {
 };
 
 Measured
-runKernel(const std::string &src, bool decodeCache)
+runKernel(const std::string &src, cpu::Engine engine)
 {
-    harness::BareMachine m(src, decodeCache);
+    harness::BareMachine m(src, engine);
     auto t0 = std::chrono::steady_clock::now();
     m.run();
     auto t1 = std::chrono::steady_clock::now();
@@ -125,29 +131,31 @@ compareKernel(const std::string &name, const std::string &src,
 {
     KernelResult r;
     r.name = name;
-    // Warm-up once per setting, then take the best host time of reps.
-    double bestOn = 1e30, bestOff = 1e30;
-    Measured on, off;
+    // Interleave the engines within each rep and keep the best host
+    // time per engine: slow drift in background load then hits every
+    // engine alike instead of biasing whichever leg ran last.
+    Measured last[3];
+    double best[3] = {1e30, 1e30, 1e30};
     for (unsigned i = 0; i < reps; ++i) {
-        Measured m = runKernel(src, true);
-        on = m;
-        bestOn = std::min(bestOn, m.seconds);
+        for (unsigned e = 0; e < 3; ++e) {
+            Measured m = runKernel(src, kEngines[e]);
+            last[e] = m;
+            best[e] = std::min(best[e], m.seconds);
+        }
     }
-    for (unsigned i = 0; i < reps; ++i) {
-        Measured m = runKernel(src, false);
-        off = m;
-        bestOff = std::min(bestOff, m.seconds);
+    for (unsigned e = 0; e < 3; ++e) {
+        r.simCycles[e] = last[e].busyCycles;
+        r.retired[e] = last[e].retired;
+        r.mips[e] = last[e].retired / best[e] / 1e6;
     }
-    r.simCyclesOn = on.busyCycles;
-    r.simCyclesOff = off.busyCycles;
-    r.retiredOn = on.retired;
-    r.retiredOff = off.retired;
-    r.identical = on.ticks == off.ticks &&
-                  on.busyCycles == off.busyCycles &&
-                  on.retired == off.retired;
-    r.mipsOn = on.retired / bestOn / 1e6;
-    r.mipsOff = off.retired / bestOff / 1e6;
-    r.speedup = r.mipsOn / r.mipsOff;
+    r.identical = last[0].ticks == last[1].ticks &&
+                  last[0].ticks == last[2].ticks &&
+                  last[0].busyCycles == last[1].busyCycles &&
+                  last[0].busyCycles == last[2].busyCycles &&
+                  last[0].retired == last[1].retired &&
+                  last[0].retired == last[2].retired;
+    r.cacheSpeedup = r.mips[1] / r.mips[0];
+    r.sbSpeedup = r.mips[2] / r.mips[1];
     return r;
 }
 
@@ -161,8 +169,8 @@ main(int argc, char **argv)
     const unsigned scale = quick ? 1 : 4;
     const unsigned reps = quick ? 2 : 3;
 
-    printHeader("Ablation: predecoded-block execution engine "
-                "(decode cache + TLB fetch fast path)");
+    printHeader("Ablation: host execution engines "
+                "(ref -> decode cache -> chained superblocks)");
 
     std::vector<KernelResult> results;
     results.push_back(compareKernel(
@@ -172,15 +180,15 @@ main(int argc, char **argv)
     results.push_back(
         compareKernel("mem_loop", memLoopSrc(30'000 * scale), reps));
 
-    // Full-system check: one Figure-4 workload end to end, both ways —
-    // the paired on/off machines live in the spec, whose [report]
+    // Full-system check: one Figure-4 workload end to end under every
+    // engine — the machine triple lives in the spec, whose [report]
     // asserts also pin the bit-identity contract.
     driver::Scenario sc;
     std::vector<driver::PointResult> grid;
     driver::RunnerOptions opts;
-    // Deliberately NOT honoring --no-decode-cache here: the spec's
-    // machine pair pins decode_cache on/off per leg, and the global
-    // override would silently turn the A/B into off-vs-off.
+    // Deliberately NOT honoring --engine/--no-decode-cache here: the
+    // spec's machine triple pins one engine per leg, and the global
+    // override would silently collapse the A/B/C onto one engine.
     if (!driver::runScenarioByName("ablation_decode_cache.scn", argv[0],
                                    quick, opts, "ablation_decode_cache",
                                    &sc, &grid))
@@ -191,31 +199,38 @@ main(int argc, char **argv)
             driver::findResult(grid, "dc_on", "dense_mvm", 0);
         const driver::PointResult *rOff =
             driver::findResult(grid, "dc_off", "dense_mvm", 0);
-        MISP_ASSERT(rOn && rOff);
+        const driver::PointResult *rSb =
+            driver::findResult(grid, "dc_sb", "dense_mvm", 0);
+        MISP_ASSERT(rOn && rOff && rSb);
         fullIdentical = rOn->run.ticks == rOff->run.ticks &&
+                        rSb->run.ticks == rOff->run.ticks &&
                         rOn->run.valid && rOff->run.valid &&
-                        rOn->run.instsRetired == rOff->run.instsRetired;
-        std::printf("\nfull-system dense_mvm: on=%llu off=%llu ticks "
-                    "(%s), host %.2f vs %.2f MIPS\n",
-                    (unsigned long long)rOn->run.ticks,
+                        rSb->run.valid &&
+                        rOn->run.instsRetired == rOff->run.instsRetired &&
+                        rSb->run.instsRetired == rOff->run.instsRetired;
+        std::printf("\nfull-system dense_mvm: ref=%llu cache=%llu "
+                    "sb=%llu ticks (%s), host %.2f / %.2f / %.2f MIPS\n",
                     (unsigned long long)rOff->run.ticks,
+                    (unsigned long long)rOn->run.ticks,
+                    (unsigned long long)rSb->run.ticks,
                     fullIdentical ? "identical" : "DIVERGED",
-                    rOn->run.hostMips, rOff->run.hostMips);
+                    rOff->run.hostMips, rOn->run.hostMips,
+                    rSb->run.hostMips);
     }
 
-    std::printf("\n%-14s %12s %12s %9s %9s %8s  %s\n", "kernel",
-                "sim_cyc_on", "sim_cyc_off", "mips_on", "mips_off",
-                "speedup", "model");
+    std::printf("\n%-14s %12s %9s %9s %9s %9s %9s  %s\n", "kernel",
+                "sim_cycles", "mips_ref", "mips_dc", "mips_sb",
+                "dc/ref", "sb/dc", "model");
     bool allIdentical = fullIdentical;
-    double minSpeedup = 1e30;
+    double minSbSpeedup = 1e30;
     for (const KernelResult &r : results) {
-        std::printf("%-14s %12llu %12llu %9.2f %9.2f %7.2fx  %s\n",
-                    r.name.c_str(), (unsigned long long)r.simCyclesOn,
-                    (unsigned long long)r.simCyclesOff, r.mipsOn,
-                    r.mipsOff, r.speedup,
+        std::printf("%-14s %12llu %9.2f %9.2f %9.2f %8.2fx %8.2fx  %s\n",
+                    r.name.c_str(), (unsigned long long)r.simCycles[0],
+                    r.mips[0], r.mips[1], r.mips[2], r.cacheSpeedup,
+                    r.sbSpeedup,
                     r.identical ? "identical" : "DIVERGED");
         allIdentical = allIdentical && r.identical;
-        minSpeedup = std::min(minSpeedup, r.speedup);
+        minSbSpeedup = std::min(minSbSpeedup, r.sbSpeedup);
     }
 
     // Machine-readable trajectory for CI.
@@ -226,30 +241,31 @@ main(int argc, char **argv)
             const KernelResult &r = results[i];
             std::fprintf(
                 json,
-                "    {\"name\": \"%s\", \"mips_on\": %.2f, "
-                "\"mips_off\": %.2f, \"speedup\": %.3f, "
-                "\"sim_cycles_on\": %llu, \"sim_cycles_off\": %llu, "
-                "\"retired\": %llu, \"identical\": %s}%s\n",
-                r.name.c_str(), r.mipsOn, r.mipsOff, r.speedup,
-                (unsigned long long)r.simCyclesOn,
-                (unsigned long long)r.simCyclesOff,
-                (unsigned long long)r.retiredOn,
+                "    {\"name\": \"%s\", \"mips_ref\": %.2f, "
+                "\"mips_cache\": %.2f, \"mips_superblock\": %.2f, "
+                "\"speedup_cache\": %.3f, \"speedup_superblock\": %.3f, "
+                "\"sim_cycles\": %llu, \"retired\": %llu, "
+                "\"identical\": %s}%s\n",
+                r.name.c_str(), r.mips[0], r.mips[1], r.mips[2],
+                r.cacheSpeedup, r.sbSpeedup,
+                (unsigned long long)r.simCycles[0],
+                (unsigned long long)r.retired[0],
                 r.identical ? "true" : "false",
                 i + 1 < results.size() ? "," : "");
         }
         std::fprintf(json,
-                     "  ],\n  \"min_speedup\": %.3f,\n"
+                     "  ],\n  \"min_superblock_speedup\": %.3f,\n"
                      "  \"model_identical\": %s\n}\n",
-                     minSpeedup, allIdentical ? "true" : "false");
+                     minSbSpeedup, allIdentical ? "true" : "false");
         std::fclose(json);
-        std::printf("\nwrote BENCH_decode_cache.json (min speedup "
-                    "%.2fx)\n",
-                    minSpeedup);
+        std::printf("\nwrote BENCH_decode_cache.json (min superblock "
+                    "speedup %.2fx over decode cache)\n",
+                    minSbSpeedup);
     }
 
     if (!allIdentical) {
-        std::printf("FAIL: simulated results diverged between decode "
-                    "cache on and off\n");
+        std::printf("FAIL: simulated results diverged across "
+                    "execution engines\n");
         return 1;
     }
     return 0;

@@ -40,32 +40,47 @@ quickMode(int argc, char **argv)
     return env && env[0] == '1';
 }
 
-/** `--no-decode-cache` / MISP_NO_DECODE_CACHE=1: run the reference
- *  per-instruction fetch+decode path instead of the predecoded-block
- *  engine. Simulated results are bit-identical either way; this is the
- *  escape hatch for isolating the engine and for A/B host-time runs. */
+/** `--engine=ref|cache|superblock` (or MISP_ENGINE), with
+ *  `--no-decode-cache` / MISP_NO_DECODE_CACHE=1 kept as an alias for
+ *  `--engine=ref`. Simulated results are bit-identical across engines;
+ *  this is the escape hatch for isolating an engine and for A/B
+ *  host-time runs. Returns the default engine when nothing is given. */
 inline bool
-decodeCacheDisabled(int argc = 0, char **argv = nullptr)
+benchEngine(int argc, char **argv, cpu::Engine *engine)
 {
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--no-decode-cache") == 0)
-            return true;
+    bool given = false;
+    const char *noDc = std::getenv("MISP_NO_DECODE_CACHE");
+    if (noDc && noDc[0] == '1') {
+        *engine = cpu::Engine::Reference;
+        given = true;
     }
-    const char *env = std::getenv("MISP_NO_DECODE_CACHE");
-    return env && env[0] == '1';
+    if (const char *env = std::getenv("MISP_ENGINE"))
+        given = cpu::parseEngineName(env, engine) || given;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-decode-cache") == 0) {
+            *engine = cpu::Engine::Reference;
+            given = true;
+        } else if (std::strncmp(argv[i], "--engine=", 9) == 0) {
+            given = cpu::parseEngineName(argv[i] + 9, engine) || given;
+        }
+    }
+    return given;
 }
 
-/** Default decode-cache setting baked into the config helpers below.
- *  Set once per bench via parseBenchFlags(); explicit assignments to
- *  SystemConfig::misp.decodeCache after construction still win (the
- *  decode-cache ablation relies on that for its A/B legs). */
-inline bool gBenchDecodeCache = true;
+/** Default execution engine baked into the config helpers below. Set
+ *  once per bench via parseBenchFlags(); explicit assignments to
+ *  SystemConfig::misp.engine after construction still win (the
+ *  decode-cache ablation relies on that for its A/B/C legs). */
+inline cpu::Engine gBenchEngine = cpu::Engine::Superblock;
+/** True when the user explicitly picked an engine (flag or env) — the
+ *  only case where scenario-declared machine engines get overridden. */
+inline bool gBenchEngineForced = false;
 
 /** Parse the flags every bench shares; call first thing in main(). */
 inline bool
 parseBenchFlags(int argc, char **argv)
 {
-    gBenchDecodeCache = !decodeCacheDisabled(argc, argv);
+    gBenchEngineForced = benchEngine(argc, argv, &gBenchEngine);
     return quickMode(argc, argv);
 }
 
@@ -82,7 +97,7 @@ inline arch::SystemConfig
 mispUni(unsigned numAms = 7)
 {
     arch::SystemConfig sys = arch::SystemConfig::uniprocessor(numAms);
-    sys.misp.decodeCache = gBenchDecodeCache;
+    sys.misp.engine = gBenchEngine;
     return sys;
 }
 
@@ -92,7 +107,7 @@ inline arch::SystemConfig
 mispMp(const std::vector<unsigned> &amsCounts)
 {
     arch::SystemConfig sys = arch::SystemConfig::mp(amsCounts);
-    sys.misp.decodeCache = gBenchDecodeCache;
+    sys.misp.engine = gBenchEngine;
     return sys;
 }
 
@@ -113,10 +128,9 @@ smp1()
  *  runner via harness::reportHost. @return MIPS. */
 inline double
 reportHost(const std::string &name, std::uint64_t instsRetired,
-           double hostSeconds, bool decodeCache)
+           double hostSeconds, cpu::Engine engine)
 {
-    return harness::reportHost(name, instsRetired, hostSeconds,
-                               decodeCache);
+    return harness::reportHost(name, instsRetired, hostSeconds, engine);
 }
 
 /** Build + load + run one workload to completion; harvest stats —
@@ -184,7 +198,8 @@ scenarioBenchMain(const char *scn, const char *tool, int argc,
         points = points || std::strcmp(argv[i], "--points") == 0;
 
     driver::RunnerOptions opts;
-    opts.noDecodeCache = decodeCacheDisabled(argc, argv);
+    opts.forceEngine = gBenchEngineForced;
+    opts.engine = gBenchEngine;
     std::vector<driver::PointResult> results;
     if (!driver::runScenarioByName(scn, argv[0], quick, opts, tool, sc,
                                    &results)) {

@@ -24,13 +24,16 @@ main(int argc, char **argv)
 {
     setQuietLogging(true);
 
-    // Escape hatch: run the reference per-instruction fetch+decode path
-    // instead of the predecoded-block engine. Output is bit-identical —
-    // diff the two runs to check the engine.
-    bool decodeCache = true;
+    // Escape hatch: pick the host execution engine (reference
+    // per-instruction fetch+decode, predecoded-block cache, or chained
+    // superblocks). Output is bit-identical across all three — diff the
+    // runs to check an engine.
+    cpu::Engine engine = cpu::Engine::Superblock;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--no-decode-cache") == 0)
-            decodeCache = false;
+            engine = cpu::Engine::Reference;
+        else if (std::strncmp(argv[i], "--engine=", 9) == 0)
+            cpu::parseEngineName(argv[i] + 9, &engine);
     }
 
     // A guest program: main starts one shred per AMS via SIGNAL; each
@@ -143,7 +146,7 @@ main(int argc, char **argv)
     app.data.push_back(data);
 
     arch::SystemConfig sys = arch::SystemConfig::uniprocessor(7);
-    sys.misp.decodeCache = decodeCache;
+    sys.misp.engine = engine;
     harness::Experiment exp(sys, rt::Backend::Shred);
     harness::LoadedProcess proc = exp.load(app);
     Tick ticks = exp.runToCompletion(proc.process).ticks;

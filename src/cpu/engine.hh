@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Execution-engine selection for the sequencer inner loop.
+ *
+ * Three host-side engines produce bit-identical simulated behavior
+ * (cycles, ticks, TLB statistics, retired instructions, events):
+ *
+ *  - Reference: per-instruction fetch + byte-level decode. The ground
+ *    truth every other engine is differentially tested against.
+ *  - Cache: the predecoded-block engine (PR 1) — per-address-space
+ *    decode cache + one-entry last-translation fetch fast path, still
+ *    dispatching one decoded instruction at a time.
+ *  - Superblock: chains decoded slots into basic-block superblocks
+ *    (terminating at branches, page edges, RTCALLs, and serialization
+ *    points), folds per-instruction stat updates into block-local
+ *    accumulators, and links hot block exits directly to successor
+ *    blocks (threaded dispatch).
+ *
+ * Only host speed differs; the engine is therefore not architectural
+ * state (snapshots neither record it nor key compatibility on it).
+ */
+
+#ifndef MISP_CPU_ENGINE_HH
+#define MISP_CPU_ENGINE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace misp::cpu {
+
+enum class Engine : std::uint8_t {
+    Reference, ///< per-instruction fetch + decode (`--engine=ref`)
+    Cache,     ///< predecoded-block dispatch (`--engine=cache`)
+    Superblock, ///< chained superblock dispatch (`--engine=superblock`)
+};
+
+inline const char *
+engineName(Engine e)
+{
+    switch (e) {
+      case Engine::Reference: return "ref";
+      case Engine::Cache: return "cache";
+      case Engine::Superblock: return "superblock";
+    }
+    return "?";
+}
+
+/** Parse an `--engine=` / `engine =` value. Accepts the canonical
+ *  names plus the long-form "reference" spelling. */
+inline bool
+parseEngineName(const std::string &s, Engine *out)
+{
+    if (s == "ref" || s == "reference") {
+        *out = Engine::Reference;
+        return true;
+    }
+    if (s == "cache") {
+        *out = Engine::Cache;
+        return true;
+    }
+    if (s == "superblock" || s == "sb") {
+        *out = Engine::Superblock;
+        return true;
+    }
+    return false;
+}
+
+} // namespace misp::cpu
+
+#endif // MISP_CPU_ENGINE_HH

@@ -364,13 +364,17 @@ Sequencer::runSlice()
     }
 
     inSlice_ = true;
-    while (executed < sliceLimit_ && consumed < sliceCycleBudget_ &&
-           !stop) {
-        consumed += dispatchPendingAsync();
-        consumed += executeOne(&stop);
-        ++executed;
-        if (suspendRequested_)
-            break;
+    if (engine_ == Engine::Superblock) {
+        runSuperblocks(&executed, &consumed);
+    } else {
+        while (executed < sliceLimit_ && consumed < sliceCycleBudget_ &&
+               !stop) {
+            consumed += dispatchPendingAsync();
+            consumed += executeOne(&stop);
+            ++executed;
+            if (suspendRequested_)
+                break;
+        }
     }
     inSlice_ = false;
 
@@ -469,7 +473,7 @@ Sequencer::refillBlock(std::uint64_t vpn, PAddr pa)
 Cycles
 Sequencer::executeOne(bool *stop)
 {
-    if (decodeCacheOn_) {
+    if (engine_ != Engine::Reference) {
         // Predecoded-block engine: model the fetch translation exactly
         // (same TLB state, counters, and cycles as the reference path),
         // then dispatch straight from the decoded page.
@@ -868,6 +872,558 @@ Sequencer::executeDecoded(const isa::Instruction &inst, Cycles cycles,
     if (advance)
         ctx_.eip += isa::kInstBytes;
     return cycles;
+}
+
+void
+Sequencer::execInline(const isa::Instruction &inst, Cycles *consumed)
+{
+    auto &regs = ctx_.regs;
+    switch (inst.op) {
+      case Opcode::Nop:
+      case Opcode::Pause:
+        break;
+      case Opcode::MovI:
+        regs[inst.rd] = inst.imm;
+        break;
+      case Opcode::Mov:
+        regs[inst.rd] = regs[inst.rs1];
+        break;
+      case Opcode::Add:
+        regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2];
+        break;
+      case Opcode::Sub:
+        regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2];
+        break;
+      case Opcode::Mul:
+        regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2];
+        break;
+      case Opcode::And:
+        regs[inst.rd] = regs[inst.rs1] & regs[inst.rs2];
+        break;
+      case Opcode::Or:
+        regs[inst.rd] = regs[inst.rs1] | regs[inst.rs2];
+        break;
+      case Opcode::Xor:
+        regs[inst.rd] = regs[inst.rs1] ^ regs[inst.rs2];
+        break;
+      case Opcode::Shl:
+        regs[inst.rd] = regs[inst.rs1] << (regs[inst.rs2] & 63);
+        break;
+      case Opcode::Shr:
+        regs[inst.rd] = regs[inst.rs1] >> (regs[inst.rs2] & 63);
+        break;
+      case Opcode::Sar:
+        regs[inst.rd] = static_cast<Word>(
+            static_cast<SWord>(regs[inst.rs1]) >> (regs[inst.rs2] & 63));
+        break;
+      case Opcode::AddI:
+        regs[inst.rd] = regs[inst.rs1] + inst.imm;
+        break;
+      case Opcode::SubI:
+        regs[inst.rd] = regs[inst.rs1] - inst.imm;
+        break;
+      case Opcode::MulI:
+        regs[inst.rd] = regs[inst.rs1] * inst.imm;
+        break;
+      case Opcode::AndI:
+        regs[inst.rd] = regs[inst.rs1] & inst.imm;
+        break;
+      case Opcode::OrI:
+        regs[inst.rd] = regs[inst.rs1] | inst.imm;
+        break;
+      case Opcode::XorI:
+        regs[inst.rd] = regs[inst.rs1] ^ inst.imm;
+        break;
+      case Opcode::ShlI:
+        regs[inst.rd] = regs[inst.rs1] << (inst.imm & 63);
+        break;
+      case Opcode::ShrI:
+        regs[inst.rd] = regs[inst.rs1] >> (inst.imm & 63);
+        break;
+      case Opcode::Cmp:
+        setFlagsFromCompare(static_cast<SWord>(regs[inst.rs1]),
+                            static_cast<SWord>(regs[inst.rs2]));
+        break;
+      case Opcode::CmpI:
+        setFlagsFromCompare(static_cast<SWord>(regs[inst.rs1]),
+                            static_cast<SWord>(inst.imm));
+        break;
+      case Opcode::Lea:
+        regs[inst.rd] = regs[inst.rs1] + inst.imm;
+        break;
+      case Opcode::Compute: {
+        Cycles burn = inst.imm;
+        if (inst.rs1 != 0)
+            burn += regs[inst.rs1];
+        *consumed += burn;
+        break;
+      }
+      case Opcode::SeqId:
+        regs[inst.rd] = sid_;
+        break;
+      case Opcode::NumSeq:
+        regs[inst.rd] = env_ ? env_->numSequencers() : 1;
+        break;
+      case Opcode::RdTick:
+        regs[inst.rd] = eq_.curTick();
+        break;
+      default:
+        panic("%s: non-inline opcode in inline dispatch", name_.c_str());
+    }
+}
+
+void
+Sequencer::runSuperblocks(unsigned *executedIo, Cycles *consumedIo)
+{
+    unsigned executed = *executedIo;
+    Cycles consumed = *consumedIo;
+    bool stop = false;
+    // Hoisted member loads: nothing in a slice changes these, and the
+    // fast loop checks them per instruction.
+    const unsigned sliceLimit = sliceLimit_;
+    const Cycles sliceBudget = sliceCycleBudget_;
+
+    // Block-local accumulators: per-instruction stat updates are folded
+    // locally and committed in one shot at every slow-path boundary, so
+    // externally observable state — the TLB's reference bits included —
+    // is exact whenever the environment or an eviction scan could look.
+    std::uint64_t retired = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t replays = 0;
+    std::uint64_t dataReplays = 0;
+    auto commit = [&] {
+        if (replays != 0) {
+            mmu_.commitFetchReplays(replays);
+            replays = 0;
+        }
+        if (dataReplays != 0) {
+            mmu_.commitDataReplays(dataReplays);
+            dataReplays = 0;
+        }
+        if (retired != 0) {
+            instsRetired_ += retired;
+            retired = 0;
+        }
+        if (hits != 0) {
+            decodeCacheHits_ += hits;
+            hits = 0;
+        }
+    };
+    auto slotOf = [](VAddr va) {
+        return static_cast<std::uint16_t>(mem::pageOffset(va) /
+                                          isa::kInstBytes);
+    };
+
+    // Chained-dispatch state. The current superblock is held by index,
+    // never by pointer: building a successor may grow the block vector.
+    DecodedPage *page = nullptr; // nullptr = resolve before dispatching
+    std::uint32_t sbi = 0;
+    std::uint16_t cur = 0;
+    std::uint16_t term = 0;
+    // Whether the modeled fetch of the instruction at ctx_.eip has
+    // already been charged (true right after a resolve).
+    bool fetchPaid = false;
+
+    // Cross-page chain handoff: a block exit stashes its link here; the
+    // next resolve consumes it (and writes the resolved successor back
+    // into the exiting block). Never outlives one loop iteration, so the
+    // raw page pointers cannot dangle.
+    SbLink hint{};
+    DecodedPage *linkFrom = nullptr;
+    std::uint32_t linkFromSb = 0;
+    std::uint64_t linkFromVer = 0;
+    bool linkTaken = false;
+
+    while (executed < sliceLimit && consumed < sliceBudget && !stop) {
+        // Exactly one guest instruction is dispatched per iteration, so
+        // the slice conditions and the async-delivery point run at the
+        // same per-instruction boundaries as the generic loop.
+        if (!pendingSignals_.empty() || !pendingProxy_.empty()) {
+            commit();
+            Cycles dc = dispatchPendingAsync();
+            if (dc != 0) {
+                // An asynchronous transfer redirected EIP.
+                consumed += dc;
+                page = nullptr;
+                fetchPaid = false;
+                hint = SbLink{};
+                linkFrom = nullptr;
+            }
+        }
+
+        if (page == nullptr) {
+            // ---- resolve: page + superblock for ctx_.eip ------------
+            commit(); // a fetch miss may insert into the TLB
+            mem::FetchResult fr =
+                mmu_.fetchTranslate(ctx_.eip, ring_, /*fastPath=*/true);
+            consumed += fr.cycles;
+            if (fr.fault) {
+                hint = SbLink{};
+                linkFrom = nullptr; // the handler may free decoded pages
+                bool advance = false;
+                consumed +=
+                    handleFaultFromExec(fr.fault, &stop, &advance);
+                ++executed;
+                if (suspendRequested_)
+                    break;
+                continue;
+            }
+            const std::uint64_t vpn = mem::pageNumber(ctx_.eip);
+            const PAddr paBase =
+                fr.pa & ~static_cast<PAddr>(mem::kPageMask);
+            if (block_.page != nullptr &&
+                block_.asGen == mmu_.addressSpaceGen() &&
+                block_.vpn == vpn &&
+                block_.page->version == block_.version &&
+                block_.page->paBase == paBase) {
+                ++hits;
+            } else if (hint.page != nullptr &&
+                       hint.asGen == mmu_.addressSpaceGen() &&
+                       hint.page->vpn == vpn &&
+                       hint.page->version == hint.version &&
+                       hint.page->paBase == paBase) {
+                // Threaded dispatch: the exiting block's link is live —
+                // re-point block_ without the page-map probe. The
+                // generation check runs first: a link can only ever
+                // name pages of this address space's own decode cache,
+                // and a stale-generation link is never dereferenced.
+                block_.page = hint.page;
+                block_.vpn = vpn;
+                block_.version = hint.version;
+                block_.asGen = hint.asGen;
+                ++hits;
+            } else {
+                refillBlock(vpn, fr.pa);
+            }
+            page = block_.page;
+            cur = slotOf(ctx_.eip);
+            sbi = superblockAt(*page, cur);
+            term = page->sbs->blocks[sbi].term;
+            fetchPaid = true;
+            // Resolve the exiting block's link for its next traversal.
+            if (linkFrom != nullptr &&
+                linkFrom->version == linkFromVer) {
+                SbLink l;
+                l.page = page;
+                l.sb = sbi;
+                l.version = page->version;
+                l.asGen = block_.asGen;
+                l.paBase = page->paBase;
+                Superblock &from = linkFrom->sbs->blocks[linkFromSb];
+                (linkTaken ? from.taken : from.fall) = l;
+            }
+            hint = SbLink{};
+            linkFrom = nullptr;
+        }
+
+        // ---- charge the modeled fetch for this instruction ----------
+        if (!fetchPaid) {
+            // Chained invariant: the one-entry last-translation cache
+            // still covers this page (re-established after every slow
+            // dispatch below), so the hit is replayed and batched.
+            MISP_ASSERT(mmu_.fetchReplayable(ctx_.eip, ring_));
+            ++replays;
+            consumed += mem::Mmu::kAccessCycles;
+            ++hits;
+        }
+        fetchPaid = false;
+
+        // ---- dispatch instructions ----------------------------------
+        // Fast loop: while this sequencer's async queues are empty they
+        // stay empty for the rest of the slice (enqueues only arrive
+        // through Slow-class dispatch, fault handlers, or other
+        // sequencers between slices), so the queue probe, the resolve
+        // check, and the fetch-paid bookkeeping are hoisted out of the
+        // per-instruction path — only the slice conditions remain live.
+        // Inline ops, replay-covered aligned loads/stores, and branch
+        // terminators all dispatch here; the first instruction that
+        // needs more breaks out to the generic paths below with its
+        // fetch already charged.
+        if (pendingSignals_.empty() && pendingProxy_.empty()) {
+            bool first = true;
+            // EIP shadows in a local for the whole loop (nothing
+            // dispatched here reads ctx_.eip) and is stored back once
+            // on exit.
+            VAddr eip = ctx_.eip;
+            for (;;) {
+                if (!first && (executed >= sliceLimit ||
+                               consumed >= sliceBudget))
+                    break;
+                if (cur < term) {
+                    const DecodedSlot &s = page->slots[cur];
+                    if (s.cls == OpClass::Inline) {
+                        if (!first) {
+                            // Batched fetch replay (the chained
+                            // invariant: nothing in this loop disturbs
+                            // the last-translation caches).
+                            ++replays;
+                            consumed += mem::Mmu::kAccessCycles;
+                            ++hits;
+                        }
+                        first = false;
+                        consumed += s.lat;
+                        execInline(s.inst, &consumed);
+                        eip += isa::kInstBytes;
+                        ++cur;
+                        ++executed;
+                        ++retired;
+                        if (cur == DecodedPage::kSlots) {
+                            // Ran off the page edge: chain onward.
+                            Superblock &blk = page->sbs->blocks[sbi];
+                            hint = blk.taken;
+                            linkFrom = page;
+                            linkFromSb = sbi;
+                            linkFromVer = page->version;
+                            linkTaken = true;
+                            page = nullptr;
+                            break;
+                        }
+                        continue;
+                    }
+                    if (s.cls == OpClass::Mem &&
+                        (s.inst.op == Opcode::Ld ||
+                         s.inst.op == Opcode::St)) {
+                        // Aligned load/store covered by the data-side
+                        // last-translation cache: replayed in place —
+                        // same modeled cycles and TLB effects as the
+                        // full translate (the hit is batched like the
+                        // fetch replays), and no fault is possible:
+                        // alignment is checked here and the cached
+                        // entry already passed the ring/write
+                        // permission checks under an unchanged TLB
+                        // stamp.
+                        const isa::Instruction &in = s.inst;
+                        const bool isSt = in.op == Opcode::St;
+                        const VAddr va = ctx_.regs[in.rs1] + in.imm;
+                        const unsigned size = in.sub;
+                        if ((va & (size - 1)) == 0 &&
+                            mmu_.dataReplayable(va, isSt, ring_)) {
+                            if (!first) {
+                                ++replays;
+                                consumed += mem::Mmu::kAccessCycles;
+                                ++hits;
+                            }
+                            first = false;
+                            consumed += s.lat + mem::Mmu::kAccessCycles;
+                            ++dataReplays;
+                            if (isSt)
+                                mmu_.dataReplayWrite(
+                                    va, ctx_.regs[in.rs2], size);
+                            else
+                                ctx_.regs[in.rd] =
+                                    mmu_.dataReplayRead(va, size);
+                            eip += isa::kInstBytes;
+                            ++cur;
+                            ++executed;
+                            ++retired;
+                            // The store may have hit this very code
+                            // page (SMC): the invalidation bumped its
+                            // version, so the chain breaks before the
+                            // next dispatch.
+                            if (isSt &&
+                                page->version != block_.version) {
+                                page = nullptr;
+                                break;
+                            }
+                            if (cur == DecodedPage::kSlots) {
+                                Superblock &blk =
+                                    page->sbs->blocks[sbi];
+                                hint = blk.taken;
+                                linkFrom = page;
+                                linkFromSb = sbi;
+                                linkFromVer = page->version;
+                                linkTaken = true;
+                                page = nullptr;
+                                break;
+                            }
+                            continue;
+                        }
+                    }
+                    break; // generic dispatch below
+                }
+                if (cur != term || term == DecodedPage::kSlots)
+                    break; // off-block EIP or page-edge: generic paths
+                const DecodedSlot &t = page->slots[term];
+                if (t.cls != OpClass::Branch)
+                    break; // Slow / Invalid terminator: generic paths
+                if (!first) {
+                    ++replays;
+                    consumed += mem::Mmu::kAccessCycles;
+                    ++hits;
+                }
+                first = false;
+                // Pure control transfer, executed inline; its exits
+                // carry the chain links.
+                consumed += t.lat;
+                bool taken = true;
+                VAddr target = t.inst.imm;
+                if (t.inst.op == Opcode::JmpR)
+                    target = ctx_.regs[t.inst.rs1];
+                else if (t.inst.op == Opcode::Jcc)
+                    taken = condHolds(static_cast<isa::Cond>(t.inst.sub));
+                const VAddr neip =
+                    taken ? target : eip + isa::kInstBytes;
+                eip = neip;
+                ++executed;
+                ++retired;
+                if (mem::pageNumber(neip) == page->vpn &&
+                    (neip & (isa::kInstBytes - 1)) == 0) {
+                    // Same-page chain: the per-page block table is the
+                    // link; the fetch stays on the batched replay
+                    // path.
+                    cur = slotOf(neip);
+                    sbi = superblockAt(*page, cur);
+                    term = page->sbs->blocks[sbi].term;
+                    continue;
+                }
+                if (t.inst.op != Opcode::JmpR) {
+                    // Static exit: hand the link to the resolve. An
+                    // indirect branch's target may differ every
+                    // traversal, so it is never linked.
+                    Superblock &blk = page->sbs->blocks[sbi];
+                    hint = taken ? blk.taken : blk.fall;
+                    linkFrom = page;
+                    linkFromSb = sbi;
+                    linkFromVer = page->version;
+                    linkTaken = taken;
+                }
+                page = nullptr;
+                break;
+            }
+            ctx_.eip = eip;
+            if (!first)
+                continue; // the outer head re-runs the boundary work
+            // Nothing dispatched: the current instruction needs a
+            // generic path (its fetch is already charged above).
+        }
+
+        // ---- generic one-instruction paths --------------------------
+        if (cur < term) {
+            const DecodedSlot &s = page->slots[cur];
+            if (s.cls == OpClass::Inline) {
+                // Single step: async work is pending, so the queue
+                // probe must run between instructions.
+                consumed += s.lat;
+                execInline(s.inst, &consumed);
+                ctx_.eip += isa::kInstBytes;
+                ++cur;
+                ++executed;
+                ++retired;
+                if (cur == DecodedPage::kSlots) {
+                    Superblock &blk = page->sbs->blocks[sbi];
+                    hint = blk.taken;
+                    linkFrom = page;
+                    linkFromSb = sbi;
+                    linkFromVer = page->version;
+                    linkTaken = true;
+                    page = nullptr;
+                }
+                continue;
+            }
+            // OpClass::Mem through the generic path.
+            commit();
+            consumed += executeDecoded(s.inst, s.lat, &stop);
+            ++executed;
+            if (suspendRequested_)
+                break;
+            // Continue the chain only if nothing was disturbed: same
+            // live block (an SMC store to this page bumps its version,
+            // a CR3 switch bumps the generation, a serialization purge
+            // drops block_), EIP still on this page, and the fetch
+            // fast path still replayable (the access may have walked
+            // and inserted a TLB entry).
+            if (!stop && block_.page == page &&
+                block_.asGen == mmu_.addressSpaceGen() &&
+                page->version == block_.version &&
+                mem::pageNumber(ctx_.eip) == page->vpn &&
+                mmu_.fetchReplayable(ctx_.eip, ring_)) {
+                cur = slotOf(ctx_.eip);
+            } else {
+                page = nullptr;
+            }
+            continue;
+        }
+
+        if (term == DecodedPage::kSlots) {
+            // Unreachable by construction (the page-edge exit is taken
+            // when the last body instruction retires); fall back to a
+            // full resolve rather than trusting the chain.
+            page = nullptr;
+            continue;
+        }
+
+        const DecodedSlot &s = page->slots[cur];
+        if (s.cls == OpClass::Branch) {
+            // Pure control transfer, executed inline; its exits carry
+            // the chain links.
+            consumed += s.lat;
+            bool taken = true;
+            VAddr target = s.inst.imm;
+            if (s.inst.op == Opcode::JmpR)
+                target = ctx_.regs[s.inst.rs1];
+            else if (s.inst.op == Opcode::Jcc)
+                taken = condHolds(static_cast<isa::Cond>(s.inst.sub));
+            const VAddr neip =
+                taken ? target : ctx_.eip + isa::kInstBytes;
+            ctx_.eip = neip;
+            ++executed;
+            ++retired;
+            if (mem::pageNumber(neip) == page->vpn &&
+                (neip & (isa::kInstBytes - 1)) == 0) {
+                // Same-page chain: the per-page block table is the
+                // link; the fetch stays on the batched replay path.
+                cur = slotOf(neip);
+                sbi = superblockAt(*page, cur);
+                term = page->sbs->blocks[sbi].term;
+            } else {
+                if (s.inst.op != Opcode::JmpR) {
+                    // Static exit: hand the link to the resolve. An
+                    // indirect branch's target may differ every
+                    // traversal, so it is never linked.
+                    Superblock &blk = page->sbs->blocks[sbi];
+                    hint = taken ? blk.taken : blk.fall;
+                    linkFrom = page;
+                    linkFromSb = sbi;
+                    linkFromVer = page->version;
+                    linkTaken = taken;
+                }
+                page = nullptr;
+            }
+            continue;
+        }
+
+        if (s.cls == OpClass::Slow) {
+            // Environment / serialization point: generic dispatch, then
+            // a full re-resolve (EIP, the address space, and the block
+            // may all have changed under us).
+            commit();
+            consumed += executeDecoded(s.inst, s.lat, &stop);
+            ++executed;
+            page = nullptr;
+            if (suspendRequested_)
+                break;
+            continue;
+        }
+
+        // OpClass::Invalid: decode failed at this slot.
+        commit();
+        {
+            bool advance = false;
+            consumed += handleFaultFromExec(
+                mem::Fault::of(mem::FaultKind::InvalidOpcode, ctx_.eip),
+                &stop, &advance);
+            if (advance)
+                ctx_.eip += isa::kInstBytes;
+        }
+        ++executed;
+        page = nullptr;
+        if (suspendRequested_)
+            break;
+    }
+
+    commit();
+    *executedIo = executed;
+    *consumedIo = consumed;
 }
 
 void

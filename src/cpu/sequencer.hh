@@ -26,6 +26,7 @@
 #include <string>
 
 #include "cpu/decode_cache.hh"
+#include "cpu/engine.hh"
 #include "isa/isa.hh"
 #include "mem/mmu.hh"
 #include "sim/event_queue.hh"
@@ -305,17 +306,21 @@ class Sequencer : public snap::Saveable
      *  suspensions and signal deliveries unboundedly. */
     void setSliceCycleBudget(Cycles budget) { sliceCycleBudget_ = budget; }
 
-    /** Enable/disable the predecoded-block execution engine. Both
-     *  settings produce bit-identical simulated cycles and stats; off is
-     *  the per-instruction fetch+decode reference path (the
-     *  `--no-decode-cache` escape hatch). */
+    /** Select the execution engine. All three engines produce
+     *  bit-identical simulated cycles and stats: Reference is the
+     *  per-instruction fetch+decode path (the `--no-decode-cache`
+     *  escape hatch), Cache executes from predecoded pages, and
+     *  Superblock chains predecoded slots into basic-block runs with
+     *  linked dispatch. Engine choice is host-side only — never
+     *  architectural state. */
     void
-    setDecodeCache(bool on)
+    setEngine(Engine engine)
     {
-        decodeCacheOn_ = on;
+        engine_ = engine;
         invalidateDecodedBlock();
     }
-    bool decodeCacheEnabled() const { return decodeCacheOn_; }
+    Engine engine() const { return engine_; }
+    bool decodeCacheEnabled() const { return engine_ != Engine::Reference; }
 
     /** Drop the cached decoded-block reference. Called by the MISP
      *  serialization engine alongside TLB purges, and by anything else
@@ -409,6 +414,14 @@ class Sequencer : public snap::Saveable
     /** Execute one instruction; returns consumed cycles, sets *stop when
      *  the slice must end (fault deferred, halted, parked, ...). */
     Cycles executeOne(bool *stop);
+    /** Superblock engine: run the whole slice by chained basic-block
+     *  dispatch; replaces the generic per-instruction loop of
+     *  runSlice(). In/out: instructions executed and cycles consumed
+     *  this slice. */
+    void runSuperblocks(unsigned *executed, Cycles *consumed);
+    /** Execute one OpClass::Inline instruction on the register file
+     *  (COMPUTE burns extra cycles into @p consumed). */
+    void execInline(const isa::Instruction &inst, Cycles *consumed);
     /** Execute the already-fetched @p inst; shared by the predecoded and
      *  reference fetch paths. @p cycles has the fetch+base latency. */
     Cycles executeDecoded(const isa::Instruction &inst, Cycles cycles,
@@ -447,7 +460,7 @@ class Sequencer : public snap::Saveable
         std::uint64_t asGen = 0;
     };
 
-    bool decodeCacheOn_ = true;
+    Engine engine_ = Engine::Superblock;
     BlockRef block_;
 
     RunEvent runEvent_;
@@ -469,8 +482,11 @@ class Sequencer : public snap::Saveable
     stats::Scalar signalsSent_;
     stats::Scalar asyncTransfers_;
     stats::Scalar faultsRaised_;
-    stats::Scalar decodeCacheHits_;
-    stats::Scalar decodeCacheMisses_;
+    // HostScalar: engine-dependent host counters stay out of snapshot
+    // images (they would make otherwise-identical machine states warmed
+    // under different engines serialize differently).
+    stats::HostScalar decodeCacheHits_;
+    stats::HostScalar decodeCacheMisses_;
     mem::Mmu mmu_;
 };
 

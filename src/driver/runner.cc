@@ -66,8 +66,8 @@ makeRunRequest(const Scenario &sc, const ScenarioPoint &pt,
     if (pt.competitors)
         req.label += "_+" + std::to_string(pt.competitors);
     req.config = pt.machine.toSystemConfig();
-    if (opts.noDecodeCache)
-        req.config.misp.decodeCache = false;
+    if (opts.forceEngine)
+        req.config.misp.engine = opts.engine;
     req.backend = pt.machine.backend;
     req.target = {pt.workload.name, pt.workload.params};
     for (const WorkloadSpec &bg : pt.background)

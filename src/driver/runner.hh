@@ -44,9 +44,12 @@ struct PointResult {
 };
 
 struct RunnerOptions {
-    /** Force the reference fetch+decode path on every machine
-     *  (--no-decode-cache / MISP_NO_DECODE_CACHE=1). */
-    bool noDecodeCache = false;
+    /** Force one host execution engine on every machine, overriding
+     *  the scenario's `engine` knob (--engine=ref|cache|superblock;
+     *  --no-decode-cache / MISP_NO_DECODE_CACHE=1 are aliases for
+     *  --engine=ref). */
+    bool forceEngine = false;
+    cpu::Engine engine = cpu::Engine::Superblock;
     /** Capture a full stats::StatGroup JSON dump per point. */
     bool fullStats = false;
     /** Emit the uniform HOST throughput line per run on stderr. */

@@ -10,7 +10,7 @@ arch::SystemConfig
 MachineSpec::toSystemConfig() const
 {
     arch::SystemConfig sys = arch::SystemConfig::mp(amsPerProcessor);
-    sys.misp.decodeCache = decodeCache;
+    sys.misp.engine = engine;
     sys.misp.signalCycles = signalCycles;
     sys.misp.contextXferCycles = contextXferCycles;
     sys.misp.sliceLimit = sliceLimit;
@@ -62,8 +62,18 @@ MachineSpec::apply(const std::string &key, const std::string &value,
             return bad("'shred' or 'os'");
         return true;
     }
-    if (key == "decode_cache")
-        return parseBool(value, &decodeCache) || bad("a boolean");
+    if (key == "engine") {
+        return cpu::parseEngineName(value, &engine) ||
+               bad("'ref', 'cache', or 'superblock'");
+    }
+    if (key == "decode_cache") {
+        // Legacy alias: the pre-superblock on/off ablation switch.
+        bool on = true;
+        if (!parseBool(value, &on))
+            return bad("a boolean");
+        engine = on ? cpu::Engine::Cache : cpu::Engine::Reference;
+        return true;
+    }
     if (key == "signal_cycles")
         return parseU64(value, &signalCycles) || bad("a cycle count");
     if (key == "context_xfer_cycles")

@@ -33,7 +33,9 @@
  *
  * Machine knobs: `processors` (comma list of per-processor AMS counts)
  * or `ams` (uniprocessor shorthand), `backend` (shred|os),
- * `decode_cache`, `signal_cycles`, `context_xfer_cycles`,
+ * `engine` (ref|cache|superblock; the boolean `decode_cache` is the
+ * legacy alias, on->cache / off->ref), `signal_cycles`,
+ * `context_xfer_cycles`,
  * `slice_limit`, `serialization` (suspend_all|speculative_monitor),
  * `phys_frames`, the OS-model cadence knobs `timer_period`,
  * `device_irq_mean_period` (0 disables device IRQs — a deterministic
@@ -74,7 +76,9 @@ struct MachineSpec {
     std::string name = "machine";
     std::vector<unsigned> amsPerProcessor{7};
     rt::Backend backend = rt::Backend::Shred;
-    bool decodeCache = true;
+    /** Host execution engine (`engine = ref|cache|superblock`; the
+     *  legacy boolean `decode_cache` knob maps on->cache, off->ref). */
+    cpu::Engine engine = cpu::Engine::Superblock;
     Cycles signalCycles = 5000;
     Cycles contextXferCycles = 150;
     unsigned sliceLimit = 32;

@@ -52,11 +52,12 @@ struct BareMachine {
 
     isa::Program prog;
 
-    explicit BareMachine(const std::string &src, bool decodeCache = true,
+    explicit BareMachine(const std::string &src,
+                         cpu::Engine engine = cpu::Engine::Superblock,
                          bool writableCode = false)
     {
         seq.setEnv(&env);
-        seq.setDecodeCache(decodeCache);
+        seq.setEngine(engine);
         seq.mmu().setAddressSpace(&as);
         prog = isa::assemble(src, 0x40'0000);
         as.defineRegion(prog.base, prog.byteSize() + 64, writableCode,

@@ -128,15 +128,15 @@ totalInstsRetired(arch::MispSystem &sys)
 
 double
 reportHost(const std::string &name, std::uint64_t instsRetired,
-           double hostSeconds, bool decodeCache)
+           double hostSeconds, cpu::Engine engine)
 {
     double mips =
         hostSeconds > 0.0 ? instsRetired / hostSeconds / 1e6 : 0.0;
     std::fprintf(stderr,
                  "HOST name=%s retired=%llu host_ms=%.1f mips=%.2f "
-                 "decode_cache=%d\n",
+                 "engine=%s\n",
                  name.c_str(), (unsigned long long)instsRetired,
-                 hostSeconds * 1e3, mips, decodeCache ? 1 : 0);
+                 hostSeconds * 1e3, mips, cpu::engineName(engine));
     return mips;
 }
 

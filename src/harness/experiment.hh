@@ -153,7 +153,7 @@ const std::vector<EventField> &eventFields();
  *  perf trajectories stay comparable across harnesses and PRs.
  *  @return MIPS. */
 double reportHost(const std::string &name, std::uint64_t instsRetired,
-                  double hostSeconds, bool decodeCache);
+                  double hostSeconds, cpu::Engine engine);
 
 } // namespace misp::harness
 

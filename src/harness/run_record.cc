@@ -48,7 +48,7 @@ harvest(RunRecord *out, Experiment &exp, os::Process *target,
         hostSeconds > 0.0 ? legInsts / hostSeconds / 1e6 : 0.0;
     if (req.hostLine) {
         reportHost(req.label, legInsts, hostSeconds,
-                   req.config.misp.decodeCache);
+                   req.config.misp.engine);
     }
 
     out->valid = !w.validate || w.validate(target->addressSpace());
@@ -98,6 +98,9 @@ runFromSnapshot(const RunRequest &req, const wl::Workload &w)
     snap::RestoredExperiment restored;
     if (!snap::restoreExperiment(image, &restored, &err))
         return snapshotFailure(req, err);
+    // Images are engine-neutral: the saver's host engine is neither
+    // recorded nor hash-relevant, and the restoring run's choice wins.
+    restored.exp->system().setEngine(req.config.misp.engine);
     if (!restored.target)
         return snapshotFailure(
             req, "snapshot '" + req.snapshotIn + "' has no target "

@@ -36,8 +36,9 @@ struct RunRequest {
     /** Label for the uniform HOST throughput line on stderr. */
     std::string label = "run";
 
-    /** The machine (including misp.decodeCache — callers that honor
-     *  --no-decode-cache clear it before submitting). */
+    /** The machine (including misp.engine — callers that honor
+     *  --engine/--no-decode-cache set it before submitting; on a
+     *  snapshot restore this engine choice overrides the saver's). */
     arch::SystemConfig config;
     rt::Backend backend = rt::Backend::Shred;
 

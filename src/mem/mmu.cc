@@ -29,6 +29,7 @@ Mmu::setAddressSpace(AddressSpace *as, bool preserveTlb)
     }
     as_ = as;
     lastFetch_.tlbStamp = 0;
+    lastData_.tlbStamp = 0;
     // Architecturally a CR3 write always purges the TLB; preserveTlb
     // models the synchronization fast-path where the root is verified
     // unchanged, so no write is performed at all.
@@ -49,6 +50,7 @@ Mmu::snapRestore(snap::Deserializer &d)
     asGen_ = d.u64();
     tlb_.snapRestore(d);
     lastFetch_ = LastFetch{};
+    lastData_ = LastData{};
 }
 
 void
@@ -57,12 +59,16 @@ Mmu::snapAttach(AddressSpace *as)
     as_ = as;
     lastAsId_ = as ? as->id() : 0;
     lastFetch_.tlbStamp = 0;
+    lastData_.tlbStamp = 0;
 }
 
 AccessResult
 Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
                PAddr *paOut, Tlb::EntryRef *refOut)
 {
+    Tlb::EntryRef localRef;
+    if (!refOut)
+        refOut = &localRef;
     AccessResult res;
     if (!as_) {
         res.fault = Fault::pageFault(va, access == Access::Write);
@@ -109,6 +115,17 @@ Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
     if (paOut)
         *paOut = pte->frameBase() + pageOffset(va);
     res.cycles += kAccessCycles;
+    // Prime the data-side last-translation cache (the superblock
+    // engine's replay source). Execute translations go through the
+    // fetch-side cache instead.
+    if (access != Access::Execute) {
+        lastData_.vpn = pageNumber(va);
+        lastData_.tlbStamp = tlb_.stamp();
+        lastData_.bytes = pmem_.frameData(pte->frameBase() >> kPageShift);
+        lastData_.ring = ring;
+        lastData_.writable = pte->writable;
+        lastData_.way = *refOut;
+    }
     return res;
 }
 

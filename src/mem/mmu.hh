@@ -26,6 +26,7 @@
 #define MISP_MEM_MMU_HH
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "mem/address_space.hh"
@@ -96,6 +97,84 @@ class Mmu : public snap::Saveable
      *  settings produce identical modeled cycles and TLB statistics. */
     FetchResult fetchTranslate(VAddr va, Ring ring, bool fastPath);
 
+    /** True while a fetch of @p va can be *replayed* from the one-entry
+     *  last-translation cache: the TLB's content stamp is unchanged
+     *  since the cache was filled and @p va stays on the same page in
+     *  the same ring. The superblock engine batches such replays —
+     *  counting kAccessCycles per instruction locally — and commits the
+     *  deferred reference-bit touches and hit counts in one
+     *  commitFetchReplays() call, which is bit-identical to touching
+     *  per fetch because nothing can have inspected the reference bits
+     *  in between (any TLB insert advances stamp() and fails this
+     *  check first). */
+    bool
+    fetchReplayable(VAddr va, Ring ring) const
+    {
+        return lastFetch_.tlbStamp == tlb_.stamp() &&
+               lastFetch_.vpn == pageNumber(va) &&
+               lastFetch_.ring == ring;
+    }
+
+    /** Commit @p n batched fetch replays (see fetchReplayable()). */
+    void
+    commitFetchReplays(std::uint64_t n)
+    {
+        tlb_.touchHitN(lastFetch_.way, n);
+    }
+
+    /** Physical base of the page the last fetch translated (valid only
+     *  while fetchReplayable() holds for that page). */
+    PAddr lastFetchPageBase() const { return lastFetch_.paBase; }
+
+    /** Data-side twin of fetchReplayable(): true while an aligned,
+     *  permission-compatible data access to @p va can be replayed from
+     *  the one-entry last-data-translation cache (primed by every
+     *  translated read/write). Same stamp discipline: any TLB insert,
+     *  invalidation, or flush advances stamp() and fails this check, so
+     *  batched replay commits stay bit-identical to per-access TLB
+     *  probes. The `writable` gate sends writes that might fault down
+     *  the full translate path. */
+    bool
+    dataReplayable(VAddr va, bool isWrite, Ring ring) const
+    {
+        return lastData_.tlbStamp == tlb_.stamp() &&
+               lastData_.vpn == pageNumber(va) &&
+               lastData_.ring == ring &&
+               (!isWrite || lastData_.writable);
+    }
+
+    /** Replayed load (caller checked dataReplayable + alignment). Goes
+     *  straight at the frame's stable byte pointer; the bytes read are
+     *  accounted at the next commitDataReplays(). */
+    Word
+    dataReplayRead(VAddr va, unsigned size)
+    {
+        Word v = 0;
+        std::memcpy(&v, lastData_.bytes + pageOffset(va), size);
+        replayBytesRead_ += size;
+        return v;
+    }
+
+    /** Replayed store (caller checked dataReplayable + alignment);
+     *  keeps the SMC decode-cache probe on the replay path. */
+    void
+    dataReplayWrite(VAddr va, Word value, unsigned size)
+    {
+        std::memcpy(lastData_.bytes + pageOffset(va), &value, size);
+        replayBytesWritten_ += size;
+        as_->decodeCache().noteWrite(va);
+    }
+
+    /** Commit @p n batched data replays (see dataReplayable()). */
+    void
+    commitDataReplays(std::uint64_t n)
+    {
+        tlb_.touchHitN(lastData_.way, n);
+        pmem_.accountReplayBytes(replayBytesRead_, replayBytesWritten_);
+        replayBytesRead_ = 0;
+        replayBytesWritten_ = 0;
+    }
+
     /** Atomic read-modify-write support: translate once with write
      *  intent, return the physical address for the caller to operate on.
      *  @p refOut (optional) receives a handle to the TLB entry that
@@ -142,6 +221,23 @@ class Mmu : public snap::Saveable
         Ring ring = Ring::User;
         Tlb::EntryRef way;
     } lastFetch_;
+
+    /** One-entry last-translation cache for data accesses (superblock
+     *  engine only; primed by translate() on reads and writes). */
+    struct LastData {
+        std::uint64_t vpn = 0;
+        std::uint64_t tlbStamp = 0; ///< 0 = invalid
+        std::uint8_t *bytes = nullptr; ///< the frame's backing store
+        Ring ring = Ring::User;
+        bool writable = false;
+        Tlb::EntryRef way;
+    } lastData_;
+
+    /** Bytes moved by replayed accesses since the last
+     *  commitDataReplays() (folded into the PhysicalMemory counters
+     *  there). */
+    std::uint64_t replayBytesRead_ = 0;
+    std::uint64_t replayBytesWritten_ = 0;
 
     stats::StatGroup statGroup_;
     Tlb tlb_;

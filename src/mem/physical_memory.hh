@@ -55,6 +55,28 @@ class PhysicalMemory : public snap::Saveable
     void readBytes(PAddr addr, void *dst, std::uint64_t len) const;
     void writeBytes(PAddr addr, const void *src, std::uint64_t len);
 
+    /** Stable pointer to @p frame's backing bytes (lazily
+     *  materialized). The store is node-based and frames are never
+     *  resized, so the pointer stays valid — and observes recycles in
+     *  place — for the store's lifetime. Used by the Mmu's replay
+     *  paths; replayed accesses account their bytes through
+     *  accountReplayBytes() instead of read()/write(). */
+    std::uint8_t *frameData(std::uint64_t frame)
+    {
+        return framePtrMut(frame);
+    }
+
+    /** Fold @p rd read / @p wr written bytes from a batched replay run
+     *  into the access counters (bit-identical totals: addition
+     *  commutes, and the replay path flushes at every boundary where
+     *  the counters could be observed). */
+    void
+    accountReplayBytes(std::uint64_t rd, std::uint64_t wr)
+    {
+        bytesRead_ += rd;
+        bytesWritten_ += wr;
+    }
+
     /** Snapshot the allocator state and every materialized frame
      *  (frames are emitted in ascending order, so images of identical
      *  machine states are byte-identical). */

@@ -82,6 +82,23 @@ class Tlb : public snap::Saveable
         ++hits_;
     }
 
+    /** Batched form of touchHit(): commit @p n deferred hit replays on
+     *  one entry at once. Valid under the same stamp() contract, with
+     *  one extra requirement the superblock engine upholds: nothing may
+     *  have *read* the reference bits (an insert's clock eviction scan)
+     *  between the replayed fetches and this commit — the reference-bit
+     *  set is idempotent, so only an intervening eviction decision
+     *  could observe the difference, and any insert bumps stamp() and
+     *  forces a real lookup first. */
+    void
+    touchHitN(EntryRef ref, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        ref.entry->used = true;
+        hits_ += n;
+    }
+
     /** Remove one page's entry if cached (e.g. TLB shootdown). */
     void invalidatePage(VAddr va);
 

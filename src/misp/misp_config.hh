@@ -6,6 +6,7 @@
 #ifndef MISP_MISP_MISP_CONFIG_HH
 #define MISP_MISP_MISP_CONFIG_HH
 
+#include "cpu/engine.hh"
 #include "sim/types.hh"
 
 namespace misp::arch {
@@ -45,11 +46,14 @@ struct MispConfig {
      *  knob; see Sequencer::setSliceLimit). */
     unsigned sliceLimit = 32;
 
-    /** Predecoded-block execution engine (host-side fast path; simulated
-     *  cycles and stats are bit-identical either way). Off is the
-     *  per-instruction fetch+decode reference path — the
-     *  `--no-decode-cache` escape hatch benches and examples expose. */
-    bool decodeCache = true;
+    /** Host-side execution engine: reference (per-instruction
+     *  fetch+decode), decode cache (predecoded pages), or superblock
+     *  (chained basic-block dispatch over predecoded pages). Simulated
+     *  cycles and stats are bit-identical across all three; this is a
+     *  simulation-speed knob, never architectural state (snapshots
+     *  neither record it nor key compatibility on it). The
+     *  `--no-decode-cache` escape hatch selects Reference. */
+    cpu::Engine engine = cpu::Engine::Superblock;
 };
 
 } // namespace misp::arch

@@ -64,14 +64,14 @@ MispProcessor::MispProcessor(std::string name, const MispConfig &config,
                                             pmem_, &statGroup_);
     oms_->setEnv(this);
     oms_->setSliceLimit(config_.sliceLimit);
-    oms_->setDecodeCache(config_.decodeCache);
+    oms_->setEngine(config_.engine);
     for (unsigned i = 0; i < config_.numAms; ++i) {
         ams_.push_back(std::make_unique<cpu::Sequencer>(
             "ams" + std::to_string(i + 1), i + 1, /*ring0=*/false, eq_,
             pmem_, &statGroup_));
         ams_.back()->setEnv(this);
         ams_.back()->setSliceLimit(config_.sliceLimit);
-        ams_.back()->setDecodeCache(config_.decodeCache);
+        ams_.back()->setEngine(config_.engine);
     }
     timerEvent_ = std::make_unique<LambdaEvent>(name_ + ".timer",
                                                 [this] { onTimer(); });

@@ -98,6 +98,19 @@ class MispProcessor : public cpu::SequencerEnv, public snap::Saveable
     const std::string &name() const { return name_; }
     const MispConfig &config() const { return config_; }
 
+    /** Re-select the host execution engine on every sequencer (used
+     *  after a snapshot restore, where the requester's engine choice —
+     *  not the saver's — governs; the engine is never architectural
+     *  state, so this is always safe). */
+    void
+    setEngine(cpu::Engine engine)
+    {
+        config_.engine = engine;
+        oms_->setEngine(engine);
+        for (auto &ams : ams_)
+            ams->setEngine(engine);
+    }
+
     /** Kernel CPU slot id of the OMS. */
     int cpuId() const { return cpuId_; }
 

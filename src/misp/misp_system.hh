@@ -71,6 +71,17 @@ class MispSystem : public os::KernelClient
     /** Attach a runtime to every processor. */
     void attachRuntime(RtHandler *rt);
 
+    /** Re-select the host execution engine machine-wide (see
+     *  MispProcessor::setEngine; used to apply the restoring run's
+     *  engine choice after a snapshot restore). */
+    void
+    setEngine(cpu::Engine engine)
+    {
+        config_.misp.engine = engine;
+        for (auto &p : procs_)
+            p->setEngine(engine);
+    }
+
     /** Kick off scheduling: assign ready threads to idle OMSs and start
      *  interrupt delivery. Call once after creating initial threads. */
     void start();

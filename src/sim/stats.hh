@@ -96,6 +96,31 @@ class Scalar : public StatBase
     double value_ = 0.0;
 };
 
+/** A Scalar counting host-side instrumentation (execution-engine
+ *  internals such as decode-cache hits): dumped like any counter but
+ *  excluded from machine-state snapshots, so images stay
+ *  engine-neutral — a snapshot warmed under one engine is
+ *  byte-identical to one warmed under another, and a restored run's
+ *  host counters restart at zero under whatever engine it picked. */
+class HostScalar : public Scalar
+{
+  public:
+    using Scalar::Scalar;
+    using Scalar::operator=;
+
+    std::vector<double> snapValues() const override { return {}; }
+
+    void
+    snapRestoreValues(const std::vector<double> &v) override
+    {
+        // Host counters restart at zero on restore; tolerate (and
+        // discard) a value from an image written before this stat
+        // became host-only.
+        (void)v;
+        reset();
+    }
+};
+
 /** A fixed-size vector of counters, e.g. per-sequencer event counts. */
 class Vector : public StatBase
 {

@@ -39,7 +39,11 @@ putSystemConfig(Serializer &s, const arch::SystemConfig &cfg,
     s.u64(cfg.misp.contextXferCycles);
     s.u8(static_cast<std::uint8_t>(cfg.misp.serialization));
     s.u32(cfg.misp.sliceLimit);
-    s.b(cfg.misp.decodeCache);
+    // Deliberately NOT serialized: cfg.misp.engine. The host execution
+    // engine is not architectural state — images are engine-neutral, so
+    // a snapshot warmed under one engine restores under any other (the
+    // restoring run's choice is re-applied after restore) and the
+    // config hash cannot key compatibility on it.
     s.u64(cfg.kernel.syscallBase);
     s.u64(cfg.kernel.writePerByte);
     s.u64(cfg.kernel.pageFaultService);
@@ -67,7 +71,6 @@ getSystemConfig(Deserializer &d, rt::Backend *backend)
     cfg.misp.serialization =
         static_cast<arch::SerializationPolicy>(d.u8());
     cfg.misp.sliceLimit = d.u32();
-    cfg.misp.decodeCache = d.b();
     cfg.kernel.syscallBase = d.u64();
     cfg.kernel.writePerByte = d.u64();
     cfg.kernel.pageFaultService = d.u64();

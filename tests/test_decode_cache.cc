@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "cpu/decode_cache.hh"
 #include "cpu/sequencer.hh"
 #include "harness/bare_machine.hh"
@@ -29,8 +31,9 @@ namespace {
 
 /** One-sequencer machine with a writable code region (SMC tests). */
 struct Machine : harness::BareMachine {
-    Machine(const std::string &src, bool decodeCache)
-        : harness::BareMachine(src, decodeCache, /*writableCode=*/true)
+    Machine(const std::string &src,
+            cpu::Engine engine = cpu::Engine::Cache)
+        : harness::BareMachine(src, engine, /*writableCode=*/true)
     {}
 };
 
@@ -51,7 +54,7 @@ const char *kSmcSrc = R"(
 
 TEST(DecodeCacheCoherence, SelfModifyingStoreForcesRedecode)
 {
-    Machine m(kSmcSrc, /*decodeCache=*/true);
+    Machine m(kSmcSrc, cpu::Engine::Cache);
     m.run();
     // Stale predecode would execute movi r0, 111.
     EXPECT_EQ(m.reg(0), 222u);
@@ -61,15 +64,19 @@ TEST(DecodeCacheCoherence, SelfModifyingStoreForcesRedecode)
 
 TEST(DecodeCacheCoherence, SmcMatchesReferencePathBitExactly)
 {
-    Machine on(kSmcSrc, true);
-    Machine off(kSmcSrc, false);
-    on.run();
-    off.run();
-    EXPECT_EQ(on.reg(0), 222u);
-    EXPECT_EQ(off.reg(0), 222u);
-    EXPECT_EQ(on.eq.curTick(), off.eq.curTick());
-    EXPECT_EQ(on.seq.instsRetired(), off.seq.instsRetired());
-    EXPECT_EQ(on.seq.busyCycles(), off.seq.busyCycles());
+    Machine ref(kSmcSrc, cpu::Engine::Reference);
+    ref.run();
+    EXPECT_EQ(ref.reg(0), 222u);
+    for (cpu::Engine engine :
+         {cpu::Engine::Cache, cpu::Engine::Superblock}) {
+        Machine m(kSmcSrc, engine);
+        m.run();
+        EXPECT_EQ(m.reg(0), 222u) << cpu::engineName(engine);
+        EXPECT_EQ(m.eq.curTick(), ref.eq.curTick())
+            << cpu::engineName(engine);
+        EXPECT_EQ(m.seq.instsRetired(), ref.seq.instsRetired());
+        EXPECT_EQ(m.seq.busyCycles(), ref.seq.busyCycles());
+    }
 }
 
 TEST(DecodeCacheCoherence, HostPokeInvalidatesDecodedPage)
@@ -79,17 +86,21 @@ TEST(DecodeCacheCoherence, HostPokeInvalidatesDecodedPage)
             movi r0, 1
             halt
     )";
-    Machine m(src, true);
-    m.run();
-    EXPECT_EQ(m.reg(0), 1u);
+    for (cpu::Engine engine :
+         {cpu::Engine::Cache, cpu::Engine::Superblock}) {
+        Machine m(src, engine);
+        m.run();
+        EXPECT_EQ(m.reg(0), 1u) << cpu::engineName(engine);
 
-    // Host-side rewrite of the first instruction's immediate (the path
-    // loaders and runtimes use), then re-run from the same address.
-    Word newImm = 7;
-    m.as.pokeWord(m.prog.symbol("main") + 8, newImm, 8);
-    EXPECT_GE(m.as.decodeCache().invalidations(), 1u);
-    m.run();
-    EXPECT_EQ(m.reg(0), 7u);
+        // Host-side rewrite of the first instruction's immediate (the
+        // path loaders and runtimes use), then re-run from the same
+        // address.
+        Word newImm = 7;
+        m.as.pokeWord(m.prog.symbol("main") + 8, newImm, 8);
+        EXPECT_GE(m.as.decodeCache().invalidations(), 1u);
+        m.run();
+        EXPECT_EQ(m.reg(0), 7u) << cpu::engineName(engine);
+    }
 }
 
 TEST(DecodeCacheCoherence, AddressSpaceSwitchNeverReusesBlocks)
@@ -99,7 +110,7 @@ TEST(DecodeCacheCoherence, AddressSpaceSwitchNeverReusesBlocks)
     const char *srcA = "main:\n    movi r0, 1\n    halt\n";
     const char *srcB = "main:\n    movi r0, 2\n    halt\n";
 
-    Machine m(srcA, true);
+    Machine m(srcA, cpu::Engine::Cache);
     mem::AddressSpace other("q", m.pmem);
     isa::Program progB = isa::assemble(srcB, 0x40'0000);
     other.defineRegion(progB.base, progB.byteSize() + 64, false, "code",
@@ -134,7 +145,7 @@ TEST(DecodeCacheCoherence, SerializationPurgeResyncsWithMemory)
             movi r0, 1
             halt
     )";
-    Machine m(src, true);
+    Machine m(src, cpu::Engine::Cache);
     m.run();
     EXPECT_EQ(m.reg(0), 1u);
 
@@ -161,14 +172,14 @@ TEST(DecodeCacheCoherence, FullSystemIdenticalUnderSpeculativeMonitor)
     }
     ASSERT_NE(target, nullptr);
 
-    auto runOnce = [&](bool decodeCache) {
+    auto runOnce = [&](cpu::Engine engine) {
         wl::WorkloadParams params;
         params.workers = 7;
         wl::Workload w = target->build(params);
         arch::SystemConfig sys = arch::SystemConfig::uniprocessor(7);
         sys.misp.serialization =
             arch::SerializationPolicy::SpeculativeMonitor;
-        sys.misp.decodeCache = decodeCache;
+        sys.misp.engine = engine;
         harness::Experiment exp(sys, rt::Backend::Shred);
         harness::LoadedProcess proc = exp.load(w.app);
         Tick t = exp.runToCompletion(proc.process).ticks;
@@ -177,7 +188,244 @@ TEST(DecodeCacheCoherence, FullSystemIdenticalUnderSpeculativeMonitor)
         return t;
     };
 
-    EXPECT_EQ(runOnce(true), runOnce(false));
+    Tick ref = runOnce(cpu::Engine::Reference);
+    EXPECT_EQ(runOnce(cpu::Engine::Cache), ref);
+    EXPECT_EQ(runOnce(cpu::Engine::Superblock), ref);
+}
+
+// ---------------------------------------------------------------------
+// Chained-superblock invalidation: a block *linked from* a hot chain
+// must not be reachable stale. Each scenario compares all three
+// engines tick-for-tick, so a chain that survived an invalidation
+// would show up as an architectural or timing divergence.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Loop whose body immediate is patched mid-run by the purge tests. */
+std::string
+chainLoopSrc(unsigned imm, unsigned iters)
+{
+    return "main:\n"
+           "    movi r1, 0\n"
+           "loop:\n"
+           "    movi r3, " +
+           std::to_string(imm) +
+           "\n"
+           "    add r4, r4, r3\n"
+           "    addi r1, r1, 1\n"
+           "    cmpi r1, " +
+           std::to_string(iters) +
+           "\n"
+           "    jcc.lt loop\n"
+           "    halt\n";
+}
+
+} // namespace
+
+TEST(SuperblockChain, SmcIntoLinkedSuccessorBreaksChain)
+{
+    // A loop on code page 1 whose taken exit is a cross-page jmp to
+    // `target` on page 2 — after the first traversal the superblock
+    // engine holds a block-exit link straight to the successor block.
+    // On iteration 3 the guest stores into `target`'s immediate; every
+    // later traversal must execute the patched code even though the
+    // exiting block still carries the (now version-stale) link.
+    std::string src = R"(
+        main:
+            movi r1, 0
+            movi r5, target
+            addi r5, r5, 8
+        loop:
+            addi r1, r1, 1
+            cmpi r1, 3
+            jcc.ne skip
+            movi r6, 999
+            st8 [r5+0], r6
+        skip:
+            jmp target
+        back:
+            cmpi r1, 6
+            jcc.lt loop
+            halt
+    )";
+    // Pad (never-executed, after halt) so `target` lands on the next
+    // 256-slot code page and the jmp really is a cross-page link.
+    for (int i = 0; i < 300; ++i)
+        src += "    nop\n";
+    src += R"(
+        target:
+            movi r3, 111
+            jmp back
+    )";
+
+    Machine ref(src, cpu::Engine::Reference);
+    ref.run();
+    EXPECT_EQ(ref.reg(1), 6u);
+    EXPECT_EQ(ref.reg(3), 999u); // stale chain would leave 111
+
+    for (cpu::Engine engine :
+         {cpu::Engine::Cache, cpu::Engine::Superblock}) {
+        Machine m(src, engine);
+        m.run();
+        EXPECT_EQ(m.reg(3), 999u) << cpu::engineName(engine);
+        EXPECT_EQ(m.reg(1), 6u) << cpu::engineName(engine);
+        EXPECT_EQ(m.eq.curTick(), ref.eq.curTick())
+            << cpu::engineName(engine);
+        EXPECT_EQ(m.seq.instsRetired(), ref.seq.instsRetired());
+        EXPECT_EQ(m.seq.busyCycles(), ref.seq.busyCycles());
+        // The store really dropped a decoded page (the linked target's).
+        EXPECT_GE(m.as.decodeCache().invalidations(), 1u)
+            << cpu::engineName(engine);
+        EXPECT_GT(m.seq.decodeCacheHits(), 0u) << cpu::engineName(engine);
+    }
+}
+
+TEST(SuperblockChain, Cr3SwitchMidChainDropsLinkedBlocks)
+{
+    // Run a hot loop in space A to a fixed tick, then model a CR3
+    // switch to space B holding same-layout code with a different
+    // immediate at the same VAs, and let execution continue mid-loop.
+    // Any block (or block-exit link) from A surviving the switch would
+    // keep folding A's immediate.
+    std::string srcA = chainLoopSrc(5, 4000);
+    std::string srcB = chainLoopSrc(9, 4000);
+
+    Tick refTicks = 0;
+    Word refR4 = 0;
+    bool first = true;
+    for (cpu::Engine engine :
+         {cpu::Engine::Reference, cpu::Engine::Cache,
+          cpu::Engine::Superblock}) {
+        Machine m(srcA, engine);
+        mem::AddressSpace other("q", m.pmem);
+        isa::Program progB = isa::assemble(srcB, 0x40'0000);
+        other.defineRegion(progB.base, progB.byteSize() + 64, false,
+                           "code", progB.bytes());
+
+        m.start();
+        m.eq.run(3000); // chain is hot, loop not yet done
+        m.env.as = &other;
+        m.seq.mmu().setAddressSpace(&other); // CR3 write mid-chain
+        m.eq.run();
+
+        EXPECT_EQ(m.reg(1), 4000u) << cpu::engineName(engine);
+        if (first) {
+            refTicks = m.eq.curTick();
+            refR4 = m.reg(4);
+            first = false;
+            // The switch landed mid-loop: r4 mixes both immediates.
+            EXPECT_NE(refR4, Word{5} * 4000) << "switched too late";
+            EXPECT_NE(refR4, Word{9} * 4000) << "switched too early";
+        } else {
+            EXPECT_EQ(m.eq.curTick(), refTicks)
+                << cpu::engineName(engine);
+            EXPECT_EQ(m.reg(4), refR4) << cpu::engineName(engine);
+        }
+    }
+}
+
+TEST(SuperblockChain, SerializationPurgeMidChain)
+{
+    // MISP serialization purge while the chain is hot: at a fixed tick
+    // a Ring-0 episode rewrites the loop body's immediate behind the
+    // sequencer, then the serialization engine flushes the TLB and
+    // drops the decoded block before resuming. All engines must resync
+    // identically mid-loop.
+    std::string src = chainLoopSrc(5, 4000);
+
+    Tick refTicks = 0;
+    Word refR4 = 0;
+    bool first = true;
+    for (cpu::Engine engine :
+         {cpu::Engine::Reference, cpu::Engine::Cache,
+          cpu::Engine::Superblock}) {
+        Machine m(src, engine);
+        m.start();
+        m.eq.run(3000);
+        m.as.pokeWord(m.prog.symbol("loop") + 8, 9, 8);
+        m.seq.mmu().tlb().flushAll();
+        m.seq.invalidateDecodedBlock();
+        m.eq.run();
+
+        EXPECT_EQ(m.reg(1), 4000u) << cpu::engineName(engine);
+        if (first) {
+            refTicks = m.eq.curTick();
+            refR4 = m.reg(4);
+            first = false;
+            EXPECT_NE(refR4, Word{5} * 4000) << "patched too late";
+            EXPECT_NE(refR4, Word{9} * 4000) << "patched too early";
+        } else {
+            EXPECT_EQ(m.eq.curTick(), refTicks)
+                << cpu::engineName(engine);
+            EXPECT_EQ(m.reg(4), refR4) << cpu::engineName(engine);
+        }
+    }
+}
+
+TEST(SuperblockChain, CrossSpaceReplayWindowsNeverSurviveSwitch)
+{
+    // Regression for the Mmu one-entry last-translation caches vs.
+    // block-exit linking: after a CR3 switch, neither the fetch-side
+    // nor the data-side replay window (which holds a raw frame byte
+    // pointer) may serve accesses out of the old space's frames, and no
+    // block-exit link may reach the old space's blocks (decoded pages
+    // and links are per-space by construction). A hot load loop reads
+    // the same VA before and after the switch; the two spaces back
+    // that VA with different data.
+    const char *src = R"(
+        main:
+            movi r1, 0
+            movi r5, 0x100000
+            movi r6, 5
+            st8 [r5+0], r6
+        loop:
+            ld8 r3, [r5+0]
+            add r4, r4, r3
+            addi r1, r1, 1
+            cmpi r1, 4000
+            jcc.lt loop
+            halt
+    )";
+
+    Tick refTicks = 0;
+    Word refR4 = 0;
+    bool first = true;
+    for (cpu::Engine engine :
+         {cpu::Engine::Reference, cpu::Engine::Cache,
+          cpu::Engine::Superblock}) {
+        Machine m(src, engine);
+        // Space B: identical code at the same VAs, but the data page at
+        // 0x100000 holds 9 where space A's run stored 5.
+        mem::AddressSpace other("q", m.pmem);
+        isa::Program progB = isa::assemble(src, 0x40'0000);
+        other.defineRegion(progB.base, progB.byteSize() + 64, false,
+                           "code", progB.bytes());
+        std::vector<std::uint8_t> data(64, 0);
+        data[0] = 9;
+        other.defineRegion(0x100000, mem::kPageSize, true, "data", data);
+
+        m.start();
+        m.eq.run(3000); // load loop hot: replay windows primed
+        m.env.as = &other;
+        m.seq.mmu().setAddressSpace(&other); // CR3 write mid-loop
+        m.eq.run();
+
+        EXPECT_EQ(m.reg(1), 4000u) << cpu::engineName(engine);
+        if (first) {
+            refTicks = m.eq.curTick();
+            refR4 = m.reg(4);
+            first = false;
+            // The switch landed mid-loop and the loads really moved to
+            // B's frame: r4 mixes 5s (space A) and 9s (space B).
+            EXPECT_NE(refR4, Word{5} * 4000) << "switched too late";
+            EXPECT_NE(refR4, Word{9} * 4000) << "switched too early";
+        } else {
+            EXPECT_EQ(m.eq.curTick(), refTicks)
+                << cpu::engineName(engine);
+            EXPECT_EQ(m.reg(4), refR4) << cpu::engineName(engine);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -277,19 +525,25 @@ TEST(DecodeCacheEquivalence, LoopKernelBitIdentical)
             jcc.lt loop
             halt
     )";
-    Machine on(src, true);
-    Machine off(src, false);
-    on.run();
+    Machine off(src, cpu::Engine::Reference);
     off.run();
-    EXPECT_EQ(on.eq.curTick(), off.eq.curTick());
-    EXPECT_EQ(on.seq.instsRetired(), off.seq.instsRetired());
-    EXPECT_EQ(on.seq.busyCycles(), off.seq.busyCycles());
-    EXPECT_EQ(on.seq.mmu().tlb().hits(), off.seq.mmu().tlb().hits());
-    EXPECT_EQ(on.seq.mmu().tlb().misses(),
-              off.seq.mmu().tlb().misses());
-    EXPECT_EQ(on.seq.mmu().pageWalks(), off.seq.mmu().pageWalks());
-    EXPECT_EQ(on.reg(1), off.reg(1));
-    // The engine actually engaged.
-    EXPECT_GT(on.seq.decodeCacheHits(), 0u);
     EXPECT_EQ(off.seq.decodeCacheHits(), 0u);
+    for (cpu::Engine engine :
+         {cpu::Engine::Cache, cpu::Engine::Superblock}) {
+        Machine on(src, engine);
+        on.run();
+        EXPECT_EQ(on.eq.curTick(), off.eq.curTick())
+            << cpu::engineName(engine);
+        EXPECT_EQ(on.seq.instsRetired(), off.seq.instsRetired());
+        EXPECT_EQ(on.seq.busyCycles(), off.seq.busyCycles());
+        EXPECT_EQ(on.seq.mmu().tlb().hits(),
+                  off.seq.mmu().tlb().hits());
+        EXPECT_EQ(on.seq.mmu().tlb().misses(),
+                  off.seq.mmu().tlb().misses());
+        EXPECT_EQ(on.seq.mmu().pageWalks(), off.seq.mmu().pageWalks());
+        EXPECT_EQ(on.reg(1), off.reg(1));
+        // The engine actually engaged.
+        EXPECT_GT(on.seq.decodeCacheHits(), 0u)
+            << cpu::engineName(engine);
+    }
 }

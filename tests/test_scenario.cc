@@ -186,7 +186,7 @@ TEST(Scenario, MachineKnobsMapToSystemConfig)
     EXPECT_TRUE(m.idealPlacement);
     arch::SystemConfig sys = m.toSystemConfig();
     EXPECT_EQ(sys.amsPerProcessor, (std::vector<unsigned>{3, 0}));
-    EXPECT_FALSE(sys.misp.decodeCache);
+    EXPECT_EQ(sys.misp.engine, cpu::Engine::Reference);
     EXPECT_EQ(sys.misp.signalCycles, 500u);
     EXPECT_EQ(sys.misp.sliceLimit, 8u);
     EXPECT_EQ(sys.misp.serialization,
@@ -271,7 +271,7 @@ TEST(Scenario, SweepExpansionOrderAndOverrides)
     EXPECT_EQ(pts[1].machine.name, "b");
     EXPECT_EQ(pts[2].competitors, 1u);
     EXPECT_EQ(pts[4].workload.name, "applu");
-    EXPECT_TRUE(pts[0].machine.decodeCache);
+    EXPECT_EQ(pts[0].machine.engine, cpu::Engine::Superblock);
     EXPECT_EQ(pts[0].coordString(), "workload.name=swim competitors=0");
 
     // Quick mode: workload axis replaced, machine.decode_cache knob
@@ -279,7 +279,7 @@ TEST(Scenario, SweepExpansionOrderAndOverrides)
     ASSERT_TRUE(sc.expandPoints(true, &pts, &err)) << err;
     ASSERT_EQ(pts.size(), 4u);
     EXPECT_EQ(pts[0].workload.name, "gauss");
-    EXPECT_FALSE(pts[0].machine.decodeCache);
+    EXPECT_EQ(pts[0].machine.engine, cpu::Engine::Reference);
 }
 
 TEST(Scenario, SweepValueDiagnostics)
@@ -539,26 +539,37 @@ TEST(RunnerEquivalence, Fig7StylePinnedRunMatchesHandRolled)
     EXPECT_LT(results[1].run.ticks, unloaded + unloaded / 4);
 }
 
-TEST(RunnerEquivalence, DecodeCacheOffIsBitIdentical)
+TEST(RunnerEquivalence, EveryEngineIsBitIdentical)
 {
     const std::string text =
         "[machine misp]\nams = 3\n"
         "[workload]\nname = dense_mvm\nworkers = 3\n";
-    std::vector<PointResult> on = runScenarioText(text);
+    // Default leg: the machine's default engine (superblock).
+    std::vector<PointResult> base = runScenarioText(text);
 
     Scenario sc = mustScenario(text);
     std::vector<ScenarioPoint> pts;
     std::string err;
     ASSERT_TRUE(sc.expandPoints(false, &pts, &err));
-    ScenarioRunner::Options opts;
-    opts.hostLines = false;
-    opts.noDecodeCache = true;
-    std::vector<PointResult> off = ScenarioRunner(opts).runAll(sc, pts);
+    for (cpu::Engine engine :
+         {cpu::Engine::Reference, cpu::Engine::Cache}) {
+        ScenarioRunner::Options opts;
+        opts.hostLines = false;
+        opts.forceEngine = true;
+        opts.engine = engine;
+        std::vector<PointResult> leg =
+            ScenarioRunner(opts).runAll(sc, pts);
 
-    ASSERT_EQ(on.size(), off.size());
-    EXPECT_EQ(on[0].run.ticks, off[0].run.ticks);
-    EXPECT_EQ(on[0].run.events.omsSyscalls, off[0].run.events.omsSyscalls);
-    EXPECT_EQ(on[0].run.events.serializations, off[0].run.events.serializations);
+        ASSERT_EQ(base.size(), leg.size());
+        EXPECT_EQ(base[0].run.ticks, leg[0].run.ticks)
+            << cpu::engineName(engine);
+        EXPECT_EQ(base[0].run.instsRetired, leg[0].run.instsRetired)
+            << cpu::engineName(engine);
+        EXPECT_EQ(base[0].run.events.omsSyscalls,
+                  leg[0].run.events.omsSyscalls);
+        EXPECT_EQ(base[0].run.events.serializations,
+                  leg[0].run.events.serializations);
+    }
 }
 
 // ---------------------------------------------------------------------

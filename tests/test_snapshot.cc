@@ -175,6 +175,62 @@ TEST(Snapshot, WarmupSaveRestoreBitIdentical)
     std::remove(image.c_str());
 }
 
+TEST(Snapshot, CrossEngineSaveRestoreBitIdentical)
+{
+    // The host execution engine is not architectural state, so it must
+    // never leak into an image: a snapshot warmed under one engine is
+    // the same bytes as one warmed under another, and restores under
+    // any engine to the same run.
+    harness::RunRequest cold = smallRequest();
+    cold.config.misp.engine = cpu::Engine::Reference;
+    harness::RunRecord coldRec = harness::runOne(cold);
+    ASSERT_TRUE(coldRec.ok());
+
+    auto saveUnder = [&](cpu::Engine engine, const std::string &path) {
+        harness::RunRequest save = smallRequest();
+        save.config.misp.engine = engine;
+        save.snapshotOut = path;
+        save.warmupTicks = coldRec.ticks / 3;
+        harness::RunRecord rec = harness::runOne(save);
+        EXPECT_TRUE(rec.ok()) << rec.note;
+        expectSameRecord(coldRec, rec);
+    };
+    const std::string imgSb = tempPath("snapshot_engine_sb.misnap");
+    const std::string imgRef = tempPath("snapshot_engine_ref.misnap");
+    saveUnder(cpu::Engine::Superblock, imgSb);
+    saveUnder(cpu::Engine::Reference, imgRef);
+
+    std::string bytesSb, bytesRef, err;
+    ASSERT_TRUE(snap::readFileBytes(imgSb, &bytesSb, &err)) << err;
+    ASSERT_TRUE(snap::readFileBytes(imgRef, &bytesRef, &err)) << err;
+    std::size_t diffAt = 0;
+    while (diffAt < bytesSb.size() && diffAt < bytesRef.size() &&
+           bytesSb[diffAt] == bytesRef[diffAt])
+        ++diffAt;
+    EXPECT_TRUE(bytesSb == bytesRef)
+        << "images are engine-dependent: sizes " << bytesSb.size()
+        << " vs " << bytesRef.size() << ", first diff at byte "
+        << diffAt;
+
+    auto restoreUnder = [&](cpu::Engine engine,
+                            const std::string &path) {
+        harness::RunRequest warm = smallRequest();
+        warm.config.misp.engine = engine;
+        warm.snapshotIn = path;
+        harness::RunRecord rec = harness::runOne(warm);
+        EXPECT_TRUE(rec.ok()) << rec.note;
+        expectSameRecord(coldRec, rec);
+    };
+    // Warm-save under superblock, restore under ref — and vice versa
+    // (plus the middle engine for completeness).
+    restoreUnder(cpu::Engine::Reference, imgSb);
+    restoreUnder(cpu::Engine::Superblock, imgRef);
+    restoreUnder(cpu::Engine::Cache, imgSb);
+
+    std::remove(imgSb.c_str());
+    std::remove(imgRef.c_str());
+}
+
 TEST(Snapshot, OsBackendRoundTrip)
 {
     harness::RunRequest cold = smallRequest();

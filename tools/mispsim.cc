@@ -90,7 +90,14 @@ usage(const char *argv0, int code)
         "                     --full-stats decode-cache hit/miss\n"
         "                     counters, which restart cold — the\n"
         "                     decode cache is derived state)\n"
-        "  --no-decode-cache  reference fetch+decode path (also honored\n"
+        "  --engine=E         force the host execution engine on every\n"
+        "                     machine: ref (per-instruction\n"
+        "                     fetch+decode), cache (predecoded pages),\n"
+        "                     or superblock (chained basic-block\n"
+        "                     dispatch; the default). All engines\n"
+        "                     produce bit-identical results; also\n"
+        "                     honored from MISP_ENGINE=E\n"
+        "  --no-decode-cache  alias for --engine=ref (also honored\n"
         "                     from MISP_NO_DECODE_CACHE=1)\n"
         "  --md               print the results table as markdown\n"
         "  --points           print canonical point lines only (the\n"
@@ -137,7 +144,8 @@ main(int argc, char **argv)
     bool dryRun = false;
     bool fullStats = false;
     bool verbose = false;
-    bool noDecodeCache = false;
+    bool forceEngine = false;
+    misp::cpu::Engine engine = misp::cpu::Engine::Superblock;
     bool isolate = false;
     unsigned jobs = 1;
     std::string saveSnapshotDir;
@@ -235,8 +243,18 @@ main(int argc, char **argv)
                 return 2;
             }
             fromSnapshotDir = argv[i];
+        } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+            if (!misp::cpu::parseEngineName(arg + 9, &engine)) {
+                std::fprintf(stderr,
+                             "mispsim: --engine wants ref, cache, or "
+                             "superblock, got '%s'\n",
+                             arg + 9);
+                return 2;
+            }
+            forceEngine = true;
         } else if (std::strcmp(arg, "--no-decode-cache") == 0) {
-            noDecodeCache = true;
+            engine = misp::cpu::Engine::Reference;
+            forceEngine = true;
         } else if (std::strcmp(arg, "--md") == 0) {
             markdown = true;
         } else if (std::strcmp(arg, "--points") == 0) {
@@ -260,9 +278,27 @@ main(int argc, char **argv)
     if (scnArg.empty())
         return usage(argv[0], 2);
 
-    const char *env = std::getenv("MISP_NO_DECODE_CACHE");
-    if (env && env[0] == '1')
-        noDecodeCache = true;
+    // Env overrides apply only when no CLI --engine flag was given.
+    if (!forceEngine) {
+        const char *envEngine = std::getenv("MISP_ENGINE");
+        if (envEngine && envEngine[0] != '\0') {
+            if (!misp::cpu::parseEngineName(envEngine, &engine)) {
+                std::fprintf(stderr,
+                             "mispsim: MISP_ENGINE wants ref, cache, or "
+                             "superblock, got '%s'\n",
+                             envEngine);
+                return 2;
+            }
+            forceEngine = true;
+        }
+    }
+    if (!forceEngine) {
+        const char *env = std::getenv("MISP_NO_DECODE_CACHE");
+        if (env && env[0] == '1') {
+            engine = misp::cpu::Engine::Reference;
+            forceEngine = true;
+        }
+    }
 
     setQuietLogging(!verbose);
 
@@ -355,7 +391,8 @@ main(int argc, char **argv)
     }
 
     ScenarioRunner::Options opts;
-    opts.noDecodeCache = noDecodeCache;
+    opts.forceEngine = forceEngine;
+    opts.engine = engine;
     opts.fullStats = fullStats;
     opts.jobs = jobs;
     opts.isolate = isolate;
