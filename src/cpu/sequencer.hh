@@ -435,18 +435,20 @@ class Sequencer : public snap::Saveable
     void setFlagsFromCompare(SWord a, SWord b);
     bool condHolds(isa::Cond cond) const;
 
-    std::string name_;
-    SequencerId sid_;
-    bool ring0Capable_;
+    std::string name_;   ///< snap: config
+    SequencerId sid_;    ///< snap: config
+    bool ring0Capable_;  ///< snap: config
     EventQueue &eq_;
-    SequencerEnv *env_ = nullptr;
+    SequencerEnv *env_ = nullptr; ///< snap: config — wired at build
 
     SequencerContext ctx_;
     SeqState state_ = SeqState::Idle;
     SeqState preSuspendState_ = SeqState::Idle;
+    /** snap: quiesced — Kernel only inside a Ring-0 episode, and
+     *  the quiescence protocol drains episodes before any save. */
     mem::Ring ring_ = mem::Ring::User;
-    unsigned sliceLimit_ = 32;
-    Cycles sliceCycleBudget_ = 2500;
+    unsigned sliceLimit_ = 32;       ///< snap: config
+    Cycles sliceCycleBudget_ = 2500; ///< snap: config
 
     /** Cached reference into the current address space's decode cache.
      *  Valid only while the MMU's address-space generation and the
@@ -460,11 +462,13 @@ class Sequencer : public snap::Saveable
         std::uint64_t asGen = 0;
     };
 
-    Engine engine_ = Engine::Superblock;
-    BlockRef block_;
+    Engine engine_ = Engine::Superblock; ///< snap: config
+    BlockRef block_; ///< snap: derived — revalidated per instruction
 
     RunEvent runEvent_;
     bool suspendRequested_ = false;
+    /** snap: quiesced — true only within one runSlice() frame;
+     *  snapshots are taken between events, never inside one. */
     bool inSlice_ = false;
     std::deque<SignalPayload> pendingSignals_;
     std::deque<SignalPayload> pendingProxy_;

@@ -1,6 +1,7 @@
 #include "address_space.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "sim/logging.hh"
@@ -8,13 +9,16 @@
 namespace misp::mem {
 
 namespace {
-std::uint64_t nextAddressSpaceId = 1;
+// The id's one job is process-lifetime uniqueness (ABA detection in
+// Mmu::setAddressSpace); it never reaches simulated state or output.
+// Atomic because --jobs N constructs machines on concurrent workers.
+std::atomic<std::uint64_t> nextAddressSpaceId{1};
 } // namespace
 
 AddressSpace::AddressSpace(std::string name, PhysicalMemory &pmem)
     : name_(std::move(name)),
       pmem_(pmem),
-      id_(nextAddressSpaceId++),
+      id_(nextAddressSpaceId.fetch_add(1, std::memory_order_relaxed)),
       decodeCache_(pmem)
 {}
 

@@ -144,10 +144,13 @@ class AddressSpace : public snap::Saveable
 
     const Region *findRegion(VAddr va) const;
 
-    std::string name_;
+    std::string name_;    ///< snap: config
     PhysicalMemory &pmem_;
+    /** snap: config — a process-lifetime-unique handle, only ever
+     *  compared for equality between live spaces (Mmu ABA check); it
+     *  never travels in an image. */
     std::uint64_t id_;
-    cpu::DecodeCache decodeCache_;
+    cpu::DecodeCache decodeCache_; ///< snap: derived — rebuilds lazily
     PageTable table_;
     std::map<VAddr, Region> regions_; ///< keyed by start
     VAddr allocCursor_ = kHeapBase;

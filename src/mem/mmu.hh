@@ -208,10 +208,12 @@ class Mmu : public snap::Saveable
     void snapAttach(AddressSpace *as);
 
   private:
-    AddressSpace *as_ = nullptr;
+    AddressSpace *as_ = nullptr; ///< snap: attach — see snapAttach()
     PhysicalMemory &pmem_;
     std::uint64_t asGen_ = 1;
-    std::uint64_t lastAsId_ = 0; ///< id of as_ (0 = none); see setAddressSpace
+    /** id of as_ (0 = none); see setAddressSpace.
+     *  snap: attach — re-established by snapAttach(). */
+    std::uint64_t lastAsId_ = 0;
 
     /** One-entry last-translation cache for sequential fetches. */
     struct LastFetch {
@@ -220,7 +222,7 @@ class Mmu : public snap::Saveable
         PAddr paBase = 0;
         Ring ring = Ring::User;
         Tlb::EntryRef way;
-    } lastFetch_;
+    } lastFetch_; ///< snap: derived — replay window, rebuilt on demand
 
     /** One-entry last-translation cache for data accesses (superblock
      *  engine only; primed by translate() on reads and writes). */
@@ -231,13 +233,13 @@ class Mmu : public snap::Saveable
         Ring ring = Ring::User;
         bool writable = false;
         Tlb::EntryRef way;
-    } lastData_;
+    } lastData_; ///< snap: derived — replay window, rebuilt on demand
 
     /** Bytes moved by replayed accesses since the last
      *  commitDataReplays() (folded into the PhysicalMemory counters
      *  there). */
-    std::uint64_t replayBytesRead_ = 0;
-    std::uint64_t replayBytesWritten_ = 0;
+    std::uint64_t replayBytesRead_ = 0;    ///< snap: quiesced
+    std::uint64_t replayBytesWritten_ = 0; ///< snap: quiesced
 
     stats::StatGroup statGroup_;
     Tlb tlb_;

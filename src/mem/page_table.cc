@@ -2,9 +2,11 @@
 
 namespace misp::mem {
 
-std::uint64_t PageTable::nextRoot_ = 1;
+std::atomic<std::uint64_t> PageTable::nextRoot_{1};
 
-PageTable::PageTable() : root_(nextRoot_++) {}
+PageTable::PageTable()
+    : root_(nextRoot_.fetch_add(1, std::memory_order_relaxed))
+{}
 
 PageTable::~PageTable() = default;
 

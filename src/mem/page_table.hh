@@ -14,6 +14,7 @@
 #define MISP_MEM_PAGE_TABLE_HH
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -90,10 +91,15 @@ class PageTable : public snap::Saveable
     using Leaf = std::array<Pte, kTblEntries>;
 
     std::array<std::unique_ptr<Leaf>, kDirEntries> dir_;
+    /** snap: config — the root is a process-lifetime-unique handle,
+     *  only ever compared for equality between live tables (CR3
+     *  semantics); it never travels in an image, and a machine
+     *  rebuilt from config gets fresh-but-equivalent roots. */
     PageTableRoot root_;
     std::uint64_t mapped_ = 0;
 
-    static std::uint64_t nextRoot_;
+    /** Atomic: --jobs N constructs machines on concurrent workers. */
+    static std::atomic<std::uint64_t> nextRoot_;
 };
 
 } // namespace misp::mem

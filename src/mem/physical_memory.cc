@@ -132,6 +132,7 @@ PhysicalMemory::snapSave(snap::Serializer &s) const
         s.u64(f);
     std::vector<std::uint64_t> frames;
     frames.reserve(store_.size());
+    // misplint: allow(det-unordered-iter) — frame ids sorted below
     for (const auto &[frame, bytes] : store_) {
         (void)bytes;
         frames.push_back(frame);

@@ -136,7 +136,7 @@ class Tlb : public snap::Saveable
         return vpn & (numSets_ - 1);
     }
 
-    std::size_t numSets_;
+    std::size_t numSets_; ///< snap: config — fixed by the entry count
     std::vector<Entry> slots_;        ///< numSets_ * kWays, set-major
     std::vector<std::uint8_t> hand_;  ///< per-set clock hand
     std::uint64_t stamp_ = 1;

@@ -225,21 +225,26 @@ class MispProcessor : public cpu::SequencerEnv, public snap::Saveable
     void onDeviceIrq();
     void scheduleNextDeviceIrq();
 
-    std::string name_;
-    MispConfig config_;
+    std::string name_;  ///< snap: config
+    MispConfig config_; ///< snap: config
     EventQueue &eq_;
     mem::PhysicalMemory &pmem_;
     os::Kernel &kernel_;
-    int cpuId_;
+    int cpuId_;         ///< snap: config
 
     stats::StatGroup statGroup_;
+    /** snap: config — the fabric's only non-stat state is the
+     *  configured signal cost; in-flight deliveries travel as
+     *  tagged events via the snapshot layer's event codecs. */
     SignalFabric fabric_;
 
     std::unique_ptr<cpu::Sequencer> oms_;
     std::vector<std::unique_ptr<cpu::Sequencer>> ams_;
 
-    RtHandler *runtime_ = nullptr;
+    RtHandler *runtime_ = nullptr; ///< snap: config — wired at build
 
+    /** snap: quiesced — snapSave asserts it; the quiescence
+     *  protocol steps the queue past Ring-0 episodes first. */
     bool inRing0_ = false;
     bool interruptsOn_ = false;
     std::deque<ProxyRequest> proxyQueue_;

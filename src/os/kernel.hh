@@ -178,8 +178,8 @@ class Kernel : public snap::Saveable
 
     EventQueue &eq_;
     mem::PhysicalMemory &pmem_;
-    KernelConfig config_;
-    KernelClient *client_ = nullptr;
+    KernelConfig config_;            ///< snap: config
+    KernelClient *client_ = nullptr; ///< snap: config — wired at build
     Rng rng_;
 
     Pid nextPid_ = 1;
@@ -192,6 +192,8 @@ class Kernel : public snap::Saveable
 
     std::map<FutexKey, std::deque<OsThread *>> futexQueues_;
     std::map<Tid, std::vector<OsThread *>> joiners_;
+    /** snap: config — harness completion wiring, re-installed by
+     *  the same build path that constructs the restore target. */
     std::function<void(Process *)> processExitHook_;
 
     stats::StatGroup statGroup_;

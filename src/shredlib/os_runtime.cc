@@ -386,6 +386,7 @@ OsApiRuntime::snapSave(snap::Serializer &s) const
 {
     std::vector<const Group *> ordered;
     ordered.reserve(groups_.size());
+    // misplint: allow(det-unordered-iter) — sorted by pid below
     for (const auto &[process, group] : groups_) {
         (void)process;
         ordered.push_back(group.get());

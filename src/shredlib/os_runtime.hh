@@ -111,7 +111,8 @@ class OsApiRuntime : public arch::RtHandler
     Cycles doEventSet(arch::MispProcessor &proc, cpu::Sequencer &seq);
     Cycles doMalloc(arch::MispProcessor &proc, cpu::Sequencer &seq);
 
-    RtCosts costs_;
+    RtCosts costs_;       ///< snap: config
+    /** snap: config — resolved from the stub library at build. */
     VAddr symShredDone_;
 
     std::unordered_map<os::Process *, std::unique_ptr<Group>> groups_;

@@ -613,6 +613,7 @@ ShredRuntime::snapSave(snap::Serializer &s) const
 {
     std::vector<const Gang *> ordered;
     ordered.reserve(gangs_.size());
+    // misplint: allow(det-unordered-iter) — sorted by tid below
     for (const auto &[thread, gang] : gangs_) {
         (void)thread;
         ordered.push_back(gang.get());
@@ -651,6 +652,7 @@ ShredRuntime::snapSave(snap::Serializer &s) const
         s.b(g->mainWaiting);
 
         std::vector<std::pair<SequencerId, ShredId>> running(
+            // misplint: allow(det-unordered-iter) — sorted below
             g->runningOn.begin(), g->runningOn.end());
         std::sort(running.begin(), running.end());
         s.u64(running.size());

@@ -205,10 +205,11 @@ class ShredRuntime : public arch::RtHandler
 
     mem::AddressSpace &as(Gang &g);
 
-    RtCosts costs_;
-    SchedPolicy policy_;
+    RtCosts costs_;      ///< snap: config
+    SchedPolicy policy_; ///< snap: config
+    /** snap: config — resolved from the stub library at build. */
     VAddr symAmsEntry_;
-    VAddr symShredDone_;
+    VAddr symShredDone_; ///< snap: config — ditto
 
     std::unordered_map<os::OsThread *, std::unique_ptr<Gang>> gangs_;
 

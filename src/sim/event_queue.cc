@@ -176,18 +176,17 @@ EventQueue::run(Tick maxTick, std::uint64_t maxEvents)
 
 EventQueue::~EventQueue()
 {
-    // Drain the heap so owned lambda events are not double-visited, then
-    // free everything we own. Non-owned events must have been descheduled
-    // by their owners (Event dtor enforces this), so squash the remains.
-    for (const Entry &entry : heap_) {
-        if (entry.ev->scheduled_ && entry.ev->seq_ == entry.seq) {
-            entry.ev->squashed_ = true;
-            entry.ev->scheduled_ = false;
-        }
-    }
+    // heap_ entries may point at events whose owners destroyed them
+    // already — legal once squashed — so the entries must never be
+    // dereferenced here. The only events guaranteed alive are the
+    // lambda events this queue owns: unhook their scheduled state (a
+    // pending one at shutdown is fine) so Event::~Event doesn't see a
+    // live schedule, then free them.
     heap_.clear();
-    for (LambdaEvent *ev : owned_)
+    for (LambdaEvent *ev : owned_) {
+        ev->scheduled_ = false;
         delete ev;
+    }
 }
 
 } // namespace misp

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
-#include <set>
+#include <unordered_set>
 #include <sstream>
 
 #include "harness/experiment.hh"
@@ -88,10 +88,10 @@ getSystemConfig(Deserializer &d, rt::Backend *backend)
 
 /** Every member event a component will archive (and re-schedule)
  *  itself: run-slice events, periodic timer / device-IRQ events. */
-std::set<const Event *>
+std::unordered_set<const Event *>
 claimedEvents(arch::MispSystem &sys)
 {
-    std::set<const Event *> claimed;
+    std::unordered_set<const Event *> claimed;
     for (unsigned p = 0; p < sys.numProcessors(); ++p) {
         arch::MispProcessor &proc = sys.processor(p);
         claimed.insert(proc.snapTimerEvent());
@@ -172,7 +172,7 @@ struct TaggedEvent {
 void
 saveTaggedEvents(Serializer &s, arch::MispSystem &sys)
 {
-    std::set<const Event *> claimed = claimedEvents(sys);
+    std::unordered_set<const Event *> claimed = claimedEvents(sys);
     std::vector<TaggedEvent> pending;
     sys.eventQueue().forEachScheduled(
         [&](const EventQueue::ScheduledInfo &info) {
@@ -272,7 +272,7 @@ snapshotReady(harness::Experiment &exp, std::string *why)
             return false;
         }
     }
-    std::set<const Event *> claimed = claimedEvents(sys);
+    std::unordered_set<const Event *> claimed = claimedEvents(sys);
     bool ready = true;
     sys.eventQueue().forEachScheduled(
         [&](const EventQueue::ScheduledInfo &info) {

@@ -1,0 +1,18 @@
+// Fixture: a fully annotated Saveable-shaped class — must be clean.
+// Exercises every annotation placement the grammar allows: trailing
+// doc comment, and an inner line of a multi-line block comment.
+struct Cache {
+    void snapSave(Ser &s) const { s.put(mode_); }
+    void snapRestore(Des &d) { d.get(mode_); }
+
+    int mode_ = 0;
+    int window_ = 0;    ///< snap: derived — rebuilt lazily on demand
+    int hostTicks_ = 0; ///< snap: host-only
+    /**
+     * Multi-line doc comment carrying the annotation on an inner
+     * line, not the one directly above the declaration.
+     * snap: config
+     */
+    int ways_ = 4;
+    int drained_ = 0; ///< snap: quiesced
+};

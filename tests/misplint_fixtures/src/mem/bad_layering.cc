@@ -1,0 +1,14 @@
+// Fixture: model layer reaching into the host-side run layer, plus
+// the <chrono> include gate. Expected findings:
+//   line 6: layer-include (driver/runner.hh)
+//   line 7: layer-include (harness/run_record.hh)
+//   line 8: det-time      (chrono)
+#include "driver/runner.hh"
+#include "harness/run_record.hh"
+#include <chrono>
+
+int
+layeringFixture()
+{
+    return 0;
+}

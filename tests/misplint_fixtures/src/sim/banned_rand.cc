@@ -1,0 +1,24 @@
+// Fixture: determinism-hygiene violations in simulated code.
+// Expected findings (exact lines are asserted by test_misplint):
+//   line 12: det-rand  (rand)
+//   line 13: det-rand  (srand)
+//   line 15: det-rand  (random_device)
+//   line 18: det-time  (time)
+//   line 19: det-time  (clock)
+//   line 21: det-time  (chrono)
+int
+badEntropy()
+{
+    int x = rand();
+    srand(42);
+    // std::random_device mentioned in a comment must NOT fire.
+    std::random_device rd;
+    (void)rd;
+    // Wall-clock reads:
+    long t = time(nullptr);
+    long c = clock();
+    (void)c;
+    auto tp = std::chrono::steady_clock::now();
+    (void)tp;
+    return x + static_cast<int>(t);
+}

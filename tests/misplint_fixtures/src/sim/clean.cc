@@ -1,0 +1,17 @@
+// Fixture: a clean simulated-layer file — zero findings expected.
+// Doubles as the producer site for the tag fixtures (kGood, kNoCodec,
+// kDupValue are emitted from here; kNoProducer deliberately is not).
+// Mentioning rand() or time() in a comment must not fire.
+int
+emitEvents(Recorder &r)
+{
+    r.emit(tag::kGood);
+    r.emit(tag::kNoCodec);
+    r.emit(tag::kDupValue);
+    // A value-keyed ordered map iterates deterministically:
+    std::map<int, int> hist;
+    for (const auto &kv : hist) {
+        (void)kv;
+    }
+    return 0;
+}

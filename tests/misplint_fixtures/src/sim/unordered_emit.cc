@@ -1,0 +1,32 @@
+// Fixture: hash-order and pointer-key iteration hazards.
+// Expected findings (lines asserted by test_misplint):
+//   line 9:  det-ptr-key        (std::map)
+//   line 13: det-unordered-iter (table_)
+//   line 20: det-unordered-iter (table_) — .begin() form
+//   line 26: suppressed via misplint: allow — no finding
+struct HashEmitter {
+    std::unordered_map<int, int> table_;
+    std::map<HashEmitter *, int> byOwner_;
+
+    int sum() const
+    {
+        for (const auto &kv : table_) {
+            (void)kv;
+        }
+        return 0;
+    }
+    int first() const
+    {
+        return table_.begin()->second;
+    }
+    int sortedDump() const
+    {
+        // Deliberate: this site copies into a sorted vector before
+        // emitting, so hash order never reaches the output.
+        // misplint: allow(det-unordered-iter) sorted into ids below
+        for (const auto &kv : table_) {
+            (void)kv;
+        }
+        return 1;
+    }
+};

@@ -1,0 +1,16 @@
+// Fixture: restore-codec side of the tag fixtures. A reference in
+// this file (and only this file) counts as the restore codec for a
+// tag; kGood, kNoProducer, and kDupValue have one, kNoCodec does not.
+int
+restoreEvent(unsigned k)
+{
+    switch (k) {
+    case tag::kGood:
+        return 1;
+    case tag::kNoProducer:
+        return 2;
+    case tag::kDupValue:
+        return 3;
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+// Fixture: tag table for the snap-tag-codec rule. Expected findings:
+//   line 9:  snap-tag-codec (kNoCodec)    — no restore codec
+//   line 10: snap-tag-codec (kNoProducer) — never produced
+//   line 11: snap-tag-codec (kDupValue)   — reuses kGood's value 1
+namespace tag {
+
+enum : unsigned {
+    kGood = 1,
+    kNoCodec = 2,
+    kNoProducer = 3,
+    kDupValue = 1,
+};
+
+} // namespace tag

@@ -65,6 +65,19 @@ runSupervised(const RunnerOptions &opts, Scenario *scOut = nullptr)
     return ScenarioRunner(opts).runAll(sc, pts);
 }
 
+// Sanitized workers run several times slower than native ones; a
+// deadline tuned to catch a deliberately hung worker quickly must not
+// also catch a healthy-but-instrumented one.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr int kDeadlineScale = 8;
+#else
+constexpr int kDeadlineScale = 1;
+#endif
+
 RunnerOptions
 chaosOptions(const std::string &inject, int retries = 0)
 {
@@ -209,7 +222,7 @@ TEST(FaultPlan, MergePrefersExplicitSeedAndAppendsRules)
 TEST(Supervisor, HungWorkerIsKilledAtDeadline)
 {
     RunnerOptions opts = chaosOptions("hang@1");
-    opts.deadlineMs = 250;
+    opts.deadlineMs = 250 * kDeadlineScale;
     std::vector<PointResult> results = runSupervised(opts);
     ASSERT_EQ(results.size(), 3u);
     EXPECT_TRUE(results[0].run.ok());
