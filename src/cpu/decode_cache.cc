@@ -1,5 +1,7 @@
 #include "decode_cache.hh"
 
+#include "obs/trace.hh"
+
 namespace misp::cpu {
 
 namespace {
@@ -108,6 +110,9 @@ buildSuperblockAt(DecodedPage &page, std::uint16_t slot)
 
     std::uint32_t index = static_cast<std::uint32_t>(ps.blocks.size());
     ps.blocks.push_back(sb);
+    // [engine] category: only the superblock engine builds blocks.
+    obs::trace(obs::TraceKind::SuperblockBuild, 0, slot, page.vpn,
+               sb.term - sb.start);
     ps.startAt[slot] = static_cast<std::uint16_t>(index);
     return index;
 }
@@ -157,6 +162,8 @@ DecodeCache::decodePage(std::uint64_t vpn, PAddr paBase)
     }
     setBit(vpn);
     ++pagesDecoded_;
+    // [engine] category: decode timing depends on the engine choice.
+    obs::trace(obs::TraceKind::DecodePage, 0, 0, vpn, page->version);
     return page;
 }
 
@@ -171,6 +178,8 @@ DecodeCache::invalidateVpn(std::uint64_t vpn)
     --resident_;
     clearBit(vpn);
     ++invalidations_;
+    obs::trace(obs::TraceKind::DecodeInvalidate, 0, 0, vpn,
+               it->second->version);
 }
 
 void

@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "snapshot/state_io.hh"
 
 namespace misp::cpu {
+
+namespace {
+
+/** Shorthand for the sequencer lifecycle hooks: sid in the event, the
+ *  pre-transition state in aux (deterministic; engine-independent). */
+inline void
+traceShred(obs::TraceKind kind, SequencerId sid, SeqState prior,
+           std::uint64_t arg0 = 0, std::uint64_t arg1 = 0)
+{
+    obs::trace(kind, static_cast<std::uint16_t>(sid),
+               static_cast<std::uint32_t>(prior), arg0, arg1);
+}
+
+} // namespace
 
 using isa::Opcode;
 using isa::Scenario;
@@ -87,6 +102,7 @@ void
 Sequencer::startAt(VAddr eip, VAddr esp, Word arg)
 {
     MISP_ASSERT(state_ == SeqState::Idle || state_ == SeqState::Halted);
+    traceShred(obs::TraceKind::ShredStart, sid_, state_, eip, arg);
     ctx_.eip = eip;
     ctx_.sp() = esp;
     ctx_.regs[2] = arg;
@@ -102,9 +118,11 @@ Sequencer::suspend()
     switch (state_) {
       case SeqState::Running:
         // Applied at the next slice boundary.
+        traceShred(obs::TraceKind::ShredSuspend, sid_, state_);
         suspendRequested_ = true;
         break;
       case SeqState::Idle:
+        traceShred(obs::TraceKind::ShredSuspend, sid_, state_);
         preSuspendState_ = SeqState::Idle;
         state_ = SeqState::Suspended;
         waitSince_ = eq_.curTick();
@@ -130,6 +148,7 @@ Sequencer::resume(bool retryFault)
         suspendRequested_ = false;
         break;
       case SeqState::Suspended:
+        traceShred(obs::TraceKind::ShredResume, sid_, state_);
         suspendedCycles_ += now - waitSince_;
         suspendRequested_ = false;
         if (preSuspendState_ == SeqState::Idle) {
@@ -142,11 +161,13 @@ Sequencer::resume(bool retryFault)
         break;
       case SeqState::WaitingProxy:
         MISP_ASSERT(retryFault);
+        traceShred(obs::TraceKind::ShredResume, sid_, state_);
         proxyWaitCycles_ += now - waitSince_;
         state_ = SeqState::Running;
         scheduleRun(now);
         break;
       case SeqState::InKernel:
+        traceShred(obs::TraceKind::ShredResume, sid_, state_);
         state_ = SeqState::Running;
         scheduleRun(std::max(kernelResumeFloor_, now));
         break;
@@ -171,6 +192,7 @@ void
 Sequencer::park()
 {
     MISP_ASSERT(state_ == SeqState::Running);
+    traceShred(obs::TraceKind::ShredPark, sid_, state_);
     state_ = SeqState::Idle;
     // Queued work may immediately restart the sequencer.
     dispatchPendingAsync();
@@ -179,6 +201,7 @@ Sequencer::park()
 void
 Sequencer::halt()
 {
+    traceShred(obs::TraceKind::ShredHalt, sid_, state_);
     stopRunEvent();
     state_ = SeqState::Halted;
 }
@@ -188,6 +211,7 @@ Sequencer::beginProxyWait()
 {
     MISP_ASSERT(!ring0Capable_); // only AMSs proxy
     MISP_ASSERT(state_ == SeqState::Running);
+    traceShred(obs::TraceKind::ShredProxyWait, sid_, state_);
     state_ = SeqState::WaitingProxy;
     waitSince_ = eq_.curTick();
 }
@@ -243,6 +267,11 @@ Sequencer::unloadForSwitch()
     }
     stopRunEvent();
     suspendRequested_ = false;
+    if (!pendingSignals_.empty()) {
+        // The dropped payloads belong to the outgoing thread's shreds.
+        traceShred(obs::TraceKind::SignalDrop, sid_, state_,
+                   pendingSignals_.size());
+    }
     pendingSignals_.clear();
     state_ = SeqState::Idle;
 }
@@ -252,9 +281,12 @@ Sequencer::deliverSignal(const SignalPayload &payload)
 {
     if (state_ == SeqState::Halted) {
         warn("%s: dropping signal to halted sequencer", name_.c_str());
+        traceShred(obs::TraceKind::SignalDrop, sid_, state_, 1);
         return;
     }
     ++signalsReceived_;
+    traceShred(obs::TraceKind::SignalDeliver, sid_, state_, payload.eip,
+               payload.arg);
     pendingSignals_.push_back(payload);
     if (state_ == SeqState::Idle)
         dispatchPendingAsync();
@@ -269,9 +301,11 @@ Sequencer::deliverProxyRequest(const SignalPayload &payload)
     if (state_ == SeqState::Halted) {
         warn("%s: dropping proxy request to halted sequencer",
              name_.c_str());
+        traceShred(obs::TraceKind::SignalDrop, sid_, state_, 1);
         return;
     }
     ++signalsReceived_;
+    traceShred(obs::TraceKind::ProxyDeliver, sid_, state_, payload.arg);
     pendingProxy_.push_back(payload);
     if (state_ == SeqState::Idle)
         dispatchPendingAsync();

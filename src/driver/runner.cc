@@ -49,6 +49,43 @@ progressLine(std::ostream &os, std::size_t done, std::size_t total,
     os.flush();
 }
 
+/** The run-log's point identifier: machine:workload plus any swept
+ *  coordinates — enough to join log lines back to result rows. */
+std::string
+runLogPoint(const ScenarioPoint &pt)
+{
+    std::string s = pt.machine.name + ":" + pt.workload.name;
+    if (!pt.coords.empty())
+        s += " " + pt.coordString();
+    return s;
+}
+
+/** Emit one run-log line (no-op on a null log). Wall time and status
+ *  are omitted from the JSON when left at their sentinels. */
+void
+logAttempt(obs::RunLog *log, const char *event, const ScenarioPoint &pt,
+           int attempt, double wallMs = -1.0,
+           const std::string &status = std::string())
+{
+    if (!log)
+        return;
+    obs::RunLogEntry e;
+    e.event = event;
+    e.point = runLogPoint(pt);
+    e.attempt = attempt;
+    e.wallMs = wallMs;
+    e.status = status;
+    log->log(e);
+}
+
+double
+wallMsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 } // namespace
 
 std::string
@@ -88,6 +125,12 @@ makeRunRequest(const Scenario &sc, const ScenarioPoint &pt,
         req.snapshotIn =
             snapshotPointPath(opts.snapshotLoadDir, pointIndex);
     }
+    // Trace defaults (categories, buffer bound) come from the spec's
+    // [trace] section; whether anything records at all is the CLI's
+    // call (--trace), and the skip cursor is CLI-only.
+    req.trace = sc.trace;
+    req.trace.enabled = opts.traceEnabled;
+    req.traceSkip = opts.traceSkip;
     return req;
 }
 
@@ -118,7 +161,12 @@ ScenarioRunner::runAll(const Scenario &sc,
 
     if (jobs <= 1) {
         for (std::size_t i = 0; i < pts.size(); ++i) {
+            logAttempt(opts_.runLog, "dispatched", pts[i], 1);
+            auto ta = std::chrono::steady_clock::now();
             results[i] = runPoint(sc, pts[i], i);
+            logAttempt(opts_.runLog, "completed", pts[i], 1,
+                       wallMsSince(ta),
+                       harness::runStatusName(results[i].run.status));
             if (progress)
                 progressLine(*progress, i + 1, pts.size(), pts[i],
                              results[i]);
@@ -147,14 +195,21 @@ ScenarioRunner::runAll(const Scenario &sc,
             std::size_t i = next.fetch_add(1);
             if (i >= pts.size())
                 return;
+            logAttempt(opts_.runLog, "dispatched", pts[i], 1);
+            auto ta = std::chrono::steady_clock::now();
             try {
                 results[i] = runPoint(sc, pts[i], i);
             } catch (...) {
                 errors[i] = std::current_exception();
                 failed.store(true, std::memory_order_relaxed);
+                logAttempt(opts_.runLog, "failed", pts[i], 1,
+                           wallMsSince(ta));
                 done.fetch_add(1);
                 continue;
             }
+            logAttempt(opts_.runLog, "completed", pts[i], 1,
+                       wallMsSince(ta),
+                       harness::runStatusName(results[i].run.status));
             std::size_t completed = done.fetch_add(1) + 1;
             if (progress) {
                 std::lock_guard<std::mutex> lock(progressMutex);
@@ -199,6 +254,7 @@ struct IsolatedWorker {
     std::string buf;
     bool hasDeadline = false;
     SupervisorClock::time_point deadline{};
+    SupervisorClock::time_point started{};
     bool timedOut = false;
 };
 
@@ -309,16 +365,30 @@ ScenarioRunner::runIsolated(const Scenario &sc,
     // while the budget lasts, otherwise finalize the point with its
     // attempt count (and a give-up note when retries were spent).
     auto completeOrRetry = [&](std::size_t index, unsigned attempt,
-                               harness::RunRecord rec) {
+                               harness::RunRecord rec,
+                               double wallMs = -1.0) {
         if (harness::runStatusIsInfraFailure(rec.status) &&
             attempt <= retries) {
             const auto delay = std::chrono::milliseconds(
                 static_cast<std::uint64_t>(backoffMs)
                 << (attempt - 1));
+            if (opts_.runLog) {
+                obs::RunLogEntry e;
+                e.event = "retried";
+                e.point = runLogPoint(pts[index]);
+                e.attempt = static_cast<int>(attempt);
+                e.wallMs = wallMs;
+                e.backoffMs = static_cast<long>(delay.count());
+                e.status = harness::runStatusName(rec.status);
+                opts_.runLog->log(e);
+            }
             pending.push_back(
                 {index, attempt + 1, SupervisorClock::now() + delay});
             return;
         }
+        logAttempt(opts_.runLog, "completed", pts[index],
+                   static_cast<int>(attempt), wallMs,
+                   harness::runStatusName(rec.status));
         rec.attempts = attempt;
         if (harness::runStatusIsInfraFailure(rec.status) && attempt > 1)
             rec.note = "gave up after " + std::to_string(attempt) +
@@ -332,12 +402,26 @@ ScenarioRunner::runIsolated(const Scenario &sc,
     };
 
     auto launch = [&](std::size_t index, unsigned attempt) {
+        // Every launch attempt gets exactly one "dispatched" line (pid
+        // -1 when the worker never forked), so a point's dispatched
+        // count in the run log always equals its RunRecord::attempts.
+        auto logDispatch = [&](long pid) {
+            if (!opts_.runLog)
+                return;
+            obs::RunLogEntry e;
+            e.event = "dispatched";
+            e.point = runLogPoint(pts[index]);
+            e.attempt = static_cast<int>(attempt);
+            e.pid = pid;
+            opts_.runLog->log(e);
+        };
         // Fault decisions are made parent-side, pre-fork: the child
         // inherits `fault` through fork() memory, and parent-side
         // kinds (fork_fail) never spawn at all.
         FaultKind fault{};
         const bool faulted = plan.faultFor(index, attempt, &fault);
         if (faulted && fault == FaultKind::ForkFail) {
+            logDispatch(-1);
             completeOrRetry(index, attempt,
                             failRecord(harness::RunStatus::WorkerCrashed,
                                        "fork() failed (injected)"));
@@ -345,6 +429,7 @@ ScenarioRunner::runIsolated(const Scenario &sc,
         }
         int fds[2];
         if (::pipe(fds) != 0) {
+            logDispatch(-1);
             completeOrRetry(index, attempt,
                             failRecord(harness::RunStatus::WorkerCrashed,
                                        "pipe() failed"));
@@ -354,6 +439,7 @@ ScenarioRunner::runIsolated(const Scenario &sc,
         if (pid < 0) {
             ::close(fds[0]);
             ::close(fds[1]);
+            logDispatch(-1);
             completeOrRetry(index, attempt,
                             failRecord(harness::RunStatus::WorkerCrashed,
                                        "fork() failed"));
@@ -408,15 +494,16 @@ ScenarioRunner::runIsolated(const Scenario &sc,
             ::_exit(code);
         }
         ::close(fds[1]);
+        logDispatch(pid);
         IsolatedWorker w;
         w.pid = pid;
         w.fd = fds[0];
         w.index = index;
         w.attempt = attempt;
+        w.started = SupervisorClock::now();
         if (deadlineMs > 0) {
             w.hasDeadline = true;
-            w.deadline = SupervisorClock::now() +
-                         std::chrono::milliseconds(deadlineMs);
+            w.deadline = w.started + std::chrono::milliseconds(deadlineMs);
         }
         live.push_back(std::move(w));
     };
@@ -461,7 +548,11 @@ ScenarioRunner::runIsolated(const Scenario &sc,
             rec = failRecord(harness::RunStatus::WorkerCrashed,
                              "worker result undecodable: " + err);
         }
-        completeOrRetry(w.index, w.attempt, std::move(rec));
+        const double wallMs =
+            std::chrono::duration<double, std::milli>(
+                SupervisorClock::now() - w.started)
+                .count();
+        completeOrRetry(w.index, w.attempt, std::move(rec), wallMs);
     };
 
     while (done < pts.size()) {
@@ -531,6 +622,17 @@ ScenarioRunner::runIsolated(const Scenario &sc,
         for (IsolatedWorker &w : live) {
             if (w.hasDeadline && !w.timedOut && now >= w.deadline) {
                 w.timedOut = true;
+                if (opts_.runLog) {
+                    obs::RunLogEntry e;
+                    e.event = "timed_out";
+                    e.point = runLogPoint(pts[w.index]);
+                    e.attempt = static_cast<int>(w.attempt);
+                    e.pid = w.pid;
+                    e.wallMs = std::chrono::duration<double, std::milli>(
+                                   now - w.started)
+                                   .count();
+                    opts_.runLog->log(e);
+                }
                 ::kill(w.pid, SIGKILL);
             }
         }

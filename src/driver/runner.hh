@@ -27,6 +27,7 @@
 #include "driver/scenario.hh"
 #include "harness/metric_frame.hh"
 #include "harness/run_record.hh"
+#include "obs/host_run_log.hh"
 
 namespace misp::driver {
 
@@ -101,6 +102,24 @@ struct RunnerOptions {
      *  decode-cache hit/miss counters, which restart cold (the decode
      *  cache is derived state and stays out of images). */
     std::string snapshotLoadDir;
+
+    // Observability (src/obs/) ----------------------------------------
+
+    /** Record each point's deterministic event trace (--trace FILE).
+     *  Categories and the buffer bound come from the scenario's
+     *  [trace] section; the trace rides the RunRecord, so --jobs and
+     *  --isolate fan-out preserve byte identity for free. */
+    bool traceEnabled = false;
+    /** Processed-event cursor (--trace-skip N): events before the Nth
+     *  processed queue event are not recorded. Set it to a restored
+     *  trace's reported `base` to reproduce that trace from a cold
+     *  run. */
+    std::uint64_t traceSkip = 0;
+
+    /** Host-plane supervisor run log (--run-log FILE); not owned, may
+     *  be null. Receives dispatch/retry/timeout/completion telemetry —
+     *  wall-clock facts only, never simulated data. */
+    obs::RunLog *runLog = nullptr;
 };
 
 /** The image file `--save-snapshot`/`--from-snapshot` use for grid

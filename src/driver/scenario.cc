@@ -355,6 +355,32 @@ Scenario::fromSpec(const SpecFile &spec, Scenario *out, std::string *err)
                     return false;
                 }
             }
+        } else if (sec.type == "trace") {
+            for (const SpecEntry &e : sec.entries) {
+                if (e.key == "categories") {
+                    std::string msg;
+                    if (!obs::parseTraceCats(e.value, &out->trace.catMask,
+                                             &msg)) {
+                        if (err)
+                            *err = specError(spec.path, e.line, msg);
+                        return false;
+                    }
+                } else if (e.key == "max_events") {
+                    if (!parseU64(e.value, &out->trace.maxEvents)) {
+                        if (err)
+                            *err = specError(spec.path, e.line,
+                                             "max_events: expected an "
+                                             "event count");
+                        return false;
+                    }
+                } else {
+                    if (err)
+                        *err = specError(spec.path, e.line,
+                                         "unknown [trace] key '" + e.key +
+                                         "'");
+                    return false;
+                }
+            }
         } else if (sec.type == "faults") {
             for (const SpecEntry &e : sec.entries) {
                 std::string msg;

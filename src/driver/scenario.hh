@@ -30,6 +30,12 @@
  *                         sweeps: `seed = N` plus repeatable
  *                         `inject = <item>` lines (item grammar:
  *                         driver/faults.hh)
+ *   [trace]               deterministic-trace defaults for
+ *                         `mispsim --trace`: `categories` (a list of
+ *                         signal/shred/sched/mem/rtcall/engine/
+ *                         snapshot, or all|none|default) and
+ *                         `max_events` (ring bound; overflow counts
+ *                         into the drop counter)
  *
  * Machine knobs: `processors` (comma list of per-processor AMS counts)
  * or `ams` (uniprocessor shorthand), `backend` (shred|os),
@@ -66,6 +72,7 @@
 #include "driver/faults.hh"
 #include "driver/spec.hh"
 #include "misp/misp_system.hh"
+#include "obs/trace.hh"
 #include "shredlib/stub_library.hh"
 #include "workloads/workload.hh"
 
@@ -225,6 +232,11 @@ struct Scenario {
     /** `[faults]` schedule; empty unless the spec declares one. Merged
      *  with (and overridden by) the CLI's --inject plan. */
     FaultPlan faults;
+
+    /** `[trace]` defaults (category filter + buffer bound). `enabled`
+     *  stays false here — recording is requested by the CLI
+     *  (`--trace FILE`), never by the spec alone. */
+    obs::TraceConfig trace;
 
     /**
      * Validate and type a parsed spec. All diagnostics carry

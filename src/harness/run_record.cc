@@ -27,6 +27,14 @@ RunRecord::perMegaInsts(double count) const
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::time_point a, Clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
 /** Everything measured after the simulation stops — shared by the cold,
  *  save-leg, and restored paths so a record can never depend on which
  *  path produced it. @p instsAtStart is the retired count already in
@@ -39,6 +47,9 @@ harvest(RunRecord *out, Experiment &exp, os::Process *target,
         const wl::Workload &w, const RunRequest &req, RunOutcome outcome,
         double hostSeconds, std::uint64_t instsAtStart = 0)
 {
+    // Phase 2 timing: everything below is host-side bookkeeping.
+    auto ts0 = Clock::now();
+
     out->status = outcome.status;
     out->ticks = outcome.ticks;
     out->instsRetired = exp.totalInstsRetired();
@@ -60,6 +71,8 @@ harvest(RunRecord *out, Experiment &exp, os::Process *target,
         exp.system().rootStats().dumpJson(ss);
         out->statsJson = ss.str();
     }
+
+    out->phases.serialize = seconds(ts0, Clock::now());
 }
 
 RunRecord
@@ -76,10 +89,14 @@ snapshotFailure(const RunRequest &req, const std::string &what)
 /** The --from-snapshot path: reconstitute the machine from
  *  RunRequest::snapshotIn and continue to completion. The workload is
  *  still built host-side (deterministically, from the same params) for
- *  its result validator; nothing is loaded into the guest. */
+ *  its result validator; nothing is loaded into the guest.
+ *  @p tEntry is runOne's entry time (the parse phase started there). */
 RunRecord
-runFromSnapshot(const RunRequest &req, const wl::Workload &w)
+runFromSnapshot(const RunRequest &req, const wl::Workload &w,
+                Clock::time_point tEntry)
 {
+    auto tRestore0 = Clock::now();
+
     std::string image, err;
     if (!snap::readFileBytes(req.snapshotIn, &image, &err))
         return snapshotFailure(req, err);
@@ -106,15 +123,30 @@ runFromSnapshot(const RunRequest &req, const wl::Workload &w)
             req, "snapshot '" + req.snapshotIn + "' has no target "
                  "process");
 
+    // The restored clock already sits at the archive's processed-event
+    // count, so the recorder's base lands there automatically — a cold
+    // run reproduces this trace byte-for-byte with --trace-skip set to
+    // the `base` value the trace metadata reports.
+    EventQueue &eq = restored.exp->system().eventQueue();
+    std::uint64_t base = std::max(req.traceSkip, eq.numProcessed());
+    obs::TraceRecorder rec(eq, req.trace, base);
+    obs::ScopedTrace attach(req.trace.enabled ? &rec : nullptr);
+    obs::traceMarker(obs::TraceKind::SnapshotRestore, 0, 0,
+                     eq.numProcessed());
+
     RunRecord out;
     std::uint64_t warmupInsts = restored.exp->totalInstsRetired();
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = Clock::now();
+    out.phases.parse = seconds(tEntry, tRestore0);
+    out.phases.warmup = seconds(tRestore0, t0);
     RunOutcome outcome =
         restored.exp->resumeToCompletion(restored.target, req.maxTicks);
-    auto t1 = std::chrono::steady_clock::now();
+    auto t1 = Clock::now();
+    out.phases.run = seconds(t0, t1);
     harvest(&out, *restored.exp, restored.target, w, req, outcome,
-            std::chrono::duration<double>(t1 - t0).count(),
-            warmupInsts);
+            seconds(t0, t1), warmupInsts);
+    if (req.trace.enabled)
+        out.trace = rec.take();
     return out;
 }
 
@@ -123,6 +155,8 @@ runFromSnapshot(const RunRequest &req, const wl::Workload &w)
 RunRecord
 runOne(const RunRequest &req)
 {
+    auto tEntry = Clock::now();
+
     const wl::WorkloadInfo *info = wl::findWorkload(req.target.name);
     if (!info)
         fatal("runOne: unknown workload '%s'", req.target.name.c_str());
@@ -130,7 +164,7 @@ runOne(const RunRequest &req)
     wl::Workload w = info->build(req.target.params);
 
     if (!req.snapshotIn.empty())
-        return runFromSnapshot(req, w);
+        return runFromSnapshot(req, w, tEntry);
 
     Experiment exp(req.config, req.backend);
 
@@ -169,8 +203,16 @@ runOne(const RunRequest &req)
         exp.load(comp->build(compParams).app, affinity);
     }
 
+    // Attach the trace recorder for the whole measured run (warmup leg
+    // included, so a save leg's trace matches an uninterrupted run's).
+    EventQueue &eq = exp.system().eventQueue();
+    obs::TraceRecorder rec(eq, req.trace, req.traceSkip);
+    obs::ScopedTrace attach(req.trace.enabled ? &rec : nullptr);
+
     RunRecord out;
-    auto t0 = std::chrono::steady_clock::now();
+    auto t0 = Clock::now();
+    out.phases.parse = seconds(tEntry, t0);
+    auto tRun0 = t0;
     RunOutcome outcome;
     if (req.snapshotOut.empty()) {
         outcome = exp.runToCompletion(proc.process, req.maxTicks);
@@ -207,11 +249,18 @@ runOne(const RunRequest &req)
             !snap::writeFileBytes(req.snapshotOut, image, &err)) {
             return snapshotFailure(req, err);
         }
+        obs::trace(obs::TraceKind::SnapshotSave, 0, 0, image.size(),
+                   eq.numProcessed());
+        auto tWarm = Clock::now();
+        out.phases.warmup = seconds(t0, tWarm);
+        tRun0 = tWarm;
         outcome = exp.resumeToCompletion(proc.process, req.maxTicks);
     }
-    auto t1 = std::chrono::steady_clock::now();
-    harvest(&out, exp, proc.process, w, req, outcome,
-            std::chrono::duration<double>(t1 - t0).count());
+    auto t1 = Clock::now();
+    out.phases.run = seconds(tRun0, t1);
+    harvest(&out, exp, proc.process, w, req, outcome, seconds(t0, t1));
+    if (req.trace.enabled)
+        out.trace = rec.take();
     return out;
 }
 

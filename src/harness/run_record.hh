@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "harness/experiment.hh"
+#include "obs/host_profile.hh"
+#include "obs/trace.hh"
 #include "workloads/workload.hh"
 
 namespace misp::harness {
@@ -79,6 +81,18 @@ struct RunRequest {
     /** Simulated ticks to run before saving snapshotOut. The save
      *  happens at the first snapshot point at or after this tick. */
     Tick warmupTicks = 0;
+
+    // Observability (src/obs/) ----------------------------------------
+
+    /** Deterministic trace recorder configuration (--trace, [trace]).
+     *  Disabled by default; never part of configHash (tracing a run
+     *  must not invalidate its snapshots). */
+    obs::TraceConfig trace;
+    /** Processed-event cursor: record only events past this count
+     *  (--trace-skip). A restored run implicitly starts at the restore
+     *  point's count, so a cold run with the same skip value emits a
+     *  byte-identical trace. */
+    std::uint64_t traceSkip = 0;
 };
 
 /** Everything measured by one run. Simulated fields (status, ticks,
@@ -112,6 +126,15 @@ struct RunRecord {
      *  this point (1 = first try; >1 means retries happened). Always 1
      *  outside --isolate. */
     unsigned attempts = 1;
+
+    /** Deterministic trace buffer (empty unless RunRequest::trace is
+     *  enabled). Simulated-plane data: byte-compared by CI across
+     *  engines, job counts, and snapshot topologies. */
+    obs::TraceBuffer trace;
+
+    /** Host wall-clock phase split (plane 2; informational, never
+     *  byte-compared — the --profile aggregation input). */
+    obs::HostPhases phases;
 
     bool completed() const { return status == RunStatus::Completed; }
 

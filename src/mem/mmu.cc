@@ -1,6 +1,7 @@
 #include "mmu.hh"
 
 #include "cpu/decode_cache.hh"
+#include "obs/trace.hh"
 
 namespace misp::mem {
 
@@ -98,6 +99,11 @@ Mmu::translate(VAddr va, unsigned size, Access access, Ring ring,
         // insert() hands back the installed entry: no second probe, and
         // no pointer into a structure the insert may just have reshaped.
         pte = tlb_.insert(va, *walked, refOut);
+        // The fill (miss + walk) path is engine-independent — hit
+        // accounting is not (the superblock engine batches hit
+        // replays), so only fills/shootdowns/flushes are traced.
+        obs::trace(obs::TraceKind::TlbFill, 0,
+                   static_cast<std::uint32_t>(access), pageNumber(va));
     }
 
     // Permission checks: user bit for Ring 3, write bit for stores.

@@ -1,5 +1,7 @@
 #include "tlb.hh"
 
+#include "obs/trace.hh"
+
 namespace misp::mem {
 
 namespace {
@@ -99,6 +101,7 @@ void
 Tlb::invalidatePage(VAddr va)
 {
     const std::uint64_t vpn = pageNumber(va);
+    obs::trace(obs::TraceKind::TlbShootdown, 0, 0, vpn);
     Entry *set = &slots_[setIndex(vpn) * kWays];
     for (std::size_t w = 0; w < kWays; ++w) {
         if (set[w].valid && set[w].vpn == vpn) {
@@ -113,6 +116,7 @@ Tlb::invalidatePage(VAddr va)
 void
 Tlb::flushAll()
 {
+    obs::trace(obs::TraceKind::TlbFlush);
     for (Entry &e : slots_) {
         e.valid = false;
         e.used = false;

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "obs/trace.hh"
 #include "snapshot/state_io.hh"
 
 namespace misp::arch {
@@ -357,6 +358,9 @@ MispProcessor::ring0Episode(
 {
     MISP_ASSERT(!inRing0_);
     inRing0_ = true;
+    obs::trace(obs::TraceKind::Ring0Enter,
+               static_cast<std::uint16_t>(oms_->sid()),
+               static_cast<std::uint32_t>(cause));
 
     // The OMS enters Ring 0. If this episode was raised from inside the
     // OMS's own execution (fault path), the sequencer is already
@@ -409,6 +413,9 @@ MispProcessor::ring0Episode(
                 ++serializations_;
                 serializeCycles_ += 2 * signal + res.priv;
                 inRing0_ = false;
+                obs::trace(obs::TraceKind::Ring0Exit,
+                           static_cast<std::uint16_t>(oms_->sid()),
+                           static_cast<std::uint32_t>(cause), res.priv);
 
                 if (done)
                     done(res);
@@ -636,7 +643,12 @@ MispProcessor::handleRtCall(cpu::Sequencer &seq, Word service)
              (unsigned long long)service);
         return 0;
     }
-    return runtime_->rtcall(*this, seq, service);
+    obs::trace(obs::TraceKind::RtcallEnter,
+               static_cast<std::uint16_t>(seq.sid()), 0, service);
+    Cycles cycles = runtime_->rtcall(*this, seq, service);
+    obs::trace(obs::TraceKind::RtcallExit,
+               static_cast<std::uint16_t>(seq.sid()), 0, service, cycles);
+    return cycles;
 }
 
 void

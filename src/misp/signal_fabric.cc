@@ -1,5 +1,6 @@
 #include "signal_fabric.hh"
 
+#include "obs/trace.hh"
 #include "snapshot/tags.hh"
 
 namespace misp::arch {
@@ -37,6 +38,9 @@ SignalFabric::sendSignal(cpu::Sequencer &dst,
                          const cpu::SignalPayload &payload)
 {
     ++deliveries_;
+    obs::trace(obs::TraceKind::SignalSend, dst.sid(),
+               ownerCpu_ < 0 ? 0 : static_cast<std::uint32_t>(ownerCpu_),
+               payload.eip, payload.arg);
     cpu::Sequencer *target = &dst;
     eq_.scheduleLambda(eq_.curTick() + signalCycles_, "fabric.signal",
                        [target, payload] { target->deliverSignal(payload); },
@@ -50,6 +54,9 @@ SignalFabric::sendProxyRequest(cpu::Sequencer &oms,
                                const cpu::SignalPayload &payload)
 {
     ++deliveries_;
+    obs::trace(obs::TraceKind::ProxySend, oms.sid(),
+               ownerCpu_ < 0 ? 0 : static_cast<std::uint32_t>(ownerCpu_),
+               payload.arg);
     cpu::Sequencer *target = &oms;
     eq_.scheduleLambda(
         eq_.curTick() + signalCycles_, "fabric.proxyReq",

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plane 2 of the observability subsystem: host-profile aggregation.
+ *
+ * HOST-SIDE ONLY (see host_run_log.hh for the quarantine rules). The
+ * harness stamps every point with wall-clock phase timings —
+ * parse/warmup/run/serialize — and `mispsim --profile FILE` folds them
+ * into a summary: per-phase totals and histograms, plus per-engine
+ * host-MIPS. Phase values ride inside RunRecord next to hostSeconds,
+ * and like hostSeconds they are excluded from all determinism
+ * artifacts (frames, snapshots, traces).
+ */
+
+#ifndef MISP_OBS_HOST_PROFILE_HH
+#define MISP_OBS_HOST_PROFILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace misp::obs {
+
+/** Wall-clock seconds per harness phase of one point. */
+struct HostPhases {
+    double parse = 0;     ///< workload build + guest app load
+    double warmup = 0;    ///< warmup leg + image write, or image restore
+    double run = 0;       ///< the measured run/resume leg
+    double serialize = 0; ///< harvest, stats dump, record encode
+};
+
+/** One point's contribution to a --profile summary. */
+struct PointProfile {
+    std::string label;
+    std::string engine;
+    HostPhases phases;
+    double hostSeconds = 0;
+    double hostMips = 0;
+    std::uint64_t instsRetired = 0;
+};
+
+/**
+ * Write the profile summary JSON: overall wall/instruction totals,
+ * per-phase {total_s, mean_s, max_s, histogram} (fixed log-scale
+ * buckets), and per-engine {points, insts, host_s, mips}.
+ */
+void writeProfileJson(std::ostream &os,
+                      const std::vector<PointProfile> &points);
+
+} // namespace misp::obs
+
+#endif // MISP_OBS_HOST_PROFILE_HH

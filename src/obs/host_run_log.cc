@@ -1,0 +1,54 @@
+#include "obs/host_run_log.hh"
+
+#include <cstdio>
+#include <ostream>
+
+namespace misp::obs {
+
+RunLog::RunLog(std::ostream *os)
+    : os_(os), start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+RunLog::log(const RunLogEntry &entry)
+{
+    if (!os_)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    double tsMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    char num[64];
+    std::snprintf(num, sizeof(num), "%.1f", tsMs);
+
+    auto escape = [](const std::string &s) {
+        std::string out;
+        for (char c : s) {
+            if (c == '"' || c == '\\')
+                out += '\\';
+            out += c;
+        }
+        return out;
+    };
+
+    std::ostream &os = *os_;
+    os << "{\"ts_ms\":" << num << ",\"event\":\"" << escape(entry.event)
+       << "\",\"point\":\"" << escape(entry.point) << "\"";
+    if (entry.attempt > 0)
+        os << ",\"attempt\":" << entry.attempt;
+    if (entry.pid >= 0)
+        os << ",\"pid\":" << entry.pid;
+    if (entry.wallMs >= 0) {
+        std::snprintf(num, sizeof(num), "%.1f", entry.wallMs);
+        os << ",\"wall_ms\":" << num;
+    }
+    if (entry.backoffMs >= 0)
+        os << ",\"backoff_ms\":" << entry.backoffMs;
+    if (!entry.status.empty())
+        os << ",\"status\":\"" << escape(entry.status) << "\"";
+    os << "}\n";
+    os.flush();
+}
+
+} // namespace misp::obs

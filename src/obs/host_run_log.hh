@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Plane 2 of the observability subsystem: the supervisor run log.
+ *
+ * HOST-SIDE ONLY. Everything here reads the host wall clock and worker
+ * pids — quarantined exactly like stats::HostScalar: a run log is
+ * telemetry about the execution infrastructure (dispatch, retries,
+ * timeouts, wall time), never an input to the simulated machine, and
+ * no simulated-plane code may include this header (misplint enforces
+ * the layering).
+ *
+ * Output is JSON Lines on a caller-owned stream: one object per
+ * lifecycle event, so a long sweep's log can be tailed live and parsed
+ * incrementally. Thread-safe — runAll's pool threads and the
+ * supervisor loop both emit.
+ */
+
+#ifndef MISP_OBS_HOST_RUN_LOG_HH
+#define MISP_OBS_HOST_RUN_LOG_HH
+
+#include <chrono>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace misp::obs {
+
+/** One run-log line. Fields with their sentinel defaults are omitted
+ *  from the emitted object. */
+struct RunLogEntry {
+    /** dispatched | completed | failed | retried | timed_out | crashed */
+    std::string event;
+    std::string point;       ///< point label (machine/workload/coords)
+    int attempt = 0;         ///< 1-based attempt number (0 = omit)
+    long pid = -1;           ///< worker pid (--isolate only)
+    double wallMs = -1;      ///< point wall time, milliseconds
+    long backoffMs = -1;     ///< backoff before the next attempt
+    std::string status;      ///< runStatusName() for terminal events
+};
+
+class RunLog
+{
+  public:
+    /** @param os destination stream; borrowed, must outlive the log. */
+    explicit RunLog(std::ostream *os);
+
+    /** Emit one JSONL line (with a monotonic `ts_ms` since the log was
+     *  opened) and flush, so tail -f works mid-sweep. */
+    void log(const RunLogEntry &entry);
+
+  private:
+    std::ostream *os_;
+    std::mutex mutex_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace misp::obs
+
+#endif // MISP_OBS_HOST_RUN_LOG_HH

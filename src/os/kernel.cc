@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/trace.hh"
 #include "snapshot/state_io.hh"
 #include "snapshot/tags.hh"
 
@@ -352,8 +353,16 @@ Kernel::scheduleDecision(int cpu, bool force)
         ready_.push_back(cur);
     }
     res.next = pickNext(cpu);
+    obs::trace(obs::TraceKind::KernelSchedule, 0,
+               static_cast<std::uint32_t>(cpu),
+               res.prev ? res.prev->tid() + 1 : 0,
+               res.next ? res.next->tid() + 1 : 0);
     if (res.prev != res.next && (res.prev || res.next)) {
         ++ctxSwitches_;
+        obs::trace(obs::TraceKind::KernelCtxSwitch, 0,
+                   static_cast<std::uint32_t>(cpu),
+                   res.prev ? res.prev->tid() + 1 : 0,
+                   res.next ? res.next->tid() + 1 : 0);
         res.priv += config_.ctxSwitch;
     }
     return res;
@@ -375,6 +384,9 @@ Kernel::syscall(int cpu, OsThread &t, Word number,
         res.next = pickNext(cpu);
         res.priv += config_.ctxSwitch;
         ++ctxSwitches_;
+        obs::trace(obs::TraceKind::KernelCtxSwitch, 0,
+                   static_cast<std::uint32_t>(cpu), 0,
+                   res.next ? res.next->tid() + 1 : 0);
         break;
       }
       case Sys::ExitProcess: {
@@ -405,6 +417,9 @@ Kernel::syscall(int cpu, OsThread &t, Word number,
         res.next = pickNext(cpu);
         res.priv += config_.ctxSwitch;
         ++ctxSwitches_;
+        obs::trace(obs::TraceKind::KernelCtxSwitch, 0,
+                   static_cast<std::uint32_t>(cpu), 0,
+                   res.next ? res.next->tid() + 1 : 0);
         if (processExitHook_)
             processExitHook_(proc);
         break;
@@ -559,6 +574,9 @@ Kernel::timerTick(int cpu)
     OsThread *cur = current_[cpu];
     if (cur)
         ++cur->quantumTicks;
+    obs::trace(obs::TraceKind::KernelQuantum, 0,
+               static_cast<std::uint32_t>(cpu),
+               cur ? cur->tid() + 1 : 0, cur ? cur->quantumTicks : 0);
     KernelResult sched = scheduleDecision(cpu, /*force=*/false);
     res.priv += sched.priv;
     res.reschedule = sched.reschedule;

@@ -564,6 +564,25 @@ encodeRunRecord(const harness::RunRecord &rec)
     s.str(rec.statsJson);
     s.str(rec.note);
     s.u32(rec.attempts);
+    // Observability extensions (appended; decode in the same order).
+    s.f64(rec.phases.parse);
+    s.f64(rec.phases.warmup);
+    s.f64(rec.phases.run);
+    s.f64(rec.phases.serialize);
+    s.u64(rec.trace.base);
+    s.u64(rec.trace.dropped);
+    s.u32(rec.trace.catMask);
+    s.u64(rec.trace.maxEvents);
+    s.u64(rec.trace.events.size());
+    for (const obs::TraceEvent &ev : rec.trace.events) {
+        s.u64(ev.tick);
+        s.u64(ev.seq);
+        s.u32(ev.kind);
+        s.u32(ev.sid);
+        s.u32(ev.aux);
+        s.u64(ev.arg0);
+        s.u64(ev.arg1);
+    }
     s.endSection();
     return s.done();
 }
@@ -593,6 +612,39 @@ decodeRunRecord(const std::string &data, harness::RunRecord *out,
         out->statsJson = d.str();
         out->note = d.str();
         out->attempts = d.u32();
+        out->phases.parse = d.f64();
+        out->phases.warmup = d.f64();
+        out->phases.run = d.f64();
+        out->phases.serialize = d.f64();
+        out->trace.base = d.u64();
+        out->trace.dropped = d.u64();
+        out->trace.catMask = d.u32();
+        out->trace.maxEvents = d.u64();
+        const std::uint64_t nTrace = d.u64();
+        constexpr std::uint64_t kWireEventBytes = 8 * 4 + 4 * 3;
+        if (nTrace > d.remaining() / kWireEventBytes)
+            throw SnapError("run record: trace event count exceeds "
+                            "payload");
+        out->trace.events.clear();
+        out->trace.events.reserve(nTrace);
+        for (std::uint64_t i = 0; i < nTrace; ++i) {
+            obs::TraceEvent ev;
+            ev.tick = d.u64();
+            ev.seq = d.u64();
+            const std::uint32_t kind = d.u32();
+            if (kind >= static_cast<std::uint32_t>(
+                            obs::TraceKind::NumKinds))
+                throw SnapError("run record: bad trace event kind");
+            ev.kind = static_cast<std::uint16_t>(kind);
+            const std::uint32_t sid = d.u32();
+            if (sid > 0xffffu)
+                throw SnapError("run record: bad trace event sid");
+            ev.sid = static_cast<std::uint16_t>(sid);
+            ev.aux = d.u32();
+            ev.arg0 = d.u64();
+            ev.arg1 = d.u64();
+            out->trace.events.push_back(ev);
+        }
         // A well-formed record consumes its section exactly; trailing
         // bytes mean the payload was spliced or corrupted in a way the
         // CRC happened to survive — fail closed rather than accept it.

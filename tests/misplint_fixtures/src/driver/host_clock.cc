@@ -1,0 +1,12 @@
+// Fixture: host-clock tokens outside the allowlisted wall-clock
+// sites. src/driver/ is not a simulated dir, but it emits
+// deterministic artifacts — the det-time scan covers all of src/.
+
+void
+timeThings()
+{
+    gettimeofday(nullptr, nullptr);
+    getrusage(0, nullptr);
+    long t = clock();
+    (void)t;
+}

@@ -1,0 +1,12 @@
+// Fixture: the quarantined obs host plane — the `host_` file prefix —
+// may use the wall clock freely; it never feeds simulated state.
+
+#include <chrono>
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}

@@ -1,0 +1,8 @@
+// Fixture: src/obs/ outside the host_ prefix is simulated code — the
+// trace recorder observes model events, so the hygiene rules apply.
+
+int
+draw()
+{
+    return rand();
+}

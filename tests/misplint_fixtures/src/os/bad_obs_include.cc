@@ -1,0 +1,6 @@
+// Fixture: simulated code reaching into the obs host plane. The
+// deterministic trace API (obs/trace.hh) is the only observability
+// surface the model may include.
+
+#include "obs/host_run_log.hh"
+#include "obs/trace.hh"

@@ -112,6 +112,38 @@ TEST(MisplintFixtures, LayeringAndChronoInclude)
     EXPECT_EQ(findingsIn("src/mem/bad_layering.cc"), expected);
 }
 
+TEST(MisplintFixtures, HostClockOutsideSimulatedDirs)
+{
+    // src/driver/ is not a simulated dir, but the det-time scan covers
+    // every non-allowlisted file under src/.
+    std::vector<Key> expected = {
+        {"src/driver/host_clock.cc", 8, "det-time", "gettimeofday"},
+        {"src/driver/host_clock.cc", 9, "det-time", "getrusage"},
+        {"src/driver/host_clock.cc", 10, "det-time", "clock"},
+    };
+    EXPECT_EQ(findingsIn("src/driver/host_clock.cc"), expected);
+}
+
+TEST(MisplintFixtures, ObsHostPlaneQuarantine)
+{
+    // Simulated code must not include the obs host plane; the
+    // deterministic trace header is fine.
+    std::vector<Key> expected = {
+        {"src/os/bad_obs_include.cc", 5, "obs-host-plane",
+         "obs/host_run_log.hh"},
+    };
+    EXPECT_EQ(findingsIn("src/os/bad_obs_include.cc"), expected);
+
+    // src/obs/ outside the host_ prefix is simulated code...
+    std::vector<Key> simObs = {
+        {"src/obs/trace_rand.cc", 7, "det-rand", "rand"},
+    };
+    EXPECT_EQ(findingsIn("src/obs/trace_rand.cc"), simObs);
+
+    // ...while host_-prefixed files may use the wall clock freely.
+    EXPECT_TRUE(findingsIn("src/obs/host_wall_clock.cc").empty());
+}
+
 TEST(MisplintFixtures, SnapshotCompleteness)
 {
     std::vector<Key> expected = {
@@ -152,7 +184,8 @@ TEST(MisplintFixtures, NothingOutsideTheExpectedFiles)
     for (const char *file :
          {"src/sim/banned_rand.cc", "src/sim/unordered_emit.cc",
           "src/mem/bad_layering.cc", "src/mem/missing_member.hh",
-          "src/snapshot/tags.hh"})
+          "src/snapshot/tags.hh", "src/driver/host_clock.cc",
+          "src/os/bad_obs_include.cc", "src/obs/trace_rand.cc"})
         total += static_cast<int>(findingsIn(file).size());
     EXPECT_EQ(static_cast<int>(fixtureReport().findings.size()),
               total);
@@ -161,7 +194,7 @@ TEST(MisplintFixtures, NothingOutsideTheExpectedFiles)
 TEST(MisplintFixtures, ReportCounters)
 {
     const Report &r = fixtureReport();
-    EXPECT_EQ(r.filesScanned, 8);
+    EXPECT_EQ(r.filesScanned, 12);
     // Widget (missing_member.hh) and Cache (annotated_derived.hh).
     EXPECT_EQ(r.saveableClasses, 2);
     std::vector<std::string> names = r.saveableNames;

@@ -19,11 +19,13 @@ namespace {
 // ---------------------------------------------------------------------
 
 /** Simulated code: everything whose behaviour is part of the model and
- *  therefore must be bit-reproducible from (config, seed). */
+ *  therefore must be bit-reproducible from (config, seed). src/obs/ is
+ *  simulated too — the trace recorder observes model events — except
+ *  its quarantined host plane (see hostPlane below). */
 constexpr const char *kSimulatedDirs[] = {
     "src/cpu/",  "src/mem/",      "src/misp/",     "src/os/",
     "src/isa/",  "src/sim/",      "src/shredlib/", "src/snapshot/",
-    "src/workloads/",
+    "src/workloads/", "src/obs/",
 };
 
 /** Layers that must not see the host-side run layer. */
@@ -32,7 +34,8 @@ constexpr const char *kModelOnlyDirs[] = {"src/sim/", "src/mem/",
 
 /** The only files in src/ allowed to touch std::chrono: host-side wall
  *  clocks (bench timing, supervisor deadlines). Everything else in
- *  src/ emits deterministic artifacts and has no business with time. */
+ *  src/ emits deterministic artifacts and has no business with time.
+ *  (src/obs/host_* is a prefix allowlist; see hostPlane.) */
 constexpr const char *kChronoAllowlist[] = {"src/harness/run_record.cc",
                                             "src/driver/runner.cc"};
 
@@ -46,10 +49,21 @@ startsWithAny(const std::string &rel, const char *const *dirs,
     return false;
 }
 
+/** The quarantined host plane inside src/obs/: files prefixed `host_`
+ *  hold wall-clock telemetry (run logs, phase profiles). They are
+ *  exempt from the simulated-code rules — and, symmetrically, no
+ *  simulated file may include them (obs-host-plane). */
+bool
+hostPlane(const std::string &rel)
+{
+    return rel.rfind("src/obs/host_", 0) == 0;
+}
+
 bool
 isSimulated(const std::string &rel)
 {
-    return startsWithAny(rel, kSimulatedDirs, std::size(kSimulatedDirs));
+    return !hostPlane(rel) &&
+           startsWithAny(rel, kSimulatedDirs, std::size(kSimulatedDirs));
 }
 
 bool
@@ -64,6 +78,8 @@ chronoAllowed(const std::string &rel)
     for (const char *f : kChronoAllowlist)
         if (rel == f)
             return true;
+    if (hostPlane(rel))
+        return true;
     // Only src/ is restricted; bench/tools/tests time things freely.
     return rel.rfind("src/", 0) != 0;
 }
@@ -728,6 +744,13 @@ hygieneScan(const FileText &f, const std::vector<Tok> &toks,
             int *suppressed)
 {
     const bool sim = isSimulated(f.rel);
+    // Host-clock tokens are banned everywhere in src/ except the
+    // quarantined host plane — the simulated dirs are the core of the
+    // determinism contract, but src/driver/ and src/harness/ emit
+    // deterministic artifacts too and must not sprout timing outside
+    // the allowlisted wall-clock sites.
+    const bool detTime =
+        f.rel.rfind("src/", 0) == 0 && !chronoAllowed(f.rel);
 
     // layer-include + chrono include gating live on include lines.
     for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
@@ -749,11 +772,27 @@ hygieneScan(const FileText &f, const std::vector<Tok> &toks,
                            suppressed);
             }
         }
+        // Simulated code must not reach into the obs host plane: the
+        // deterministic trace API (obs/trace.hh) is the only
+        // observability surface the model may see.
+        if (sim) {
+            auto p = s.find("\"obs/host_", inc);
+            if (p != std::string::npos) {
+                auto q = s.find('"', p + 1);
+                std::string hdr = s.substr(p + 1, q - p - 1);
+                addFinding(out, f, line, "obs-host-plane", hdr,
+                           "simulated code must not include the obs "
+                           "host plane (" + hdr + "); record through "
+                           "obs/trace.hh instead",
+                           suppressed);
+            }
+        }
         if (s.find("<chrono>", inc) != std::string::npos &&
             !chronoAllowed(f.rel))
             addFinding(out, f, line, "det-time", "chrono",
                        "std::chrono is host-side only (allowlist: "
-                       "harness/run_record.cc, driver/runner.cc)",
+                       "harness/run_record.cc, driver/runner.cc, "
+                       "src/obs/host_*)",
                        suppressed);
     }
 
@@ -769,6 +808,30 @@ hygieneScan(const FileText &f, const std::vector<Tok> &toks,
         const bool qualified = prev == "::" && !stdQualified;
         int line = toks[i].line;
 
+        if (detTime) {
+            if ((t == "time" || t == "clock") && next == "(" &&
+                !memberCall && !qualified)
+                addFinding(out, f, line, "det-time", t,
+                           t + "() reads the host clock; deterministic "
+                           "code must be a function of (config, seed)",
+                           suppressed);
+            if ((t == "gettimeofday" || t == "clock_gettime" ||
+                 t == "localtime" || t == "gmtime" ||
+                 t == "getrusage" || t == "rdtsc" || t == "__rdtsc" ||
+                 t == "__rdtscp") &&
+                !memberCall && !qualified)
+                addFinding(out, f, line, "det-time", t,
+                           t + " reads the host clock; deterministic "
+                           "code must be a function of (config, seed)",
+                           suppressed);
+            if (t == "chrono" && prev != "." && prev != "->")
+                addFinding(out, f, line, "det-time", "chrono",
+                           "std::chrono is host-side only (allowlist: "
+                           "harness/run_record.cc, driver/runner.cc, "
+                           "src/obs/host_*)",
+                           suppressed);
+        }
+
         if (sim) {
             if ((t == "rand" || t == "srand") && next == "(" &&
                 !memberCall && !qualified)
@@ -781,24 +844,6 @@ hygieneScan(const FileText &f, const std::vector<Tok> &toks,
                            "std::random_device is nondeterministic by "
                            "design; seed a sim::Rng instead",
                            suppressed);
-            if ((t == "time" || t == "clock") && next == "(" &&
-                !memberCall && !qualified)
-                addFinding(out, f, line, "det-time", t,
-                           t + "() reads the host clock; simulated "
-                           "code must be a function of (config, seed)",
-                           suppressed);
-            if ((t == "gettimeofday" || t == "clock_gettime" ||
-                 t == "localtime" || t == "gmtime") &&
-                !memberCall && !qualified)
-                addFinding(out, f, line, "det-time", t,
-                           t + " reads the host clock; simulated code "
-                           "must be a function of (config, seed)",
-                           suppressed);
-            if (t == "chrono" && prev != "." && prev != "->")
-                addFinding(out, f, line, "det-time", "chrono",
-                           "std::chrono is banned in simulated code",
-                           suppressed);
-
             // det-ptr-key: std :: map|set < T * ...
             if ((t == "map" || t == "set") && stdQualified &&
                 next == "<") {

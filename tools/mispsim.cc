@@ -20,8 +20,13 @@
 #include <fstream>
 #include <iostream>
 
+#include "cpu/engine.hh"
+#include "driver/cli_help.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
+#include "obs/host_profile.hh"
+#include "obs/host_run_log.hh"
+#include "obs/trace.hh"
 #include "sim/logging.hh"
 
 using namespace misp;
@@ -32,91 +37,9 @@ namespace {
 int
 usage(const char *argv0, int code)
 {
-    std::fprintf(
-        code ? stderr : stdout,
-        "usage: %s <scenario.scn> [options]\n"
-        "\n"
-        "Runs a declarative scenario: machines x workloads x sweep axes.\n"
-        "Spec format: see docs/ARCHITECTURE.md (Scenario driver) and the\n"
-        "checked-in examples under scenarios/.\n"
-        "\n"
-        "options:\n"
-        "  -o FILE            write results as JSON to FILE\n"
-        "  --metrics FILE     write the full metric frame (every sweep\n"
-        "                     point x every metric, incl. derived\n"
-        "                     speedup and per-10^6-instruction event\n"
-        "                     rates) as deterministic JSON to FILE\n"
-        "  --quick            apply the scenario's [quick] overrides\n"
-        "  --jobs N           run grid points on N worker threads; all\n"
-        "                     outputs (JSON, tables, --points) stay\n"
-        "                     byte-identical to a serial run\n"
-        "  --isolate          crash-isolated workers: fork one child\n"
-        "                     process per grid point (up to N at once);\n"
-        "                     a crashing point is recorded as\n"
-        "                     worker_crashed instead of killing the\n"
-        "                     sweep; outputs stay byte-identical\n"
-        "  --deadline MS      (with --isolate) per-attempt wall-clock\n"
-        "                     deadline; a worker exceeding it is\n"
-        "                     SIGKILLed and its point recorded as\n"
-        "                     worker_timeout (0 = none; default: the\n"
-        "                     scenario's [run] point_deadline_ms)\n"
-        "  --retries N        (with --isolate) relaunch a point up to N\n"
-        "                     extra times after a transient failure\n"
-        "                     (crash, timeout, snapshot error); the\n"
-        "                     record keeps the attempt count\n"
-        "  --backoff MS       (with --isolate) base relaunch delay;\n"
-        "                     attempt k waits MS * 2^(k-1) ms\n"
-        "  --inject SPEC      (with --isolate) deterministic fault\n"
-        "                     injection, e.g. \"seed=7;crash@0;hang@2\"\n"
-        "                     (kinds: crash, hang, corrupt_pipe,\n"
-        "                     corrupt_snapshot, fork_fail; targets:\n"
-        "                     point indices `1,3` / `0..2` or `p0.1`\n"
-        "                     probability; `x1` bounds a fault to the\n"
-        "                     first attempt); merged over the\n"
-        "                     scenario's [faults] section\n"
-        "  --on-failed P      what failed points do to reporting:\n"
-        "                     fail (default, exit 1), skip (degrade\n"
-        "                     gracefully: asserts skip affected\n"
-        "                     groups, exit 4), require_all (asserts\n"
-        "                     touching failed points fail)\n"
-        "  --save-snapshot DIR  warm every grid point up for the\n"
-        "                     scenario's [snapshot] warmup_ticks, write\n"
-        "                     DIR/point_<k>.misnap, and keep running to\n"
-        "                     completion (results unchanged)\n"
-        "  --from-snapshot DIR  restore each grid point from\n"
-        "                     DIR/point_<k>.misnap instead of booting\n"
-        "                     cold; results are byte-identical to a\n"
-        "                     cold run of the same spec (exception:\n"
-        "                     --full-stats decode-cache hit/miss\n"
-        "                     counters, which restart cold — the\n"
-        "                     decode cache is derived state)\n"
-        "  --engine=E         force the host execution engine on every\n"
-        "                     machine: ref (per-instruction\n"
-        "                     fetch+decode), cache (predecoded pages),\n"
-        "                     or superblock (chained basic-block\n"
-        "                     dispatch; the default). All engines\n"
-        "                     produce bit-identical results; also\n"
-        "                     honored from MISP_ENGINE=E\n"
-        "  --no-decode-cache  alias for --engine=ref (also honored\n"
-        "                     from MISP_NO_DECODE_CACHE=1)\n"
-        "  --md               print the results table as markdown\n"
-        "  --points           print canonical point lines only (the\n"
-        "                     bench-equivalence diff format)\n"
-        "  --dry-run          expand and print the grid without running\n"
-        "  --full-stats       include a full stats dump per point in the\n"
-        "                     JSON output\n"
-        "  --verbose          keep the simulator's event log on stderr\n"
-        "  --list-workloads   print the workload registry and exit\n"
-        "  -h, --help         this message\n"
-        "\n"
-        "exit codes:\n"
-        "  0  every point ran, every assert held\n"
-        "  1  a point failed, an assert failed, or a spec error\n"
-        "  2  usage error\n"
-        "  4  completed with failed points (--on-failed skip /\n"
-        "     [report] on_failed_points = skip) and everything else\n"
-        "     passed\n",
-        argv0);
+    // Rendered from the flag/exit-code registries in driver/cli_help.cc
+    // so the help text can never drift from the audited CLI surface.
+    std::fputs(mispsimUsage(argv0).c_str(), code ? stderr : stdout);
     return code;
 }
 
@@ -155,6 +78,11 @@ main(int argc, char **argv)
     int retries = -1;
     int backoffMs = -1;
     std::string onFailed;
+    std::string tracePath;
+    std::uint64_t traceSkip = 0;
+    std::string runLogPath;
+    std::string profilePath;
+    bool progressFlag = false;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -255,6 +183,36 @@ main(int argc, char **argv)
         } else if (std::strcmp(arg, "--no-decode-cache") == 0) {
             engine = misp::cpu::Engine::Reference;
             forceEngine = true;
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --trace needs a file argument\n");
+                return 2;
+            }
+            tracePath = argv[i];
+        } else if (std::strcmp(arg, "--trace-skip") == 0) {
+            if (++i >= argc || !parseU64(argv[i], &traceSkip)) {
+                std::fprintf(stderr,
+                             "mispsim: --trace-skip needs a processed-"
+                             "event count\n");
+                return 2;
+            }
+        } else if (std::strcmp(arg, "--run-log") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --run-log needs a file argument\n");
+                return 2;
+            }
+            runLogPath = argv[i];
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --profile needs a file argument\n");
+                return 2;
+            }
+            profilePath = argv[i];
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            progressFlag = true;
         } else if (std::strcmp(arg, "--md") == 0) {
             markdown = true;
         } else if (std::strcmp(arg, "--points") == 0) {
@@ -390,6 +348,22 @@ main(int argc, char **argv)
         }
     }
 
+    if (tracePath.empty() && traceSkip != 0) {
+        std::fprintf(stderr, "mispsim: --trace-skip requires --trace\n");
+        return 2;
+    }
+
+    std::ofstream runLogFile;
+    if (!runLogPath.empty()) {
+        runLogFile.open(runLogPath);
+        if (!runLogFile) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         runLogPath.c_str());
+            return 1;
+        }
+    }
+    obs::RunLog runLog(runLogFile.is_open() ? &runLogFile : nullptr);
+
     ScenarioRunner::Options opts;
     opts.forceEngine = forceEngine;
     opts.engine = engine;
@@ -402,9 +376,64 @@ main(int argc, char **argv)
     opts.faults = injected;
     opts.snapshotSaveDir = saveSnapshotDir;
     opts.snapshotLoadDir = fromSnapshotDir;
+    opts.traceEnabled = !tracePath.empty();
+    opts.traceSkip = traceSkip;
+    if (runLogFile.is_open())
+        opts.runLog = &runLog;
     ScenarioRunner runner(opts);
+    const bool showProgress = progressFlag || !pointsOnly;
     std::vector<PointResult> results =
-        runner.runAll(sc, points, pointsOnly ? nullptr : &std::cerr);
+        runner.runAll(sc, points, showProgress ? &std::cerr : nullptr);
+
+    // Per-point labels for the observability artifacts: coordinates
+    // only, identical across engines and execution backends.
+    auto pointLabel = [&](std::size_t i) {
+        std::string label =
+            results[i].machine + ":" + results[i].workload;
+        std::string coords = points[i].coordString();
+        if (!coords.empty())
+            label += " " + coords;
+        return label;
+    };
+
+    if (!tracePath.empty()) {
+        std::vector<obs::TracePoint> tps;
+        tps.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i)
+            tps.push_back({pointLabel(i), &results[i].run.trace});
+        std::ofstream os(tracePath);
+        if (!os) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         tracePath.c_str());
+            return 1;
+        }
+        obs::writeChromeTrace(os, tps);
+        std::fprintf(stderr, "mispsim: wrote %s\n", tracePath.c_str());
+    }
+
+    if (!profilePath.empty()) {
+        std::vector<obs::PointProfile> profiles;
+        profiles.reserve(results.size());
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            obs::PointProfile p;
+            p.label = pointLabel(i);
+            p.engine = cpu::engineName(
+                forceEngine ? engine : points[i].machine.engine);
+            p.phases = results[i].run.phases;
+            p.hostSeconds = results[i].run.hostSeconds;
+            p.hostMips = results[i].run.hostMips;
+            p.instsRetired = results[i].run.instsRetired;
+            profiles.push_back(std::move(p));
+        }
+        std::ofstream os(profilePath);
+        if (!os) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         profilePath.c_str());
+            return 1;
+        }
+        obs::writeProfileJson(os, profiles);
+        std::fprintf(stderr, "mispsim: wrote %s\n", profilePath.c_str());
+    }
 
     // One columnar frame per sweep: every renderer and the assert
     // evaluator below read the results through it.
