@@ -100,6 +100,26 @@ mispsimFlags()
          "/ completed, with attempt, worker pid,\n"
          "wall ms, backoff) to FILE — host-plane\n"
          "telemetry, never byte-compared"},
+        {"--shard K/N",
+         "run only this process's 1/N of the sweep:\n"
+         "coordinate combinations are dealt\n"
+         "round-robin (combination j to shard\n"
+         "j mod N), so groups stay whole and the\n"
+         "--metrics dump (with its shard header)\n"
+         "merges byte-identically; points keep\n"
+         "their global grid indices, so snapshots\n"
+         "and --inject compose unchanged; [report]\n"
+         "asserts are deferred to --merge-frames"},
+        {"--merge-frames OUT",
+         "merge mode: treat the remaining\n"
+         "arguments as per-shard --metrics dumps,\n"
+         "validate them against the scenario\n"
+         "(config hash, shard arity, gaps,\n"
+         "overlaps — fail-closed, naming the\n"
+         "offending file), write the reassembled\n"
+         "frame to OUT byte-identical to a serial\n"
+         "run's --metrics, and evaluate the\n"
+         "deferred [report] asserts on it"},
         {"--progress",
          "force per-point progress lines on stderr\n"
          "even in --points mode (default: on for\n"
@@ -170,6 +190,9 @@ mispsimUsage(const char *argv0)
     std::string out = "usage: ";
     out += argv0;
     out += " <scenario.scn> [options]\n"
+           "       ";
+    out += argv0;
+    out += " <scenario.scn> --merge-frames OUT IN1.json [IN2.json...]\n"
            "\n"
            "Runs a declarative scenario: machines x workloads x sweep "
            "axes.\n"

@@ -158,21 +158,29 @@ parseSelector(const EvalCtx &ctx, const std::string &body,
         // otherwise adopt the spelling of the axis value the selector
         // matches numerically. A value matching nothing either way is
         // a malformed selector — diagnose with the axis's values.
+        // The indexed frame precomputes each axis's distinct values in
+        // first-seen row order; a linear frame falls back to the scan.
         std::vector<std::string> axisValues;
-        bool exact = false;
-        for (std::size_t r = 0; r < ctx.frame.numRows(); ++r) {
-            for (const MetricFrame::Coord &c :
-                 ctx.frame.row(r).coords) {
-                if (c.first != coord.first)
-                    continue;
-                exact = exact || c.second == coord.second;
-                bool dup = false;
-                for (const std::string &v : axisValues)
-                    dup = dup || v == c.second;
-                if (!dup)
-                    axisValues.push_back(c.second);
+        if (const std::vector<std::string> *vals =
+                ctx.frame.axisValues(coord.first)) {
+            axisValues = *vals;
+        } else {
+            for (std::size_t r = 0; r < ctx.frame.numRows(); ++r) {
+                for (const MetricFrame::Coord &c :
+                     ctx.frame.row(r).coords) {
+                    if (c.first != coord.first)
+                        continue;
+                    bool dup = false;
+                    for (const std::string &v : axisValues)
+                        dup = dup || v == c.second;
+                    if (!dup)
+                        axisValues.push_back(c.second);
+                }
             }
         }
+        bool exact = false;
+        for (const std::string &v : axisValues)
+            exact = exact || v == coord.second;
         if (!exact) {
             double want = 0;
             std::string match;
@@ -780,8 +788,9 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
         "events_per_mi.ams_syscalls", "events_per_mi.ams_page_faults",
         "events_per_mi.serializations"};
 
-    std::vector<std::vector<std::string>> rows;
-    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+    // One row's cells at a time — two passes (width scan, emission)
+    // instead of materializing every row of the sweep.
+    auto formatRow = [&](std::size_t i) {
         const MetricFrame::Row &r = frame.row(i);
         std::vector<std::string> row = {r.machine, r.workload};
         for (const std::string &k : coordKeys) {
@@ -802,14 +811,18 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
         }
         if (anyFailed)
             row.push_back(harness::runStatusName(r.status));
-        rows.push_back(std::move(row));
-    }
+        return row;
+    };
 
     std::vector<std::size_t> widths(header.size());
-    for (std::size_t c = 0; c < header.size(); ++c) {
+    for (std::size_t c = 0; c < header.size(); ++c)
         widths[c] = header[c].size();
-        for (const auto &row : rows)
-            widths[c] = std::max(widths[c], row[c].size());
+    if (!markdown) {
+        for (std::size_t i = 0; i < frame.numRows(); ++i) {
+            const std::vector<std::string> row = formatRow(i);
+            for (std::size_t c = 0; c < row.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+        }
     }
 
     auto emitRow = [&](const std::vector<std::string> &row) {
@@ -845,8 +858,8 @@ writeEventsTable(std::ostream &os, const Scenario &sc,
             total += widths[c] + (c ? 2 : 0);
         os << std::string(total, '-') << "\n";
     }
-    for (const auto &row : rows)
-        emitRow(row);
+    for (std::size_t i = 0; i < frame.numRows(); ++i)
+        emitRow(formatRow(i));
 }
 
 } // namespace misp::driver

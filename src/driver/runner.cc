@@ -25,17 +25,6 @@ namespace misp::driver {
 
 namespace {
 
-std::string
-jsonString(const std::string &s)
-{
-    // Built up in steps: GCC 12's -Wrestrict false-positives on the
-    // `"\"" + escape + "\""` temporary chain once inlined.
-    std::string out = "\"";
-    out += stats::jsonEscape(s);
-    out += "\"";
-    return out;
-}
-
 void
 progressLine(std::ostream &os, std::size_t done, std::size_t total,
              const ScenarioPoint &pt, const PointResult &r)
@@ -163,7 +152,7 @@ ScenarioRunner::runAll(const Scenario &sc,
         for (std::size_t i = 0; i < pts.size(); ++i) {
             logAttempt(opts_.runLog, "dispatched", pts[i], 1);
             auto ta = std::chrono::steady_clock::now();
-            results[i] = runPoint(sc, pts[i], i);
+            results[i] = runPoint(sc, pts[i], gridIndex(i));
             logAttempt(opts_.runLog, "completed", pts[i], 1,
                        wallMsSince(ta),
                        harness::runStatusName(results[i].run.status));
@@ -198,7 +187,7 @@ ScenarioRunner::runAll(const Scenario &sc,
             logAttempt(opts_.runLog, "dispatched", pts[i], 1);
             auto ta = std::chrono::steady_clock::now();
             try {
-                results[i] = runPoint(sc, pts[i], i);
+                results[i] = runPoint(sc, pts[i], gridIndex(i));
             } catch (...) {
                 errors[i] = std::current_exception();
                 failed.store(true, std::memory_order_relaxed);
@@ -419,7 +408,8 @@ ScenarioRunner::runIsolated(const Scenario &sc,
         // inherits `fault` through fork() memory, and parent-side
         // kinds (fork_fail) never spawn at all.
         FaultKind fault{};
-        const bool faulted = plan.faultFor(index, attempt, &fault);
+        const bool faulted =
+            plan.faultFor(gridIndex(index), attempt, &fault);
         if (faulted && fault == FaultKind::ForkFail) {
             logDispatch(-1);
             completeOrRetry(index, attempt,
@@ -459,13 +449,14 @@ ScenarioRunner::runIsolated(const Scenario &sc,
             }
             int code = 0;
             try {
-                harness::RunRequest req =
-                    makeRunRequest(sc, pts[index], opts_, index);
+                harness::RunRequest req = makeRunRequest(
+                    sc, pts[index], opts_, gridIndex(index));
                 if (faulted && fault == FaultKind::CorruptSnapshot) {
                     // Drive the run layer's real fail-closed restore
                     // path rather than faking a status.
                     req.snapshotIn = snapshotPointPath(
-                        "/nonexistent-injected-fault", index);
+                        "/nonexistent-injected-fault",
+                        gridIndex(index));
                 }
                 harness::RunRecord rec = harness::runOne(req);
                 std::string payload = snap::encodeRunRecord(rec);
@@ -694,25 +685,25 @@ writeJson(std::ostream &os, const Scenario &sc, bool quickMode,
           const harness::MetricFrame &frame)
 {
     os << "{\n";
-    os << "  \"scenario\": " << jsonString(sc.name) << ",\n";
-    os << "  \"title\": " << jsonString(sc.title) << ",\n";
+    os << "  \"scenario\": " << stats::jsonQuote(sc.name) << ",\n";
+    os << "  \"title\": " << stats::jsonQuote(sc.title) << ",\n";
     os << "  \"quick\": " << (quickMode ? "true" : "false") << ",\n";
     os << "  \"points\": [";
     for (std::size_t i = 0; i < frame.numRows(); ++i) {
         const harness::MetricFrame::Row &r = frame.row(i);
         os << (i ? ",\n" : "\n");
         os << "    {\n";
-        os << "      \"machine\": " << jsonString(r.machine) << ",\n";
-        os << "      \"workload\": " << jsonString(r.workload) << ",\n";
+        os << "      \"machine\": " << stats::jsonQuote(r.machine) << ",\n";
+        os << "      \"workload\": " << stats::jsonQuote(r.workload) << ",\n";
         os << "      \"competitors\": " << r.competitors << ",\n";
         os << "      \"coords\": {";
         for (std::size_t c = 0; c < r.coords.size(); ++c) {
-            os << (c ? ", " : "") << jsonString(r.coords[c].first) << ": "
-               << jsonString(r.coords[c].second);
+            os << (c ? ", " : "") << stats::jsonQuote(r.coords[c].first) << ": "
+               << stats::jsonQuote(r.coords[c].second);
         }
         os << "},\n";
         os << "      \"status\": "
-           << jsonString(harness::runStatusName(r.status)) << ",\n";
+           << stats::jsonQuote(harness::runStatusName(r.status)) << ",\n";
         os << "      \"ticks\": "
            << static_cast<std::uint64_t>(frame.at(i, "ticks")) << ",\n";
         os << "      \"valid\": "
@@ -748,8 +739,8 @@ writeMetricsJson(std::ostream &os, const Scenario &sc, bool quickMode,
                  const harness::MetricFrame &frame)
 {
     os << "{\n";
-    os << "  \"scenario\": " << jsonString(sc.name) << ",\n";
-    os << "  \"title\": " << jsonString(sc.title) << ",\n";
+    os << "  \"scenario\": " << stats::jsonQuote(sc.name) << ",\n";
+    os << "  \"title\": " << stats::jsonQuote(sc.title) << ",\n";
     os << "  \"quick\": " << (quickMode ? "true" : "false") << ",\n";
     os << "  \"frame\":\n";
     frame.writeJson(os);
@@ -796,8 +787,9 @@ writeTable(std::ostream &os, const Scenario &sc,
         header.push_back("status");
 
     using Frame = harness::MetricFrame;
-    std::vector<std::vector<std::string>> rows;
-    for (std::size_t i = 0; i < frame.numRows(); ++i) {
+    // One row's cells at a time — the table streams in two passes
+    // (width scan, then emission) instead of materializing the sweep.
+    auto formatRow = [&](std::size_t i) {
         const Frame::Row &r = frame.row(i);
         std::vector<std::string> row = {r.machine, r.workload};
         for (const std::string &k : coordKeys) {
@@ -837,14 +829,20 @@ writeTable(std::ostream &os, const Scenario &sc,
             row.push_back(frame.at(i, "valid") != 0.0 ? "yes" : "NO");
         if (anyFailed)
             row.push_back(harness::runStatusName(r.status));
-        rows.push_back(std::move(row));
-    }
+        return row;
+    };
 
+    // Markdown needs no alignment, so the width pass only runs for
+    // the plain-text renderer.
     std::vector<std::size_t> widths(header.size());
-    for (std::size_t c = 0; c < header.size(); ++c) {
+    for (std::size_t c = 0; c < header.size(); ++c)
         widths[c] = header[c].size();
-        for (const auto &row : rows)
-            widths[c] = std::max(widths[c], row[c].size());
+    if (!markdown) {
+        for (std::size_t i = 0; i < frame.numRows(); ++i) {
+            const std::vector<std::string> row = formatRow(i);
+            for (std::size_t c = 0; c < row.size(); ++c)
+                widths[c] = std::max(widths[c], row[c].size());
+        }
     }
 
     auto emitRow = [&](const std::vector<std::string> &row) {
@@ -877,8 +875,8 @@ writeTable(std::ostream &os, const Scenario &sc,
             total += widths[c] + (c ? 2 : 0);
         os << std::string(total, '-') << "\n";
     }
-    for (const auto &row : rows)
-        emitRow(row);
+    for (std::size_t i = 0; i < frame.numRows(); ++i)
+        emitRow(formatRow(i));
 }
 
 void

@@ -120,6 +120,14 @@ struct RunnerOptions {
      *  be null. Receives dispatch/retry/timeout/completion telemetry —
      *  wall-clock facts only, never simulated data. */
     obs::RunLog *runLog = nullptr;
+
+    /** Global grid indices of the submitted points (--shard k/N):
+     *  entry i is the submission index pts[i] holds in the *full*
+     *  grid. Snapshot image files (point_<k>.misnap) and fault-plan
+     *  targets are keyed by this index, so a shard composes with
+     *  --save-snapshot/--from-snapshot and --inject exactly as the
+     *  same points would in an unsharded run. Empty = identity. */
+    std::vector<std::size_t> pointIndices;
 };
 
 /** The image file `--save-snapshot`/`--from-snapshot` use for grid
@@ -162,6 +170,13 @@ class ScenarioRunner
     std::vector<PointResult>
     runIsolated(const Scenario &sc, const std::vector<ScenarioPoint> &pts,
                 std::ostream *progress);
+
+    /** Full-grid submission index of submitted point @p i (identity
+     *  unless Options::pointIndices says otherwise). */
+    std::size_t gridIndex(std::size_t i) const
+    {
+        return opts_.pointIndices.empty() ? i : opts_.pointIndices[i];
+    }
 
     Options opts_;
 };

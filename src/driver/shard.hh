@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Sharded sweeps with deterministic merge: `mispsim --shard k/N` runs
+ * an Nth of a scenario grid and dumps its rows with a shard header;
+ * `mispsim --merge-frames OUT IN...` reassembles the per-shard
+ * `--metrics` dumps into one MetricFrame that is byte-identical to
+ * the serial run's.
+ *
+ * The partition is by *coordinate-combination* index, not raw point
+ * index: combination j (one value per sweep axis) goes to shard
+ * j % N, and a combination's points — one per machine, the grid's
+ * innermost loop — travel together. Keeping coordinate groups whole
+ * inside a shard means the per-row derived `speedup` column each
+ * shard computes equals the serial run's, so merged dumps need no
+ * recomputation to match byte-for-byte. Shard points keep their
+ * *global* grid indices (RunnerOptions::pointIndices), so snapshot
+ * image names and fault-plan targets compose with a shard exactly as
+ * with the full run.
+ *
+ * Merging is fail-closed: every dump's scenario name, quick flag,
+ * shard arity, grid size, and config hash must match the scenario
+ * the merger expanded, the shard index sets must be disjoint and
+ * cover the grid (overlaps and gaps are detected and named), and
+ * each row's identity must match the grid point it claims to be.
+ * Every diagnostic names the offending file.
+ */
+
+#ifndef MISP_DRIVER_SHARD_HH
+#define MISP_DRIVER_SHARD_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "driver/scenario.hh"
+#include "harness/metric_frame.hh"
+
+namespace misp::driver {
+
+/** `--shard k/N`: this process owns coordinate combinations
+ *  j % count == index. */
+struct ShardSpec {
+    std::size_t index = 0;
+    std::size_t count = 1;
+};
+
+/** Parse "k/N" (0 <= k < N, N >= 1). False + diagnostic on junk. */
+bool parseShardSpec(const std::string &text, ShardSpec *out,
+                    std::string *err);
+
+/**
+ * FNV-1a 64-bit hash (hex) over the expanded grid's identity:
+ * scenario name, tick budget, and every point's machine, workload,
+ * competitor count, and coordinates in grid order. Two shard runs
+ * merge only if they hashed the same grid, so dumps from a different
+ * scenario revision fail closed instead of interleaving silently.
+ */
+std::string gridConfigHash(const Scenario &sc,
+                           const std::vector<ScenarioPoint> &pts);
+
+/**
+ * Global grid indices shard @p shard owns, ascending: the points of
+ * every coordinate combination j with j % count == index. The grid
+ * is combinations x machines with machines innermost
+ * (scenario.cc expandPoints), so point p belongs to combination
+ * p / @p machinesPerCombo.
+ */
+std::vector<std::size_t> shardPointIndices(const ShardSpec &shard,
+                                           std::size_t totalPoints,
+                                           std::size_t machinesPerCombo);
+
+/**
+ * The `--shard` variant of writeMetricsJson: the serial dump plus a
+ * "shard" header object carrying the spec, full-grid point count,
+ * config hash, and the rows' global grid indices. Row objects are
+ * byte-identical to the serial emitter's, which is what makes the
+ * merged dump a plain writeMetricsJson of the merged frame.
+ */
+void writeShardMetricsJson(std::ostream &os, const Scenario &sc,
+                           bool quickMode,
+                           const harness::MetricFrame &frame,
+                           const ShardSpec &shard,
+                           std::size_t totalPoints,
+                           const std::string &configHash,
+                           const std::vector<std::size_t> &indices);
+
+/** One parsed per-shard `--metrics` dump. */
+struct ShardDump {
+    std::string path; ///< where it was read from (diagnostics)
+    std::string scenario;
+    bool quick = false;
+    ShardSpec shard;
+    std::size_t points = 0; ///< full-grid point count
+    std::string configHash;
+    std::vector<std::size_t> indices; ///< global index per row
+    std::vector<std::string> metrics;
+    std::vector<harness::MetricFrame::RawRow> rows;
+};
+
+/** Parse one shard dump. Fail-closed: malformed JSON, a missing
+ *  header field, or an unknown status name is an error naming
+ *  @p path, never a partial dump. */
+bool readShardDump(const std::string &path, ShardDump *out,
+                   std::string *err);
+
+/**
+ * Validate @p dumps against the expanded grid and reassemble them
+ * into @p out (rows in global grid order, groups recomputed, the
+ * dumps' column set adopted verbatim). @p quick must be the mode the
+ * grid was expanded under; every dump must agree. False + a
+ * diagnostic naming the offending file on any mismatch: wrong
+ * scenario/quick/hash, inconsistent or duplicate shard specs
+ * (overlap), missing shards or indices (gaps), row identities that
+ * contradict the grid.
+ */
+bool mergeShardDumps(const Scenario &sc, bool quick,
+                     const std::vector<ScenarioPoint> &pts,
+                     const std::vector<ShardDump> &dumps,
+                     harness::MetricFrame *out, std::string *err);
+
+} // namespace misp::driver
+
+#endif // MISP_DRIVER_SHARD_HH

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "harness/loader.hh"
 #include "misp/misp_system.hh"
@@ -30,6 +31,10 @@ enum class RunStatus {
 };
 
 const char *runStatusName(RunStatus status);
+
+/** Inverse of runStatusName — the `--merge-frames` dump reader's
+ *  status parse. Returns false on an unknown name. */
+bool runStatusFromName(const std::string &name, RunStatus *out);
 
 /** True for statuses caused by the execution infrastructure (worker
  *  crash/timeout, snapshot failure) rather than by the simulated

@@ -26,14 +26,25 @@
  * coordinate combination (e.g. the 1p/misp/smp8 runs of one Figure-4
  * workload) form a group, the evaluation unit of per-point asserts and
  * the denominator of machine-relative metrics like speedup.
+ *
+ * Scale: axis keys/values and machine/workload names are interned into
+ * integer ids on addRow, and finalize() builds hashed coord-tuple
+ * indexes over them, so every lookup (cross-axis selectors, group and
+ * baseline resolution, the wrapper benches' findRow) costs O(1) id
+ * hashing instead of an O(rows) string-compare walk. Row iteration and
+ * group numbering stay in grid order, so the indexes change no emitted
+ * byte. The pre-index linear walks survive behind Lookup::Linear for
+ * the frame-scale ablation and differential tests.
  */
 
 #ifndef MISP_HARNESS_METRIC_FRAME_HH
 #define MISP_HARNESS_METRIC_FRAME_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -62,9 +73,15 @@ class MetricFrame
         std::size_t group = 0;
     };
 
+    /** Lookup strategy. Indexed is the default; Linear preserves the
+     *  pre-index string-compare walks so the frame-scale ablation can
+     *  measure the speedup and the tests can differential-check that
+     *  both strategies answer every query identically. */
+    enum class Lookup { Indexed, Linear };
+
     static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    MetricFrame();
+    explicit MetricFrame(Lookup lookup = Lookup::Indexed);
 
     /** Append one grid point's measurements. Rows must be added in
      *  grid (submission) order; iteration order is insertion order. */
@@ -163,23 +180,109 @@ class MetricFrame
     /** The distinct `workload` values, in first-seen row order. */
     std::vector<std::string> workloads() const;
 
+    /** Distinct values of sweep axis @p key, in first-seen row order
+     *  (the selector normalizer's input). nullptr when no row carries
+     *  the axis. Available after finalize(). */
+    const std::vector<std::string> *
+    axisValues(const std::string &key) const;
+
     /**
      * The full frame as deterministic JSON (the `mispsim --metrics`
      * CI artifact): column list plus one object per row with its
      * coordinates, status, and every column value. Integral values
      * print as integers, the rest with 9 significant digits; no host
-     * timing is included, so reruns are byte-identical.
+     * timing is included, so reruns are byte-identical. Streams row
+     * by row — nothing larger than one value is materialized.
      */
     void writeJson(std::ostream &os) const;
 
+    // Shard-merge load path ---------------------------------------------
+
+    /** One parsed `--metrics` dump row: identity plus every column
+     *  value in dump order. `row.group` is ignored (groups are
+     *  recomputed on load). */
+    struct RawRow {
+        Row row;
+        std::vector<double> values;
+    };
+
+    /**
+     * Rebuild a frame from parsed `--metrics` dump rows (the
+     * `--merge-frames` path): adopt @p metrics verbatim as the column
+     * list (a dump may already carry the derived `speedup` column),
+     * load @p raws in the given order, and recompute the coordinate
+     * groups. The frame must be freshly constructed. Returns false
+     * with a diagnostic in @p err on a shape mismatch.
+     */
+    bool loadRows(const std::vector<std::string> &metrics,
+                  std::vector<RawRow> raws, std::string *err);
+
   private:
+    /** Interned symbol id (machine/workload names, axis keys/values). */
+    using Id = std::uint32_t;
+    static constexpr Id kNoId = 0xffffffffu;
+
+    struct RowKeys {
+        Id machine = kNoId;
+        Id workload = kNoId;
+        /** (axis key id, value id) in the row's coord order. */
+        std::vector<std::pair<Id, Id>> coords;
+    };
+
+    Id intern(const std::string &s);
+    Id lookupId(const std::string &s) const;
+
     std::size_t metricIndex(const std::string &name) const;
+    void internRow(const Row &row);
+    void computeGroups();
+    void buildIndexes();
+    void buildAxisBaselineIndex(Id axisId) const;
+
+    // Pre-index linear walks (Lookup::Linear and the un-finalized
+    // fallback; also the ablation's comparison baseline).
+    std::size_t linearRowWithOverrides(std::size_t g,
+                                       const std::string &machine,
+                                       const std::vector<Coord> &o)
+        const;
+    std::size_t linearAxisBaselineRow(std::size_t r,
+                                      const std::string &axis) const;
+    std::size_t linearFindRow(const std::string &machine,
+                              const std::string &workload,
+                              unsigned competitors) const;
+    std::size_t linearFindRow(const std::string &machine,
+                              const std::vector<Coord> &coords) const;
+
+    bool indexed() const;
 
     std::vector<std::string> metrics_;
     std::vector<std::vector<double>> columns_; ///< [metric][row]
     std::vector<Row> rows_;
     std::vector<std::vector<std::size_t>> groups_;
     bool finalized_ = false;
+    Lookup lookup_ = Lookup::Indexed;
+
+    // The interner and the hashed tuple indexes. Keys are the interned
+    // ids packed into strings, so equal keys mean equal tuples (no
+    // hash-collision conflation). Lookup-only: nothing ever iterates
+    // these maps, so no hash order can leak into any artifact.
+    std::unordered_map<std::string, Id> internIds_;
+    std::vector<RowKeys> rowKeys_;           ///< [row]
+    std::unordered_map<std::string, std::size_t> metricIds_;
+    std::unordered_map<std::string, std::size_t> groupOfTuple_;
+    std::unordered_map<std::string, std::size_t> rowOfMachineTuple_;
+    std::unordered_map<std::string, std::size_t> rowOfSortedTuple_;
+    std::unordered_map<std::string, std::size_t> rowOfTriple_;
+    std::vector<std::vector<std::size_t>> rowsOfMachine_; ///< [machine id]
+    std::vector<std::pair<std::string, std::vector<std::string>>>
+        axisValues_; ///< per axis, values in first-seen order
+
+    /** Lazy `baseline_axis` index: packed (axis, machine, coords with
+     *  the axis value masked) -> first matching row. Built once per
+     *  axis on first use; mutable because axisBaselineRow is
+     *  logically const (queries are single-threaded). */
+    mutable std::unordered_map<std::string, std::size_t>
+        axisBaseline_;
+    mutable std::vector<Id> axisBaselineBuilt_;
 };
 
 } // namespace misp::harness

@@ -1,5 +1,6 @@
 #include "stats.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 
@@ -121,11 +122,43 @@ jsonEscape(const std::string &s)
                               static_cast<unsigned char>(c));
                 out += buf;
             } else {
+                // Bytes >= 0x20 pass through untouched, so UTF-8
+                // multi-byte sequences survive verbatim.
                 out += c;
             }
         }
     }
     return out;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    // Built up in steps: GCC 12's -Wrestrict false-positives on the
+    // `"\"" + escape + "\""` temporary chain once inlined.
+    std::string out = "\"";
+    out += jsonEscape(s);
+    out += "\"";
+    return out;
+}
+
+void
+writeJsonQuoted(std::ostream &os, const std::string &s)
+{
+    os << '"' << jsonEscape(s) << '"';
+}
+
+void
+writeJsonNumber(std::ostream &os, double v)
+{
+    char buf[48];
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+    }
+    os << buf;
 }
 
 namespace {

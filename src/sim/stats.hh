@@ -30,6 +30,21 @@ class StatGroup;
  *  the one escaper shared by every JSON emitter in the tree. */
 std::string jsonEscape(const std::string &s);
 
+/** @p s escaped and double-quoted, ready to emit as a JSON string.
+ *  The one quoting wrapper (formerly duplicated across the driver and
+ *  metric-frame emitters). */
+std::string jsonQuote(const std::string &s);
+
+/** Stream @p s escaped and double-quoted to @p os. The streaming
+ *  emitters' path: nothing larger than one value is materialized. */
+void writeJsonQuoted(std::ostream &os, const std::string &s);
+
+/** Deterministic JSON number: integers as integers, the rest with 9
+ *  significant digits. Shared by the metric-frame emitter and the
+ *  shard-merge reader, so a parsed dump re-emits byte-identically
+ *  (%.9g strings round-trip through double exactly). */
+void writeJsonNumber(std::ostream &os, double v);
+
 /** Base for all statistics; handles registration and naming. */
 class StatBase
 {

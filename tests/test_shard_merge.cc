@@ -1,0 +1,502 @@
+/**
+ * @file
+ * Sharded-sweep merge tests: the deterministic grid partition
+ * (--shard k/N), the shard dump writer/reader round-trip, the
+ * fail-closed merge validation (corrupt dumps, overlaps, gaps,
+ * config-hash mismatches — each diagnostic naming the offending
+ * file), degraded-shard merges preserving failed/attempts/status
+ * with survivor rows byte-identical to a clean serial run, and the
+ * shared JSON quoting/number helpers both emitters and the merge
+ * reader lean on for byte-identity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "driver/runner.hh"
+#include "driver/scenario.hh"
+#include "driver/shard.hh"
+#include "driver/spec.hh"
+#include "harness/experiment.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+using namespace misp;
+using namespace misp::driver;
+
+namespace {
+
+class QuietEnv : public ::testing::Environment
+{
+  public:
+    void SetUp() override { setQuietLogging(true); }
+};
+
+const ::testing::Environment *const kQuietEnv =
+    ::testing::AddGlobalTestEnvironment(new QuietEnv);
+
+/** A small two-machine, two-axis sweep: 4 combinations x 2 machines
+ *  = 8 points, the smallest grid where a 3-way shard split leaves
+ *  shards with unequal point counts. */
+const char *kSpec = R"(
+[scenario]
+name = shardtest
+title = shard-merge test sweep
+
+[machine 1p]
+processors = 0
+backend = os
+
+[machine misp]
+processors = 3
+backend = shred
+
+[workload]
+name = dense_mvm
+scale = 1
+
+[sweep]
+machine.signal_cycles = 1000, 1040
+workload.workers = 1, 2
+
+[report]
+baseline_machine = 1p
+)";
+
+Scenario
+testScenario()
+{
+    SpecFile spec;
+    Scenario sc;
+    std::string err;
+    EXPECT_TRUE(SpecFile::parse(kSpec, "<test>", &spec, &err)) << err;
+    EXPECT_TRUE(Scenario::fromSpec(spec, &sc, &err)) << err;
+    return sc;
+}
+
+std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + name;
+}
+
+/** Run the whole grid once (serial, in-process); cached because every
+ *  merge test slices the same results. */
+struct GridRun {
+    Scenario sc;
+    std::vector<ScenarioPoint> points;
+    std::vector<PointResult> results;
+};
+
+const GridRun &
+gridRun()
+{
+    static GridRun *run = [] {
+        GridRun *r = new GridRun;
+        r->sc = testScenario();
+        std::string err;
+        EXPECT_TRUE(r->sc.expandPoints(false, &r->points, &err)) << err;
+        RunnerOptions opts;
+        opts.hostLines = false;
+        r->results = ScenarioRunner(opts).runAll(r->sc, r->points);
+        return r;
+    }();
+    return *run;
+}
+
+std::string
+serialMetrics(const GridRun &run)
+{
+    harness::MetricFrame frame = buildMetricFrame(run.sc, run.results);
+    std::ostringstream os;
+    writeMetricsJson(os, run.sc, false, frame);
+    return os.str();
+}
+
+/** Shard k/N's dump text, built from @p results (defaults to the
+ *  cached grid's — degraded tests pass a doctored copy). */
+std::string
+shardDumpText(const GridRun &run, std::size_t k, std::size_t n,
+              const std::vector<PointResult> *doctored = nullptr)
+{
+    const std::vector<PointResult> &all =
+        doctored ? *doctored : run.results;
+    ShardSpec shard{k, n};
+    std::vector<std::size_t> indices = shardPointIndices(
+        shard, run.points.size(), run.sc.machines.size());
+    std::vector<PointResult> mine;
+    for (std::size_t g : indices)
+        mine.push_back(all[g]);
+    harness::MetricFrame frame = buildMetricFrame(run.sc, mine);
+    std::ostringstream os;
+    writeShardMetricsJson(os, run.sc, false, frame, shard,
+                          run.points.size(),
+                          gridConfigHash(run.sc, run.points), indices);
+    return os.str();
+}
+
+std::string
+writeDump(const std::string &name, const std::string &text)
+{
+    const std::string path = tempPath(name);
+    std::ofstream os(path, std::ios::binary);
+    os << text;
+    return path;
+}
+
+std::string
+mergeMetrics(const GridRun &run, const std::vector<std::string> &paths,
+             std::string *err)
+{
+    std::vector<ShardDump> dumps;
+    for (const std::string &p : paths) {
+        ShardDump dump;
+        if (!readShardDump(p, &dump, err))
+            return "";
+        dumps.push_back(std::move(dump));
+    }
+    harness::MetricFrame frame;
+    if (!mergeShardDumps(run.sc, false, run.points, dumps, &frame,
+                         err))
+        return "";
+    std::ostringstream os;
+    writeMetricsJson(os, run.sc, false, frame);
+    return os.str();
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Shard spec + partition
+// ---------------------------------------------------------------------
+
+TEST(ShardSpec, ParsesAndRejects)
+{
+    ShardSpec s;
+    std::string err;
+    EXPECT_TRUE(parseShardSpec("0/4", &s, &err));
+    EXPECT_EQ(s.index, 0u);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_TRUE(parseShardSpec("3/4", &s, &err));
+    EXPECT_EQ(s.index, 3u);
+
+    EXPECT_FALSE(parseShardSpec("4/4", &s, &err));
+    EXPECT_NE(err.find("out of range"), std::string::npos);
+    EXPECT_FALSE(parseShardSpec("0/0", &s, &err));
+    EXPECT_FALSE(parseShardSpec("1", &s, &err));
+    EXPECT_FALSE(parseShardSpec("a/b", &s, &err));
+    EXPECT_FALSE(parseShardSpec("/2", &s, &err));
+}
+
+TEST(ShardSpec, PartitionCoversDisjointAndKeepsGroupsWhole)
+{
+    const std::size_t machines = 2, total = 14; // 7 combos
+    std::vector<int> owner(total, -1);
+    for (std::size_t k = 0; k < 3; ++k) {
+        for (std::size_t g :
+             shardPointIndices(ShardSpec{k, 3}, total, machines)) {
+            ASSERT_LT(g, total);
+            EXPECT_EQ(owner[g], -1) << "point " << g << " owned twice";
+            owner[g] = static_cast<int>(k);
+        }
+    }
+    for (std::size_t g = 0; g < total; ++g) {
+        EXPECT_NE(owner[g], -1) << "point " << g << " unowned";
+        // Both machines of one combination land on the same shard.
+        EXPECT_EQ(owner[g], owner[g - g % machines]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clean merge: byte-identical to the serial run
+// ---------------------------------------------------------------------
+
+TEST(ShardMerge, MergedFrameIsByteIdenticalToSerial)
+{
+    const GridRun &run = gridRun();
+    const std::string serial = serialMetrics(run);
+
+    // 3-way split of 4 combos: shard 0 gets two combos, 1 and 2 one
+    // each — exercises unequal shard sizes.
+    std::vector<std::string> paths;
+    for (std::size_t k = 0; k < 3; ++k)
+        paths.push_back(writeDump("sm_clean" + std::to_string(k) +
+                                      ".json",
+                                  shardDumpText(run, k, 3)));
+    std::string err;
+    const std::string merged = mergeMetrics(run, paths, &err);
+    EXPECT_EQ(merged, serial) << err;
+}
+
+TEST(ShardMerge, SingleShardRoundTrips)
+{
+    const GridRun &run = gridRun();
+    std::vector<std::string> paths = {
+        writeDump("sm_single.json", shardDumpText(run, 0, 1))};
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), serialMetrics(run))
+        << err;
+}
+
+// ---------------------------------------------------------------------
+// Degraded shards: failure columns survive the merge
+// ---------------------------------------------------------------------
+
+TEST(ShardMerge, DegradedShardPreservesFailureColumns)
+{
+    const GridRun &run = gridRun();
+
+    // Doctor one misp row (not the baseline machine, so every other
+    // row's speedup denominator is untouched) into a supervised
+    // crash after 3 attempts.
+    std::vector<PointResult> doctored = run.results;
+    std::size_t victim = harness::MetricFrame::npos;
+    for (std::size_t i = 0; i < doctored.size(); ++i) {
+        if (doctored[i].machine == "misp") {
+            victim = i;
+            break;
+        }
+    }
+    ASSERT_NE(victim, harness::MetricFrame::npos);
+    doctored[victim].run.status = harness::RunStatus::WorkerCrashed;
+    doctored[victim].run.valid = false;
+    doctored[victim].run.attempts = 3;
+
+    std::vector<std::string> paths;
+    for (std::size_t k = 0; k < 2; ++k)
+        paths.push_back(writeDump("sm_degraded" + std::to_string(k) +
+                                      ".json",
+                                  shardDumpText(run, k, 2, &doctored)));
+
+    std::vector<ShardDump> dumps;
+    std::string err;
+    for (const std::string &p : paths)
+        ASSERT_TRUE(readShardDump(p, &dumps.emplace_back(), &err))
+            << err;
+    harness::MetricFrame merged;
+    ASSERT_TRUE(mergeShardDumps(run.sc, false, run.points, dumps,
+                                &merged, &err))
+        << err;
+
+    // The degraded row keeps its status and failure columns.
+    EXPECT_EQ(merged.row(victim).status,
+              harness::RunStatus::WorkerCrashed);
+    EXPECT_EQ(merged.at(victim, "failed"), 1.0);
+    EXPECT_EQ(merged.at(victim, "attempts"), 3.0);
+    EXPECT_EQ(merged.at(victim, "valid"), 0.0);
+
+    // Every survivor row is byte-identical to the clean serial run:
+    // same status and the same *emitted* value for every metric
+    // (byte-identity is an artifact contract — merged values have
+    // been through the dump's 9-significant-digit rendering, which
+    // writeJsonNumber makes a fixed point).
+    auto render = [](double v) {
+        std::ostringstream os;
+        stats::writeJsonNumber(os, v);
+        return os.str();
+    };
+    harness::MetricFrame clean =
+        buildMetricFrame(run.sc, run.results);
+    ASSERT_EQ(merged.numRows(), clean.numRows());
+    for (std::size_t r = 0; r < merged.numRows(); ++r) {
+        if (r == victim)
+            continue;
+        EXPECT_EQ(merged.row(r).status, clean.row(r).status);
+        for (const std::string &metric : clean.metrics())
+            EXPECT_EQ(render(merged.at(r, metric)),
+                      render(clean.at(r, metric)))
+                << "row " << r << " metric " << metric;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fail-closed validation: every rejection names the offending file
+// ---------------------------------------------------------------------
+
+TEST(ShardMerge, CorruptDumpFailsClosedNamingFile)
+{
+    const GridRun &run = gridRun();
+    const std::string text = shardDumpText(run, 0, 2);
+    const std::string path =
+        writeDump("sm_corrupt.json", text.substr(0, text.size() / 2));
+    ShardDump dump;
+    std::string err;
+    EXPECT_FALSE(readShardDump(path, &dump, &err));
+    EXPECT_NE(err.find(path), std::string::npos) << err;
+}
+
+TEST(ShardMerge, MissingFileFailsClosed)
+{
+    ShardDump dump;
+    std::string err;
+    const std::string path = tempPath("sm_nonexistent.json");
+    EXPECT_FALSE(readShardDump(path, &dump, &err));
+    EXPECT_NE(err.find(path), std::string::npos) << err;
+}
+
+TEST(ShardMerge, OverlappingShardsRejected)
+{
+    const GridRun &run = gridRun();
+    std::vector<std::string> paths = {
+        writeDump("sm_ov0.json", shardDumpText(run, 0, 2)),
+        writeDump("sm_ov0b.json", shardDumpText(run, 0, 2)),
+    };
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), "");
+    EXPECT_NE(err.find("overlaps"), std::string::npos) << err;
+    EXPECT_NE(err.find("sm_ov0b.json"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, MissingShardIsAGap)
+{
+    const GridRun &run = gridRun();
+    std::vector<std::string> paths = {
+        writeDump("sm_gap0.json", shardDumpText(run, 0, 3)),
+        writeDump("sm_gap2.json", shardDumpText(run, 2, 3)),
+    };
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), "");
+    EXPECT_NE(err.find("missing"), std::string::npos) << err;
+    EXPECT_NE(err.find("1/3"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, ConfigHashMismatchRejectedNamingFile)
+{
+    const GridRun &run = gridRun();
+    std::string text = shardDumpText(run, 0, 1);
+    const std::string realHash = gridConfigHash(run.sc, run.points);
+    const std::size_t at = text.find(realHash);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, realHash.size(), "deadbeefdeadbeef");
+    std::vector<std::string> paths = {
+        writeDump("sm_badhash.json", text)};
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), "");
+    EXPECT_NE(err.find("config hash"), std::string::npos) << err;
+    EXPECT_NE(err.find("sm_badhash.json"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, TamperedIndicesRejected)
+{
+    const GridRun &run = gridRun();
+    std::string text = shardDumpText(run, 0, 2);
+    // Shard 0 of 2 over 4 combos x 2 machines owns 0,1,4,5.
+    const std::size_t at = text.find("\"indices\": [0, 1, 4, 5]");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string("\"indices\": [0, 1, 4, 5]").size(),
+                 "\"indices\": [0, 1, 4, 6]");
+    std::vector<std::string> paths = {
+        writeDump("sm_badidx.json", text),
+        writeDump("sm_badidx1.json", shardDumpText(run, 1, 2)),
+    };
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), "");
+    EXPECT_NE(err.find("partition"), std::string::npos) << err;
+    EXPECT_NE(err.find("sm_badidx.json"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, WrongScenarioRejected)
+{
+    const GridRun &run = gridRun();
+    std::string text = shardDumpText(run, 0, 1);
+    const std::size_t at = text.find("\"scenario\": \"shardtest\"");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string("\"scenario\": \"shardtest\"").size(),
+                 "\"scenario\": \"other\"");
+    std::vector<std::string> paths = {
+        writeDump("sm_badscn.json", text)};
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), "");
+    EXPECT_NE(err.find("does not match"), std::string::npos) << err;
+    EXPECT_NE(err.find("sm_badscn.json"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, QuickModeMismatchRejected)
+{
+    const GridRun &run = gridRun();
+    std::string text = shardDumpText(run, 0, 1);
+    const std::size_t at = text.find("\"quick\": false");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string("\"quick\": false").size(),
+                 "\"quick\": true");
+    std::vector<std::string> paths = {
+        writeDump("sm_badquick.json", text)};
+    std::string err;
+    EXPECT_EQ(mergeMetrics(run, paths, &err), "");
+    EXPECT_NE(err.find("quick"), std::string::npos) << err;
+    EXPECT_NE(err.find("sm_badquick.json"), std::string::npos) << err;
+}
+
+TEST(ShardMerge, RunStatusNamesRoundTrip)
+{
+    const harness::RunStatus all[] = {
+        harness::RunStatus::Completed,
+        harness::RunStatus::MaxTicksReached,
+        harness::RunStatus::SnapshotError,
+        harness::RunStatus::WorkerCrashed,
+        harness::RunStatus::WorkerTimeout,
+    };
+    for (harness::RunStatus status : all) {
+        harness::RunStatus parsed;
+        ASSERT_TRUE(harness::runStatusFromName(
+            harness::runStatusName(status), &parsed));
+        EXPECT_EQ(parsed, status);
+    }
+    harness::RunStatus parsed;
+    EXPECT_FALSE(harness::runStatusFromName("exploded", &parsed));
+}
+
+// ---------------------------------------------------------------------
+// The shared JSON helpers (one copy; both emitters + the merge
+// reader depend on their exact output for byte-identity)
+// ---------------------------------------------------------------------
+
+TEST(JsonHelpers, EscapeControlCharsAndQuotes)
+{
+    EXPECT_EQ(stats::jsonEscape("plain"), "plain");
+    EXPECT_EQ(stats::jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(stats::jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(stats::jsonEscape("a\nb\tc"), "a\\nb\\tc");
+    EXPECT_EQ(stats::jsonEscape(std::string("a\x01") + "b"),
+              "a\\u0001b");
+    EXPECT_EQ(stats::jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonHelpers, Utf8PassesThroughUntouched)
+{
+    const std::string utf8 = "caf\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x9a\x80";
+    EXPECT_EQ(stats::jsonEscape(utf8), utf8);
+    EXPECT_EQ(stats::jsonQuote(utf8), "\"" + utf8 + "\"");
+}
+
+TEST(JsonHelpers, QuoteAndStreamAgree)
+{
+    const std::string s = "x\n\"y\"\\z";
+    std::ostringstream os;
+    stats::writeJsonQuoted(os, s);
+    EXPECT_EQ(os.str(), stats::jsonQuote(s));
+}
+
+TEST(JsonHelpers, NumbersIntegralAndRoundTrip)
+{
+    auto render = [](double v) {
+        std::ostringstream os;
+        stats::writeJsonNumber(os, v);
+        return os.str();
+    };
+    EXPECT_EQ(render(0), "0");
+    EXPECT_EQ(render(-3), "-3");
+    EXPECT_EQ(render(92066845), "92066845");
+    EXPECT_EQ(render(2e15), "2000000000000000");
+    EXPECT_EQ(render(92.066845), "92.066845");
+    EXPECT_EQ(render(4.38652499), "4.38652499");
+    // The merge round-trip contract: parsing the rendered string back
+    // through strtod and re-rendering is a fixed point.
+    for (double v : {92.066845, 55318.954, 6.92168324, 1e-3, 0.5}) {
+        const std::string once = render(v);
+        EXPECT_EQ(render(std::strtod(once.c_str(), nullptr)), once);
+    }
+}

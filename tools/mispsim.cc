@@ -24,6 +24,7 @@
 #include "driver/cli_help.hh"
 #include "driver/report.hh"
 #include "driver/runner.hh"
+#include "driver/shard.hh"
 #include "obs/host_profile.hh"
 #include "obs/host_run_log.hh"
 #include "obs/trace.hh"
@@ -51,6 +52,158 @@ listWorkloads()
         std::printf("%-18s %s\n", info.name.c_str(), info.suite.c_str());
     for (const wl::WorkloadInfo &info : wl::utilWorkloads())
         std::printf("%-18s %s\n", info.name.c_str(), info.suite.c_str());
+}
+
+/**
+ * `--merge-frames OUT IN...`: reassemble per-shard `--metrics` dumps
+ * into one frame, write it to @p outPath in the serial format, run the
+ * scenario's deferred [report] asserts on it, and mirror the serial
+ * run's exit-code policy (including 4 for degraded-but-passing sweeps
+ * under on_failed_points = skip).
+ */
+int
+mergeFramesMain(const Scenario &scIn,
+                const std::vector<std::string> &inputs,
+                const std::string &outPath, bool pointsOnly,
+                bool markdown, const std::string &jsonPath)
+{
+    Scenario sc = scIn;
+    std::string err;
+    if (inputs.empty()) {
+        std::fprintf(stderr,
+                     "mispsim: --merge-frames needs at least one shard "
+                     "dump\n");
+        return 2;
+    }
+    std::vector<ShardDump> dumps;
+    for (const std::string &in : inputs) {
+        ShardDump dump;
+        if (!readShardDump(in, &dump, &err)) {
+            std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+            return 1;
+        }
+        dumps.push_back(std::move(dump));
+    }
+    // The grid is re-expanded under the mode the shards ran in;
+    // mergeShardDumps fails closed if the dumps disagree on it.
+    const bool quick = dumps[0].quick;
+    std::vector<ScenarioPoint> grid;
+    if (!sc.expandPoints(quick, &grid, &err)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+    harness::MetricFrame frame;
+    if (!mergeShardDumps(sc, quick, grid, dumps, &frame, &err)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+
+    if (pointsOnly) {
+        writePoints(std::cout, frame);
+    } else if (sc.report.mode == ReportMode::Events) {
+        writeEventsTable(std::cout, sc, frame, markdown);
+    } else {
+        writeTable(std::cout, sc, frame, markdown);
+    }
+
+    {
+        std::ofstream os(outPath);
+        if (!os) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         outPath.c_str());
+            return 1;
+        }
+        writeMetricsJson(os, sc, quick, frame);
+        std::fprintf(stderr, "mispsim: wrote %s\n", outPath.c_str());
+    }
+    if (!jsonPath.empty()) {
+        std::ofstream os(jsonPath);
+        if (!os) {
+            std::fprintf(stderr, "mispsim: cannot write '%s'\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        writeJson(os, sc, quick, frame);
+        std::fprintf(stderr, "mispsim: wrote %s\n", jsonPath.c_str());
+    }
+
+    // Same per-point failure accounting as a serial run, read back
+    // from the merged frame's status/valid/attempts columns (the
+    // dumps don't carry the free-form failure notes).
+    int rc = 0;
+    std::size_t failedPoints = 0;
+    const bool degradeGracefully =
+        sc.report.onFailedPoints == FailedPointPolicy::Skip;
+    for (std::size_t r = 0; r < frame.numRows(); ++r) {
+        const harness::MetricFrame::Row &row = frame.row(r);
+        const bool valid = frame.at(r, "valid") != 0.0;
+        if (row.status == harness::RunStatus::Completed && valid)
+            continue;
+        std::string what;
+        switch (row.status) {
+          case harness::RunStatus::MaxTicksReached:
+            what = "never finished (hit max_ticks)";
+            break;
+          case harness::RunStatus::SnapshotError:
+            what = "snapshot error";
+            break;
+          case harness::RunStatus::WorkerCrashed:
+            what = "worker crashed";
+            break;
+          case harness::RunStatus::WorkerTimeout:
+            what = "worker timed out";
+            break;
+          case harness::RunStatus::Completed:
+            what = "failed result validation";
+            break;
+        }
+        const double attempts = frame.at(r, "attempts");
+        if (attempts > 1)
+            what += " [attempts=" +
+                    std::to_string(
+                        static_cast<long long>(attempts)) +
+                    "]";
+        std::fprintf(stderr,
+                     "mispsim: point machine=%s workload=%s "
+                     "competitors=%u %s\n",
+                     row.machine.c_str(), row.workload.c_str(),
+                     row.competitors, what.c_str());
+        if (harness::runStatusIsInfraFailure(row.status) &&
+            degradeGracefully)
+            ++failedPoints;
+        else
+            rc = 1;
+    }
+
+    // The asserts each shard deferred run here, on the full frame.
+    std::vector<AssertFailure> failures;
+    std::size_t skippedGroups = 0;
+    if (!evaluateAsserts(sc, frame, &failures, &err, &skippedGroups)) {
+        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+        return 1;
+    }
+    for (const AssertFailure &f : failures) {
+        std::fprintf(stderr, "mispsim: %s:%d: assert FAILED: %s (%s)\n",
+                     sc.specPath.c_str(), f.line, f.text.c_str(),
+                     f.detail.c_str());
+        rc = 1;
+    }
+    if (skippedGroups > 0)
+        std::fprintf(stderr,
+                     "mispsim: %zu assert evaluation(s) skipped over "
+                     "failed points\n",
+                     skippedGroups);
+    if (!sc.report.asserts.empty() && failures.empty())
+        std::fprintf(stderr, "mispsim: %zu assert(s) passed\n",
+                     sc.report.asserts.size());
+    if (rc == 0 && failedPoints > 0) {
+        std::fprintf(stderr,
+                     "mispsim: completed with %zu failed point(s) "
+                     "(on_failed_points=skip)\n",
+                     failedPoints);
+        rc = 4;
+    }
+    return rc;
 }
 
 } // namespace
@@ -83,6 +236,9 @@ main(int argc, char **argv)
     std::string runLogPath;
     std::string profilePath;
     bool progressFlag = false;
+    std::string shardArg;
+    std::string mergeOut;
+    std::vector<std::string> mergeInputs;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -211,6 +367,21 @@ main(int argc, char **argv)
                 return 2;
             }
             profilePath = argv[i];
+        } else if (std::strcmp(arg, "--shard") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --shard needs a k/N spec\n");
+                return 2;
+            }
+            shardArg = argv[i];
+        } else if (std::strcmp(arg, "--merge-frames") == 0) {
+            if (++i >= argc) {
+                std::fprintf(stderr,
+                             "mispsim: --merge-frames needs an output "
+                             "file argument\n");
+                return 2;
+            }
+            mergeOut = argv[i];
         } else if (std::strcmp(arg, "--progress") == 0) {
             progressFlag = true;
         } else if (std::strcmp(arg, "--md") == 0) {
@@ -228,6 +399,10 @@ main(int argc, char **argv)
             return usage(argv[0], 2);
         } else if (scnArg.empty()) {
             scnArg = arg;
+        } else if (!mergeOut.empty()) {
+            // Merge mode: the scenario comes first, then the per-shard
+            // --metrics dumps to reassemble.
+            mergeInputs.push_back(arg);
         } else {
             std::fprintf(stderr, "mispsim: more than one scenario file\n");
             return usage(argv[0], 2);
@@ -235,6 +410,19 @@ main(int argc, char **argv)
     }
     if (scnArg.empty())
         return usage(argv[0], 2);
+    if (!mergeOut.empty() && !shardArg.empty()) {
+        std::fprintf(stderr,
+                     "mispsim: --shard and --merge-frames are mutually "
+                     "exclusive\n");
+        return 2;
+    }
+    ShardSpec shard;
+    const bool sharded = !shardArg.empty();
+    std::string shardErr;
+    if (sharded && !parseShardSpec(shardArg, &shard, &shardErr)) {
+        std::fprintf(stderr, "mispsim: %s\n", shardErr.c_str());
+        return 2;
+    }
 
     // Env overrides apply only when no CLI --engine flag was given.
     if (!forceEngine) {
@@ -311,10 +499,34 @@ main(int argc, char **argv)
             return 2;
         }
     }
+
+    if (!mergeOut.empty())
+        return mergeFramesMain(sc, mergeInputs, mergeOut, pointsOnly,
+                               markdown, jsonPath);
+
     std::vector<ScenarioPoint> points;
     if (!sc.expandPoints(quick, &points, &err)) {
         std::fprintf(stderr, "mispsim: %s\n", err.c_str());
         return 1;
+    }
+
+    // --shard k/N: keep only this shard's coordinate combinations.
+    // Combinations (not raw points) are dealt round-robin so each
+    // coordinate group stays whole and its derived columns (speedup)
+    // match the serial run's; the owned points keep their global grid
+    // indices so snapshots and fault plans compose unchanged.
+    const std::size_t shardTotal = points.size();
+    std::vector<std::size_t> shardIndices;
+    std::string shardHash;
+    if (sharded) {
+        shardHash = gridConfigHash(sc, points);
+        shardIndices =
+            shardPointIndices(shard, points.size(), sc.machines.size());
+        std::vector<ScenarioPoint> owned;
+        owned.reserve(shardIndices.size());
+        for (std::size_t g : shardIndices)
+            owned.push_back(points[g]);
+        points.swap(owned);
     }
 
     if (dryRun) {
@@ -380,6 +592,7 @@ main(int argc, char **argv)
     opts.traceSkip = traceSkip;
     if (runLogFile.is_open())
         opts.runLog = &runLog;
+    opts.pointIndices = shardIndices;
     ScenarioRunner runner(opts);
     const bool showProgress = progressFlag || !pointsOnly;
     std::vector<PointResult> results =
@@ -465,7 +678,11 @@ main(int argc, char **argv)
                          metricsPath.c_str());
             return 1;
         }
-        writeMetricsJson(os, sc, quick, frame);
+        if (sharded)
+            writeShardMetricsJson(os, sc, quick, frame, shard,
+                                  shardTotal, shardHash, shardIndices);
+        else
+            writeMetricsJson(os, sc, quick, frame);
         std::fprintf(stderr, "mispsim: wrote %s\n", metricsPath.c_str());
     }
 
@@ -512,27 +729,41 @@ main(int argc, char **argv)
     }
 
     // [report] asserts guard paper claims from the spec itself; any
-    // failing (or malformed) assert makes the run exit non-zero.
-    std::vector<AssertFailure> failures;
-    std::size_t skippedGroups = 0;
-    if (!evaluateAsserts(sc, frame, &failures, &err, &skippedGroups)) {
-        std::fprintf(stderr, "mispsim: %s\n", err.c_str());
-        return 1;
+    // failing (or malformed) assert makes the run exit non-zero. A
+    // shard sees only its slice of the grid — cross-combination
+    // references would dangle — so asserts are deferred to the
+    // --merge-frames pass over the reassembled frame.
+    if (sharded) {
+        if (!sc.report.asserts.empty())
+            std::fprintf(stderr,
+                         "mispsim: %zu [report] assert(s) deferred to "
+                         "--merge-frames (--shard %zu/%zu)\n",
+                         sc.report.asserts.size(), shard.index,
+                         shard.count);
+    } else {
+        std::vector<AssertFailure> failures;
+        std::size_t skippedGroups = 0;
+        if (!evaluateAsserts(sc, frame, &failures, &err,
+                             &skippedGroups)) {
+            std::fprintf(stderr, "mispsim: %s\n", err.c_str());
+            return 1;
+        }
+        for (const AssertFailure &f : failures) {
+            std::fprintf(stderr,
+                         "mispsim: %s:%d: assert FAILED: %s (%s)\n",
+                         sc.specPath.c_str(), f.line, f.text.c_str(),
+                         f.detail.c_str());
+            rc = 1;
+        }
+        if (skippedGroups > 0)
+            std::fprintf(stderr,
+                         "mispsim: %zu assert evaluation(s) skipped "
+                         "over failed points\n",
+                         skippedGroups);
+        if (!sc.report.asserts.empty() && failures.empty())
+            std::fprintf(stderr, "mispsim: %zu assert(s) passed\n",
+                         sc.report.asserts.size());
     }
-    for (const AssertFailure &f : failures) {
-        std::fprintf(stderr, "mispsim: %s:%d: assert FAILED: %s (%s)\n",
-                     sc.specPath.c_str(), f.line, f.text.c_str(),
-                     f.detail.c_str());
-        rc = 1;
-    }
-    if (skippedGroups > 0)
-        std::fprintf(stderr,
-                     "mispsim: %zu assert evaluation(s) skipped over "
-                     "failed points\n",
-                     skippedGroups);
-    if (!sc.report.asserts.empty() && failures.empty())
-        std::fprintf(stderr, "mispsim: %zu assert(s) passed\n",
-                     sc.report.asserts.size());
     // Distinct code for "completed with failed points": everything
     // that ran passed, but the sweep is degraded (on_failed_points =
     // skip swallowed infrastructure failures).
